@@ -1,0 +1,121 @@
+// Ablation: SECDED ECC vs raw storage under fault injection.
+// Section IV.A's endurance/retention numbers are device-level; this
+// bench asks the system-level question: given a per-bit fault
+// probability per scrub interval, what byte error rate survives with
+// and without the Hamming(13,8) protection, and what does it cost?
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "crossbar/ecc_memory.h"
+#include "device/presets.h"
+
+namespace {
+
+using namespace memcim;
+
+struct TrialResult {
+  double byte_error_rate_raw;
+  double byte_error_rate_ecc;
+  double corrected_per_read;
+};
+
+TrialResult run_trial(double p_bit_flip, std::size_t rows, int rounds,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  EccCrsMemory ecc(rows, presets::crs_cell());
+  CrsMemory raw(rows, 8, presets::crs_cell());
+  std::vector<std::uint8_t> truth(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    truth[r] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    ecc.write_byte(r, truth[r]);
+    for (std::size_t b = 0; b < 8; ++b)
+      raw.write(r, b, (truth[r] >> b) & 1u);
+  }
+
+  std::uint64_t raw_errors = 0, ecc_errors = 0, reads = 0;
+  for (int round = 0; round < rounds; ++round) {
+    // Fault injection: each stored bit flips with probability p.
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t b = 0; b < kEccCodewordBits; ++b)
+        if (rng.bernoulli(p_bit_flip)) ecc.inject_error(r, b);
+      for (std::size_t b = 0; b < 8; ++b)
+        if (rng.bernoulli(p_bit_flip)) {
+          const bool cur = raw.read(r, b);
+          raw.write(r, b, !cur);
+        }
+    }
+    // Read (and, for ECC, scrub) everything.
+    for (std::size_t r = 0; r < rows; ++r) {
+      ++reads;
+      const auto e = ecc.read_byte(r);
+      if (e.uncorrectable || e.data != truth[r]) {
+        ++ecc_errors;
+        ecc.write_byte(r, truth[r]);  // repair for the next round
+      }
+      std::uint8_t v = 0;
+      for (std::size_t b = 0; b < 8; ++b)
+        if (raw.read(r, b)) v |= static_cast<std::uint8_t>(1u << b);
+      if (v != truth[r]) {
+        ++raw_errors;
+        for (std::size_t b = 0; b < 8; ++b)
+          raw.write(r, b, (truth[r] >> b) & 1u);
+      }
+    }
+  }
+  TrialResult result;
+  result.byte_error_rate_raw =
+      static_cast<double>(raw_errors) / static_cast<double>(reads);
+  result.byte_error_rate_ecc =
+      static_cast<double>(ecc_errors) / static_cast<double>(reads);
+  result.corrected_per_read =
+      static_cast<double>(ecc.corrected_errors()) / static_cast<double>(reads);
+  return result;
+}
+
+void print_sweep() {
+  TextTable t({"p(bit flip)/interval", "raw byte errors", "ECC byte errors",
+               "corrections/read", "improvement"});
+  for (double p : {1e-4, 1e-3, 1e-2, 5e-2}) {
+    const TrialResult r = run_trial(p, 256, 20, 11);
+    const double gain = r.byte_error_rate_ecc > 0.0
+                            ? r.byte_error_rate_raw / r.byte_error_rate_ecc
+                            : 0.0;
+    t.add_row({sci_string(p, 0), sci_string(r.byte_error_rate_raw, 2),
+               sci_string(r.byte_error_rate_ecc, 2),
+               sci_string(r.corrected_per_read, 2),
+               r.byte_error_rate_ecc == 0.0
+                   ? ">raw/0 (no ECC failures observed)"
+                   : fixed_string(gain, 0) + "x"});
+  }
+  std::cout << t.to_text() << '\n'
+            << "Costs: 13/8 = 1.63x cell overhead, +1 scrub write-back per\n"
+               "corrected read.  ECC fails only when >=2 bits of one 13-bit\n"
+               "codeword flip within one scrub interval (~p^2 per word) —\n"
+               "the standard reliability multiplier memristive banks need\n"
+               "to ride out endurance and disturb faults.\n\n";
+}
+
+void BM_EccReadScrub(benchmark::State& state) {
+  EccCrsMemory mem(64, presets::crs_cell());
+  for (std::size_t r = 0; r < 64; ++r)
+    mem.write_byte(r, static_cast<std::uint8_t>(r));
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.read_byte(row));
+    row = (row + 1) % 64;
+  }
+}
+BENCHMARK(BM_EccReadScrub);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Ablation: SECDED ECC vs raw storage ===\n\n";
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

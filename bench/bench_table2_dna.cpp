@@ -1,0 +1,86 @@
+// Table 2, DNA column — energy-delay/op, computing efficiency and
+// performance/area for the healthcare (DNA sorted-index sequencing)
+// workload on the conventional multi-core vs the CIM crossbar.
+//
+// Besides the analytical table, this bench runs the *functional*
+// scaled-down pipeline (synthetic genome + sorted index + CIM tile
+// comparators) so the operation counts driving the model are observed,
+// not assumed.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.h"
+#include "eval/report.h"
+#include "eval/table2.h"
+#include "workloads/dna.h"
+
+namespace {
+
+using namespace memcim;
+
+void print_analytical() {
+  const Table2 table = make_table2(paper_table1());
+  TextTable t({"Metric", "Conv (ours)", "CIM (ours)", "Conv (paper)",
+               "CIM (paper)", "CIM gain (ours)", "CIM gain (paper)"});
+  for (const Table2Entry& e : table.entries) {
+    if (std::string(e.workload) != "DNA sequencing") continue;
+    t.add_row({e.metric, sci_string(e.conventional), sci_string(e.cim),
+               sci_string(e.paper_conventional), sci_string(e.paper_cim),
+               sci_string(e.improvement(), 2),
+               sci_string(e.paper_improvement(), 2)});
+  }
+  std::cout << t.to_text() << '\n'
+            << "Audit trail:\n"
+            << render_table2_audit(table) << '\n';
+}
+
+void print_functional() {
+  Rng rng(2015);
+  const std::string genome = generate_genome(50'000, rng);
+  ReadSetParams params;
+  params.coverage = 5.0;
+  params.read_length = 100;
+  const auto reads = generate_reads(genome, params, rng);
+  const MatchStats stats = match_reads(genome, reads, 20);
+  const PaperDnaCounts paper = paper_dna_counts();
+
+  TextTable t({"Functional pipeline (scaled down)", "value"});
+  t.add_row({"genome bases", std::to_string(genome.size())});
+  t.add_row({"short reads", std::to_string(reads.size())});
+  t.add_row({"reads matched", std::to_string(stats.reads_matched)});
+  t.add_row({"character comparisons",
+             std::to_string(stats.character_comparisons)});
+  t.add_row({"paper-accounting comparisons (4x)",
+             std::to_string(stats.paper_comparisons())});
+  t.add_row({"paper full-scale short reads", sci_string(paper.short_reads)});
+  t.add_row({"paper full-scale comparisons", sci_string(paper.comparisons)});
+  std::cout << t.to_text() << '\n';
+}
+
+void BM_SortedIndexMatching(benchmark::State& state) {
+  Rng rng(7);
+  const std::string genome =
+      generate_genome(static_cast<std::size_t>(state.range(0)), rng);
+  ReadSetParams params;
+  params.coverage = 2.0;
+  params.read_length = 100;
+  const auto reads = generate_reads(genome, params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match_reads(genome, reads, 20));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(reads.size()));
+}
+BENCHMARK(BM_SortedIndexMatching)->Arg(10'000)->Arg(40'000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Table 2 / DNA sequencing: conventional vs CIM ===\n\n";
+  print_analytical();
+  print_functional();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 2, math column — 10^6 parallel 32-bit additions, conventional
+// CLA clusters vs CIM TC-adders.  This is the column our cost model
+// reproduces to the paper's printed precision (see EXPERIMENTS.md);
+// the functional section actually executes a scaled batch on CRS
+// TC-adder hardware models and cross-checks the analytical energy.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.h"
+#include "device/presets.h"
+#include "eval/report.h"
+#include "eval/table2.h"
+#include "workloads/parallel_add.h"
+
+namespace {
+
+using namespace memcim;
+
+void print_analytical() {
+  const Table2 table = make_table2(paper_table1());
+  TextTable t({"Metric", "Conv (ours)", "CIM (ours)", "Conv (paper)",
+               "CIM (paper)", "CIM gain (ours)", "CIM gain (paper)"});
+  for (const Table2Entry& e : table.entries) {
+    if (std::string(e.workload) != "10^6 additions") continue;
+    t.add_row({e.metric, sci_string(e.conventional), sci_string(e.cim),
+               sci_string(e.paper_conventional), sci_string(e.paper_cim),
+               sci_string(e.improvement(), 2),
+               sci_string(e.paper_improvement(), 2)});
+  }
+  std::cout << t.to_text() << '\n'
+            << "Audit trail:\n"
+            << render_table2_audit(table) << '\n';
+}
+
+void print_functional() {
+  ParallelAddParams params;
+  params.operations = 4096;
+  params.width = 32;
+  params.adders = 256;
+  Rng rng(2015);
+  const auto r = run_parallel_add(params, presets::crs_cell(), rng);
+
+  TextTable t({"Functional CRS TC-adder farm (scaled down)", "value"});
+  t.add_row({"additions executed", std::to_string(params.operations)});
+  t.add_row({"mismatches vs golden", std::to_string(r.mismatches)});
+  t.add_row({"total pulses", std::to_string(r.total_pulses)});
+  t.add_row({"pulses per add (4N+5)",
+             std::to_string(r.total_pulses / params.operations)});
+  t.add_row({"batch latency", si_string(r.latency.value(), "s")});
+  t.add_row({"switching energy", si_string(r.total_energy.value(), "J")});
+  t.add_row({"energy per add (measured)",
+             si_string(r.total_energy.value() /
+                           static_cast<double>(params.operations),
+                       "J")});
+  t.add_row({"energy per add (Table 1 budget)", "256 fJ (8 ops/bit x 32 x 1 fJ)"});
+  std::cout << t.to_text() << '\n';
+}
+
+void BM_TcAdderFarm(benchmark::State& state) {
+  ParallelAddParams params;
+  params.operations = static_cast<std::size_t>(state.range(0));
+  params.width = 32;
+  params.adders = 64;
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(
+        run_parallel_add(params, presets::crs_cell(), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TcAdderFarm)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Table 2 / 10^6 additions: conventional vs CIM ===\n\n";
+  print_analytical();
+  print_functional();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "arch/cost_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace memcim {
+
+const char* to_string(ComputeUnit u) {
+  switch (u) {
+    case ComputeUnit::kComparator: return "comparator";
+    case ComputeUnit::kAdder32: return "adder32";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Expected memory time of one operation at the 1 GHz controller clock.
+Time memory_time_per_op(const WorkloadSpec& spec, const FinfetTech& finfet,
+                        const CacheSpec& cache_template) {
+  CacheSpec cache = cache_template;
+  cache.hit_ratio = spec.hit_ratio;
+  const double cycles = spec.reads_per_op * cache.read_cycles() +
+                        spec.writes_per_op * cache.write_cycles;
+  return finfet.cycle() * cycles;
+}
+
+struct UnitNumbers {
+  Time compute_latency{0.0};
+  Energy dynamic_energy{0.0};
+  Area area{0.0};
+  double gates = 0.0;  ///< CMOS gate count (0 for memristive units)
+};
+
+UnitNumbers conventional_unit(ComputeUnit unit, const Table1& t) {
+  UnitNumbers n;
+  switch (unit) {
+    case ComputeUnit::kComparator: {
+      n.compute_latency = t.cmos_comparator.latency(t.finfet);
+      n.gates = static_cast<double>(t.cmos_comparator.gates);
+      break;
+    }
+    case ComputeUnit::kAdder32: {
+      n.compute_latency = t.cla.latency(t.finfet);
+      n.gates = static_cast<double>(t.cla.gates);
+      break;
+    }
+  }
+  // Dynamic energy: every gate draws its active power for the unit's
+  // critical-path duration.
+  n.dynamic_energy = t.finfet.gate_power * n.gates * n.compute_latency;
+  n.area = t.finfet.gate_area * n.gates;
+  return n;
+}
+
+UnitNumbers cim_unit(ComputeUnit unit, const Table1& t) {
+  UnitNumbers n;
+  switch (unit) {
+    case ComputeUnit::kComparator:
+      n.compute_latency = t.cim_comparator.latency(t.memristor);
+      n.dynamic_energy = t.cim_comparator.dynamic_energy;
+      n.area = t.cim_comparator.area;
+      break;
+    case ComputeUnit::kAdder32:
+      n.compute_latency = t.cim_adder.latency(t.memristor);
+      n.dynamic_energy = t.cim_adder.dynamic_energy;
+      n.area = t.cim_adder.area;
+      break;
+  }
+  return n;
+}
+
+/// The CIM crossbar's storage capacity "is assumed to be equal to the
+/// sum of all caches for the CMOS based computer" (Table 1); the paper
+/// sizes it as clusters·8192 memristive junctions.
+Area cim_memory_area(const ClusterSpec& clusters, const Table1& t) {
+  const double devices =
+      static_cast<double>(clusters.clusters) * 8.0 * 1024.0;
+  return t.memristor.device_area * devices;
+}
+
+}  // namespace
+
+ArchCost evaluate_conventional(const WorkloadSpec& spec, const Table1& t) {
+  MEMCIM_CHECK(spec.operations > 0.0 && spec.parallel_units >= 1.0);
+  const UnitNumbers unit = conventional_unit(spec.unit, t);
+  const ClusterSpec& clusters = spec.unit == ComputeUnit::kComparator
+                                    ? t.clusters_dna
+                                    : t.clusters_math;
+  const CacheSpec& cache = spec.unit == ComputeUnit::kComparator
+                               ? t.cache_dna
+                               : t.cache_math;
+
+  ArchCost cost;
+  cost.arch = "conventional";
+  cost.operations = spec.operations;
+  const Time t_mem = memory_time_per_op(spec, t.finfet, cache);
+  cost.time_per_op = t_mem + unit.compute_latency;
+
+  // Energy per operation: cluster-cache static power for the whole
+  // operation (the paper's dominant term), plus gate dynamics and gate
+  // leakage while waiting on memory.
+  const Energy e_cache = cache.static_power * cost.time_per_op;
+  const Energy e_leak = t.finfet.gate_leakage * unit.gates * t_mem;
+  cost.energy_per_op = e_cache + unit.dynamic_energy + e_leak;
+
+  const double batches = std::ceil(spec.operations / spec.parallel_units);
+  cost.total_time = cost.time_per_op * batches;
+  cost.total_energy = cost.energy_per_op * spec.operations;
+
+  const double n_clusters = static_cast<double>(clusters.clusters);
+  const double n_units = static_cast<double>(clusters.units_per_cluster);
+  cost.total_area = (cache.area + unit.area * n_units) * n_clusters;
+  return cost;
+}
+
+ArchCost evaluate_cim(const WorkloadSpec& spec, const Table1& t) {
+  MEMCIM_CHECK(spec.operations > 0.0 && spec.parallel_units >= 1.0);
+  const UnitNumbers unit = cim_unit(spec.unit, t);
+  const ClusterSpec& clusters = spec.unit == ComputeUnit::kComparator
+                                    ? t.clusters_dna
+                                    : t.clusters_math;
+  const CacheSpec& cache = spec.unit == ComputeUnit::kComparator
+                               ? t.cache_dna
+                               : t.cache_math;
+
+  ArchCost cost;
+  cost.arch = "cim";
+  cost.operations = spec.operations;
+  const Time t_mem = memory_time_per_op(spec, t.finfet, cache);
+  cost.time_per_op = t_mem + unit.compute_latency;
+
+  // Non-volatile crossbar: zero static energy; the operation costs the
+  // memristive unit's dynamic energy only.
+  cost.energy_per_op = unit.dynamic_energy;
+
+  const double batches = std::ceil(spec.operations / spec.parallel_units);
+  cost.total_time = cost.time_per_op * batches;
+  cost.total_energy = cost.energy_per_op * spec.operations;
+
+  cost.total_area = unit.area * spec.parallel_units +
+                    cim_memory_area(clusters, t);
+  return cost;
+}
+
+WorkloadSpec dna_workload_spec(const Table1& t) {
+  WorkloadSpec spec;
+  spec.name = "DNA sequencing";
+  spec.unit = ComputeUnit::kComparator;
+  spec.operations = dna_comparison_count(50.0, 3e9, 100.0);
+  spec.reads_per_op = 2.0;
+  spec.writes_per_op = 1.0;
+  spec.hit_ratio = t.cache_dna.hit_ratio;
+  spec.parallel_units =
+      static_cast<double>(t.clusters_dna.clusters) *
+      static_cast<double>(t.clusters_dna.units_per_cluster);
+  return spec;
+}
+
+WorkloadSpec math_workload_spec(const Table1& t) {
+  WorkloadSpec spec;
+  spec.name = "10^6 additions";
+  spec.unit = ComputeUnit::kAdder32;
+  spec.operations = 1e6;
+  spec.reads_per_op = 2.0;
+  spec.writes_per_op = 1.0;
+  spec.hit_ratio = t.cache_math.hit_ratio;
+  spec.parallel_units = 1e6;  // "fully scalable reusing clusters"
+  return spec;
+}
+
+double dna_comparison_count(double coverage, double genome_bases,
+                            double read_length) {
+  MEMCIM_CHECK(coverage > 0.0 && genome_bases > 0.0 && read_length > 0.0);
+  const double short_reads = coverage * genome_bases / read_length;
+  return 4.0 * short_reads;  // one comparison per A, C, G, T
+}
+
+}  // namespace memcim

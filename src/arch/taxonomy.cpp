@@ -1,0 +1,66 @@
+#include "arch/taxonomy.h"
+
+namespace memcim {
+
+using namespace memcim::literals;
+
+const char* to_string(SystemClass c) {
+  switch (c) {
+    case SystemClass::kMainMemoryEra: return "(a) main-memory era";
+    case SystemClass::kCacheEra: return "(b) cache era";
+    case SystemClass::kParallelCores: return "(c) parallel cores";
+    case SystemClass::kProcessorInMemory: return "(d) processor-in-memory";
+    case SystemClass::kComputationInMemory: return "(e) computation-in-memory";
+  }
+  return "?";
+}
+
+std::vector<TaxonomyPoint> taxonomy_survey() {
+  struct ClassSpec {
+    SystemClass cls;
+    const char* location;
+    Time access_latency;
+    Energy access_energy;
+  };
+  // Access cost of reaching the working set, per operand (Horowitz
+  // ISSCC'14-class numbers, paper ref [4]):
+  //   DRAM ≈ 100 ns / 2 nJ; L2/L3 ≈ 10 ns / 100 pJ (average over the
+  //   hierarchy under contention); L1 ≈ 1 ns / 10 pJ; PIM-local SRAM ≈
+  //   2 ns / 5 pJ (no interconnect crossing); CIM crossbar: operands
+  //   already at the compute site — one memristor access.
+  static const ClassSpec kClasses[] = {
+      {SystemClass::kMainMemoryEra, "main memory (DRAM)", 100.0_ns,
+       Energy(2e-9)},
+      {SystemClass::kCacheEra, "cache hierarchy", 10.0_ns, Energy(100e-12)},
+      {SystemClass::kParallelCores, "shared L1 caches", 1.0_ns,
+       Energy(10e-12)},
+      {SystemClass::kProcessorInMemory, "memory-side SRAM", 2.0_ns,
+       Energy(5e-12)},
+      {SystemClass::kComputationInMemory, "the crossbar itself", 0.2_ns,
+       Energy(1e-15)},
+  };
+  // The computation itself: ~4 pJ for a 32-bit op (ref [4] reports the
+  // multiply at < 4 pJ vs 70 pJ for the full instruction) in ~0.25 ns.
+  const Energy compute_energy(4e-12);
+  const Time compute_latency = 252.0_ps;
+
+  std::vector<TaxonomyPoint> points;
+  points.reserve(std::size(kClasses));
+  for (const ClassSpec& c : kClasses) {
+    TaxonomyPoint p;
+    p.cls = c.cls;
+    p.working_set_location = c.location;
+    p.access_latency = c.access_latency;
+    p.access_energy = c.access_energy;
+    // 2 operand fetches + compute + 1 result store.
+    p.op_latency = c.access_latency * 3.0 + compute_latency;
+    p.op_energy = c.access_energy * 3.0 + compute_energy;
+    p.movement_energy_share =
+        (c.access_energy * 3.0) / p.op_energy;
+    p.movement_time_share = (c.access_latency * 3.0) / p.op_latency;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace memcim

@@ -1,0 +1,43 @@
+// The working-set taxonomy of Figure 1: computing systems classified by
+// where the working set lives, from the pre-cache von Neumann machine
+// (a) through today's parallel multi-cores (c), processor-in-memory
+// (d), to the proposed computation-in-memory crossbar (e).
+//
+// For each class we model one representative operation (a 32-bit ALU op
+// on 2 operands + 1 result) and ask the Figure-2 question: what share
+// of the operation's energy and latency is *data movement* rather than
+// computation?  The per-hop access numbers follow the Horowitz ISSCC'14
+// energy survey the paper cites as ref [4] (45 nm class, rounded).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace memcim {
+
+enum class SystemClass {
+  kMainMemoryEra,      ///< (a) working set in main memory (pre-1980s)
+  kCacheEra,           ///< (b) working set in the cache hierarchy
+  kParallelCores,      ///< (c) many cores + shared caches (today)
+  kProcessorInMemory,  ///< (d) accelerators beside the memory (PIM)
+  kComputationInMemory ///< (e) storage and compute in one crossbar (CIM)
+};
+
+[[nodiscard]] const char* to_string(SystemClass c);
+
+struct TaxonomyPoint {
+  SystemClass cls;
+  const char* working_set_location;
+  Time access_latency;           ///< one operand fetch
+  Energy access_energy;          ///< one operand fetch
+  Time op_latency;               ///< full op: 2 fetches + compute + store
+  Energy op_energy;              ///< full op energy
+  double movement_energy_share;  ///< data movement / total energy
+  double movement_time_share;    ///< data movement / total latency
+};
+
+/// The Figure 1 series, classes (a) → (e).
+[[nodiscard]] std::vector<TaxonomyPoint> taxonomy_survey();
+
+}  // namespace memcim

@@ -1,0 +1,52 @@
+// Error handling primitives for memcim.
+//
+// Policy (see DESIGN.md §6): constructor failures and precondition
+// violations throw `memcim::Error`; recoverable "the math did not
+// converge"-style outcomes are reported through return values.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace memcim {
+
+/// Base exception for all memcim failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MEMCIM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace memcim
+
+/// Precondition / invariant check that is always on (not assert()):
+/// simulator inputs come from user code and config files, so violations
+/// must be diagnosable in release builds.
+#define MEMCIM_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::memcim::detail::raise_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                        \
+  } while (false)
+
+#define MEMCIM_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream memcim_check_os_;                                   \
+      memcim_check_os_ << msg;                                               \
+      ::memcim::detail::raise_check_failure(#expr, __FILE__, __LINE__,      \
+                                            memcim_check_os_.str());         \
+    }                                                                        \
+  } while (false)

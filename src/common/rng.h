@@ -1,0 +1,42 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in memcim (device variability, workload
+// generation, fault injection) flows through `Rng`, so a fixed seed
+// reproduces a simulation bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace memcim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xC1Au) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Lognormal parameterized by the *median* and the sigma of ln(x):
+  /// the conventional way memristor R_on/R_off spreads are reported.
+  [[nodiscard]] double lognormal_median(double median, double sigma_ln);
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Derive an independent child stream (e.g. one per crossbar device).
+  [[nodiscard]] Rng fork();
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace memcim

@@ -1,0 +1,147 @@
+#include "common/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace memcim {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void SparseMatrix::add(std::size_t r, std::size_t c, double value) {
+  MEMCIM_CHECK_MSG(r < rows_ && c < cols_,
+                   "sparse add out of range: (" << r << ',' << c << ')');
+  triplets_.push_back({r, c, value});
+  finalized_ = false;
+}
+
+void SparseMatrix::finalize() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.r != b.r ? a.r < b.r : a.c < b.c;
+            });
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  col_idx_.reserve(triplets_.size());
+  values_.reserve(triplets_.size());
+
+  for (std::size_t i = 0; i < triplets_.size();) {
+    const std::size_t r = triplets_[i].r;
+    const std::size_t c = triplets_[i].c;
+    double sum = 0.0;
+    while (i < triplets_.size() && triplets_[i].r == r && triplets_[i].c == c) {
+      sum += triplets_[i].v;
+      ++i;
+    }
+    col_idx_.push_back(c);
+    values_.push_back(sum);
+    row_ptr_[r + 1] = col_idx_.size();
+  }
+  // Rows with no entries inherit the running prefix.
+  for (std::size_t r = 1; r <= rows_; ++r)
+    row_ptr_[r] = std::max(row_ptr_[r], row_ptr_[r - 1]);
+  finalized_ = true;
+}
+
+std::size_t SparseMatrix::nonzeros() const {
+  MEMCIM_CHECK(finalized_);
+  return values_.size();
+}
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {
+  MEMCIM_CHECK_MSG(finalized_, "multiply() on a non-finalized SparseMatrix");
+  MEMCIM_CHECK_MSG(x.size() == cols_, "sparse matvec size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += values_[k] * x[col_idx_[k]];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::diagonal() const {
+  MEMCIM_CHECK(finalized_);
+  std::vector<double> d(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      if (col_idx_[k] == r) d[r] = values_[k];
+  return d;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  MEMCIM_CHECK(finalized_);
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      m(r, col_idx_[k]) += values_[k];
+  return m;
+}
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+}
+
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
+                            const CgOptions& options) {
+  MEMCIM_CHECK_MSG(a.rows() == a.cols(), "CG requires a square matrix");
+  MEMCIM_CHECK_MSG(b.size() == a.rows(), "CG rhs size mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 10 * n;
+
+  // Jacobi preconditioner M = diag(A); zero diagonals fall back to 1.
+  std::vector<double> inv_diag = a.diagonal();
+  for (double& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  std::vector<double> r = b;  // r = b - A·0
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double target = options.tolerance * b_norm;
+
+  std::vector<double> z(n), p(n), ap;
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    ap = a.multiply(p);
+    const double p_ap = dot(p, ap);
+    MEMCIM_CHECK_MSG(p_ap > 0.0, "CG: matrix is not positive definite");
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    result.iterations = it + 1;
+    const double r_norm = norm2(r);
+    if (r_norm <= target) {
+      result.residual_norm = r_norm;
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual_norm = norm2(r);
+  return result;
+}
+
+}  // namespace memcim

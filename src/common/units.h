@@ -1,0 +1,193 @@
+// Dimension-checked physical quantities.
+//
+// Every physical number in memcim (device energies, gate delays, chip
+// areas, ...) is carried as a `Quantity` whose SI dimension is part of
+// the type: adding a time to an energy, or passing a resistance where a
+// conductance is expected, is a compile error.  The representation is a
+// single double, so there is zero runtime overhead.
+//
+// The dimension basis is (mass, length, time, current); that spans every
+// unit the simulator needs (V, A, Ω, S, J, W, C, Hz, m, m²).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+#include <string>
+
+namespace memcim {
+
+/// A physical quantity with dimension  kg^M · m^L · s^T · A^I.
+template <int M, int L, int T, int I>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  /// Numeric value in base SI units (kg, m, s, A and their products).
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity rhs) {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs) {
+    value_ -= rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr Quantity operator-() const { return Quantity(-value_); }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(s * a.value_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.value_ / s);
+  }
+  /// Ratio of two same-dimension quantities is a plain number.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+// Dimension algebra: multiplying/dividing quantities adds/subtracts exponents.
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+[[nodiscard]] constexpr auto operator*(Quantity<M1, L1, T1, I1> a,
+                                       Quantity<M2, L2, T2, I2> b) {
+  return Quantity<M1 + M2, L1 + L2, T1 + T2, I1 + I2>(a.value() * b.value());
+}
+
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+  requires(M1 != M2 || L1 != L2 || T1 != T2 || I1 != I2)
+[[nodiscard]] constexpr auto operator/(Quantity<M1, L1, T1, I1> a,
+                                       Quantity<M2, L2, T2, I2> b) {
+  return Quantity<M1 - M2, L1 - L2, T1 - T2, I1 - I2>(a.value() / b.value());
+}
+
+template <int M, int L, int T, int I>
+  requires(M != 0 || L != 0 || T != 0 || I != 0)
+[[nodiscard]] constexpr auto operator/(double s, Quantity<M, L, T, I> q) {
+  return Quantity<-M, -L, -T, -I>(s / q.value());
+}
+
+// ---------------------------------------------------------------------------
+// Named dimensions.
+// ---------------------------------------------------------------------------
+using Scalar = Quantity<0, 0, 0, 0>;
+using Time = Quantity<0, 0, 1, 0>;
+using Frequency = Quantity<0, 0, -1, 0>;
+using Length = Quantity<0, 1, 0, 0>;
+using Area = Quantity<0, 2, 0, 0>;
+using Current = Quantity<0, 0, 0, 1>;
+using Charge = Quantity<0, 0, 1, 1>;
+using Energy = Quantity<1, 2, -2, 0>;
+using Power = Quantity<1, 2, -3, 0>;
+using Voltage = Quantity<1, 2, -3, -1>;
+using Resistance = Quantity<1, 2, -3, -2>;
+using Conductance = Quantity<-1, -2, 3, 2>;
+/// Energy·time — the numerator of the paper's "energy-delay per operation".
+using EnergyDelay = Quantity<1, 2, -1, 0>;
+
+static_assert(std::is_same_v<decltype(Voltage{} * Current{}), Power>);
+static_assert(std::is_same_v<decltype(Voltage{} / Current{}), Resistance>);
+static_assert(std::is_same_v<decltype(Voltage{} * Conductance{}), Current>);
+static_assert(std::is_same_v<decltype(Power{} * Time{}), Energy>);
+static_assert(std::is_same_v<decltype(Energy{} * Time{}), EnergyDelay>);
+static_assert(std::is_same_v<decltype(Current{} * Time{}), Charge>);
+static_assert(std::is_same_v<decltype(Length{} * Length{}), Area>);
+static_assert(std::is_same_v<decltype(1.0 / Time{}), Frequency>);
+static_assert(std::is_same_v<decltype(1.0 / Resistance{}), Conductance>);
+
+/// |q| of a quantity.
+template <int M, int L, int T, int I>
+[[nodiscard]] inline Quantity<M, L, T, I> abs(Quantity<M, L, T, I> q) {
+  return Quantity<M, L, T, I>(std::abs(q.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Literals.  Usage: `using namespace memcim::literals;  auto t = 200.0_ps;`
+// ---------------------------------------------------------------------------
+namespace literals {
+
+// Time.
+constexpr Time operator""_s(long double v) { return Time(double(v)); }
+constexpr Time operator""_ms(long double v) { return Time(double(v) * 1e-3); }
+constexpr Time operator""_us(long double v) { return Time(double(v) * 1e-6); }
+constexpr Time operator""_ns(long double v) { return Time(double(v) * 1e-9); }
+constexpr Time operator""_ps(long double v) { return Time(double(v) * 1e-12); }
+
+// Frequency.
+constexpr Frequency operator""_Hz(long double v) { return Frequency(double(v)); }
+constexpr Frequency operator""_MHz(long double v) { return Frequency(double(v) * 1e6); }
+constexpr Frequency operator""_GHz(long double v) { return Frequency(double(v) * 1e9); }
+
+// Length / area.
+constexpr Length operator""_m(long double v) { return Length(double(v)); }
+constexpr Length operator""_mm(long double v) { return Length(double(v) * 1e-3); }
+constexpr Length operator""_um(long double v) { return Length(double(v) * 1e-6); }
+constexpr Length operator""_nm(long double v) { return Length(double(v) * 1e-9); }
+constexpr Area operator""_m2(long double v) { return Area(double(v)); }
+constexpr Area operator""_mm2(long double v) { return Area(double(v) * 1e-6); }
+constexpr Area operator""_um2(long double v) { return Area(double(v) * 1e-12); }
+constexpr Area operator""_nm2(long double v) { return Area(double(v) * 1e-18); }
+
+// Electrical.
+constexpr Voltage operator""_V(long double v) { return Voltage(double(v)); }
+constexpr Voltage operator""_mV(long double v) { return Voltage(double(v) * 1e-3); }
+constexpr Current operator""_A(long double v) { return Current(double(v)); }
+constexpr Current operator""_mA(long double v) { return Current(double(v) * 1e-3); }
+constexpr Current operator""_uA(long double v) { return Current(double(v) * 1e-6); }
+constexpr Current operator""_nA(long double v) { return Current(double(v) * 1e-9); }
+constexpr Resistance operator""_ohm(long double v) { return Resistance(double(v)); }
+constexpr Resistance operator""_kohm(long double v) { return Resistance(double(v) * 1e3); }
+constexpr Resistance operator""_Mohm(long double v) { return Resistance(double(v) * 1e6); }
+constexpr Conductance operator""_S(long double v) { return Conductance(double(v)); }
+constexpr Conductance operator""_uS(long double v) { return Conductance(double(v) * 1e-6); }
+
+// Energy / power.
+constexpr Energy operator""_J(long double v) { return Energy(double(v)); }
+constexpr Energy operator""_pJ(long double v) { return Energy(double(v) * 1e-12); }
+constexpr Energy operator""_fJ(long double v) { return Energy(double(v) * 1e-15); }
+constexpr Power operator""_W(long double v) { return Power(double(v)); }
+constexpr Power operator""_mW(long double v) { return Power(double(v) * 1e-3); }
+constexpr Power operator""_uW(long double v) { return Power(double(v) * 1e-6); }
+constexpr Power operator""_nW(long double v) { return Power(double(v) * 1e-9); }
+
+}  // namespace literals
+
+/// Format a plain number with an engineering (SI) prefix, e.g. 2.34e-9 →
+/// "2.34 n".  `unit` is appended after the prefix ("2.34 ns").
+[[nodiscard]] std::string si_string(double value, const std::string& unit,
+                                    int precision = 3);
+
+template <int M, int L, int T, int I>
+std::ostream& operator<<(std::ostream& os, Quantity<M, L, T, I> q) {
+  return os << q.value();
+}
+
+}  // namespace memcim

@@ -1,0 +1,42 @@
+#include "conv/cluster.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace memcim {
+
+ClusterRunResult run_cluster(const std::vector<MemoryTrace>& core_traces,
+                             const CacheConfig& cache_cfg,
+                             const ClusterTiming& timing) {
+  MEMCIM_CHECK_MSG(!core_traces.empty(), "cluster needs at least one core");
+  MEMCIM_CHECK(timing.clock.value() > 0.0);
+
+  SetAssociativeCache cache(cache_cfg);
+  ClusterRunResult result;
+  result.core_cycles.assign(core_traces.size(), 0.0);
+
+  // Round-robin interleave until every trace is drained.
+  std::vector<std::size_t> cursor(core_traces.size(), 0);
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (std::size_t core = 0; core < core_traces.size(); ++core) {
+      const auto& accesses = core_traces[core].accesses();
+      if (cursor[core] >= accesses.size()) continue;
+      any_left = true;
+      const MemoryAccess& a = accesses[cursor[core]++];
+      const bool hit = cache.access(a.address, a.is_write);
+      result.core_cycles[core] +=
+          timing.compute_cycles_per_op +
+          (hit ? timing.hit_cycles : timing.miss_penalty_cycles);
+    }
+  }
+  result.cache = cache.stats();
+  const double worst =
+      *std::max_element(result.core_cycles.begin(), result.core_cycles.end());
+  result.wall_time = Time(worst / timing.clock.value());
+  return result;
+}
+
+}  // namespace memcim

@@ -1,0 +1,44 @@
+#include "crossbar/bias.h"
+
+#include "common/error.h"
+
+namespace memcim {
+
+const char* to_string(BiasScheme s) {
+  switch (s) {
+    case BiasScheme::kFloating: return "floating";
+    case BiasScheme::kGrounded: return "grounded";
+    case BiasScheme::kVHalf: return "v/2";
+    case BiasScheme::kVThird: return "v/3";
+  }
+  return "?";
+}
+
+LineBias access_bias(std::size_t rows, std::size_t cols, std::size_t row,
+                     std::size_t col, Voltage v_access, BiasScheme scheme) {
+  MEMCIM_CHECK_MSG(row < rows && col < cols, "access outside array");
+  LineBias bias;
+  bias.rows.assign(rows, std::nullopt);
+  bias.cols.assign(cols, std::nullopt);
+  switch (scheme) {
+    case BiasScheme::kFloating:
+      break;
+    case BiasScheme::kGrounded:
+      bias.rows.assign(rows, Voltage(0.0));
+      bias.cols.assign(cols, Voltage(0.0));
+      break;
+    case BiasScheme::kVHalf:
+      bias.rows.assign(rows, v_access / 2.0);
+      bias.cols.assign(cols, v_access / 2.0);
+      break;
+    case BiasScheme::kVThird:
+      bias.rows.assign(rows, v_access / 3.0);
+      bias.cols.assign(cols, v_access * (2.0 / 3.0));
+      break;
+  }
+  bias.rows[row] = v_access;
+  bias.cols[col] = Voltage(0.0);
+  return bias;
+}
+
+}  // namespace memcim

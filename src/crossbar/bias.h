@@ -1,0 +1,42 @@
+// Bias schemes for crossbar access — the third class of sneak-path
+// mitigation the paper lists in Section IV.B ("Bias schemes, where the
+// voltage bias applied to non-accessed wordlines and bitlines are set
+// to values different from those applied to accessed wordline and
+// bitlines in order to minimize the sneak path current").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+
+namespace memcim {
+
+enum class BiasScheme {
+  kFloating,  ///< unaccessed lines left floating (cheapest drivers,
+              ///< worst sneak currents — the Figure 3 "passive" case)
+  kGrounded,  ///< unaccessed lines at 0 V: sneak-free sensing, but the
+              ///< selected row burns current through its whole row
+  kVHalf,     ///< unaccessed rows & columns at V/2: unselected cells see
+              ///< 0 V, half-selected see V/2
+  kVThird,    ///< unaccessed rows at V/3, unaccessed columns at 2V/3:
+              ///< every unselected cell sees ±V/3
+};
+
+[[nodiscard]] const char* to_string(BiasScheme s);
+
+/// Per-line bias assignment: a driven voltage or floating (nullopt).
+struct LineBias {
+  std::vector<std::optional<Voltage>> rows;
+  std::vector<std::optional<Voltage>> cols;
+};
+
+/// Build the line-bias pattern for accessing cell (row, col) with
+/// amplitude `v_access` under `scheme`.  The selected column is driven
+/// to 0 V (the sense/ground side); the selected row to `v_access`.
+[[nodiscard]] LineBias access_bias(std::size_t rows, std::size_t cols,
+                                   std::size_t row, std::size_t col,
+                                   Voltage v_access, BiasScheme scheme);
+
+}  // namespace memcim

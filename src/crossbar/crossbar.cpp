@@ -1,0 +1,369 @@
+#include "crossbar/crossbar.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/matrix.h"
+#include "common/sparse.h"
+
+namespace memcim {
+
+namespace {
+
+/// Conductance floor keeping the nodal matrix nonsingular when lines
+/// float behind fully-HRS junctions; far below any device G_off.
+constexpr double kGFloor = 1e-15;
+
+/// Ideal drivers are stamped as a very stiff source resistance so the
+/// distributed formulation can keep every node as an unknown.
+constexpr double kIdealDriverOhms = 1e-3;
+
+}  // namespace
+
+const char* to_string(NetworkModel m) {
+  switch (m) {
+    case NetworkModel::kLumpedLines: return "lumped-lines";
+    case NetworkModel::kDistributed: return "distributed";
+  }
+  return "?";
+}
+
+CrossbarArray::CrossbarArray(const CrossbarConfig& config,
+                             const Device& prototype)
+    : config_(config) {
+  MEMCIM_CHECK_MSG(config_.rows > 0 && config_.cols > 0,
+                   "crossbar dimensions must be positive");
+  MEMCIM_CHECK(config_.wire_segment.value() > 0.0);
+  MEMCIM_CHECK(config_.driver.value() >= 0.0);
+  MEMCIM_CHECK(config_.damping > 0.0 && config_.damping <= 1.0);
+  devices_.reserve(config_.rows * config_.cols);
+  for (std::size_t i = 0; i < config_.rows * config_.cols; ++i)
+    devices_.push_back(prototype.clone());
+}
+
+Device& CrossbarArray::device(std::size_t r, std::size_t c) {
+  MEMCIM_CHECK(r < rows() && c < cols());
+  return *devices_[r * cols() + c];
+}
+
+const Device& CrossbarArray::device(std::size_t r, std::size_t c) const {
+  MEMCIM_CHECK(r < rows() && c < cols());
+  return *devices_[r * cols() + c];
+}
+
+void CrossbarArray::store_bit(std::size_t r, std::size_t c, bool bit) {
+  device(r, c).set_state(bit ? 1.0 : 0.0);
+}
+
+bool CrossbarArray::stored_bit(std::size_t r, std::size_t c) const {
+  return device(r, c).is_lrs();
+}
+
+CrossbarSolution CrossbarArray::solve(const LineBias& bias) const {
+  MEMCIM_CHECK_MSG(bias.rows.size() == rows() && bias.cols.size() == cols(),
+                   "bias vector sizes must match the array");
+  return config_.model == NetworkModel::kLumpedLines ? solve_lumped(bias)
+                                                     : solve_distributed(bias);
+}
+
+// ---------------------------------------------------------------------------
+// Lumped-line model: one node per word line and per bit line.
+// ---------------------------------------------------------------------------
+CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
+  const std::size_t m = rows(), n = cols();
+  const std::size_t lines = m + n;
+  const bool ideal_drivers = config_.driver.value() == 0.0;
+  const double g_drv =
+      ideal_drivers ? 0.0 : 1.0 / config_.driver.value();
+
+  // Line voltage estimate; driven lines start at their source value.
+  std::vector<double> v(lines, 0.0);
+  std::vector<bool> driven(lines, false);
+  std::vector<double> src(lines, 0.0);
+  for (std::size_t r = 0; r < m; ++r)
+    if (bias.rows[r]) {
+      driven[r] = true;
+      src[r] = bias.rows[r]->value();
+      v[r] = src[r];
+    }
+  for (std::size_t c = 0; c < n; ++c)
+    if (bias.cols[c]) {
+      driven[m + c] = true;
+      src[m + c] = bias.cols[c]->value();
+      v[m + c] = src[m + c];
+    }
+
+  // Unknowns: floating lines always; driven lines too unless drivers are
+  // ideal (then their voltage is pinned).
+  std::vector<std::ptrdiff_t> unknown_of(lines, -1);
+  std::size_t n_unknown = 0;
+  for (std::size_t l = 0; l < lines; ++l)
+    if (!driven[l] || !ideal_drivers)
+      unknown_of[l] = static_cast<std::ptrdiff_t>(n_unknown++);
+
+  CrossbarSolution sol;
+  sol.row_voltage.resize(m);
+  sol.col_voltage.resize(n);
+  sol.device_voltage.assign(m * n, 0.0);
+  sol.device_current.assign(m * n, 0.0);
+  sol.row_terminal_current.assign(m, 0.0);
+  sol.col_terminal_current.assign(n, 0.0);
+
+  std::vector<double> g(m * n, 0.0);
+  // Damping is adapted: stiff junction nonlinearities (sinh selectors)
+  // make the plain fixed point oscillate, so whenever the update grows
+  // we halve the step.
+  double lambda_adaptive = config_.damping;
+  double prev_max_dv = std::numeric_limits<double>::infinity();
+  for (std::size_t sweep = 0; sweep < config_.max_nonlinear_iterations;
+       ++sweep) {
+    // Chord conductance of every junction at the present estimate.
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        const Voltage vd(v[r] - v[m + c]);
+        g[r * n + c] = std::max(
+            kGFloor, devices_[r * n + c]->conductance(vd).value());
+      }
+
+    if (n_unknown > 0) {
+      SparseMatrix a(n_unknown, n_unknown);
+      std::vector<double> rhs(n_unknown, 0.0);
+      for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < n; ++c) {
+          const double grc = g[r * n + c];
+          const std::ptrdiff_t ur = unknown_of[r];
+          const std::ptrdiff_t uc = unknown_of[m + c];
+          if (ur >= 0) a.add(static_cast<std::size_t>(ur),
+                             static_cast<std::size_t>(ur), grc);
+          if (uc >= 0) a.add(static_cast<std::size_t>(uc),
+                             static_cast<std::size_t>(uc), grc);
+          if (ur >= 0 && uc >= 0) {
+            a.add(static_cast<std::size_t>(ur), static_cast<std::size_t>(uc),
+                  -grc);
+            a.add(static_cast<std::size_t>(uc), static_cast<std::size_t>(ur),
+                  -grc);
+          } else if (ur >= 0) {
+            rhs[static_cast<std::size_t>(ur)] += grc * v[m + c];
+          } else if (uc >= 0) {
+            rhs[static_cast<std::size_t>(uc)] += grc * v[r];
+          }
+        }
+      // Non-ideal drivers tie their line to the source.
+      if (!ideal_drivers)
+        for (std::size_t l = 0; l < lines; ++l)
+          if (driven[l]) {
+            const auto u = static_cast<std::size_t>(unknown_of[l]);
+            a.add(u, u, g_drv);
+            rhs[u] += g_drv * src[l];
+          }
+      a.finalize();
+
+      std::vector<double> x;
+      if (n_unknown <= 200) {
+        x = solve_dense(a.to_dense(), rhs);
+      } else {
+        auto cg = conjugate_gradient(a, rhs, {.tolerance = 1e-12});
+        MEMCIM_CHECK_MSG(cg.converged || cg.residual_norm < 1e-9,
+                         "crossbar CG failed to converge");
+        x = std::move(cg.x);
+      }
+
+      // Damped update (first sweep undamped so ohmic arrays settle in
+      // one solve).
+      const double lambda = sweep == 0 ? 1.0 : lambda_adaptive;
+      double max_dv = 0.0;
+      for (std::size_t l = 0; l < lines; ++l)
+        if (unknown_of[l] >= 0) {
+          const double target = x[static_cast<std::size_t>(unknown_of[l])];
+          const double next = lambda * target + (1.0 - lambda) * v[l];
+          max_dv = std::max(max_dv, std::abs(next - v[l]));
+          v[l] = next;
+        }
+      sol.nonlinear_iterations = sweep + 1;
+      if (sweep > 0 && max_dv < config_.nonlinear_tolerance) {
+        sol.converged = true;
+        break;
+      }
+      if (sweep > 0 && max_dv >= prev_max_dv)
+        lambda_adaptive = std::max(0.05, 0.5 * lambda_adaptive);
+      prev_max_dv = max_dv;
+    } else {
+      sol.nonlinear_iterations = 1;
+      sol.converged = true;
+      break;
+    }
+  }
+  if (!sol.converged && n_unknown == 0) sol.converged = true;
+
+  for (std::size_t r = 0; r < m; ++r) sol.row_voltage[r] = v[r];
+  for (std::size_t c = 0; c < n; ++c) sol.col_voltage[c] = v[m + c];
+
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      const double vd = v[r] - v[m + c];
+      sol.device_voltage[r * n + c] = vd;
+      sol.device_current[r * n + c] =
+          devices_[r * n + c]->current(Voltage(vd)).value();
+    }
+  // Terminal currents.
+  for (std::size_t r = 0; r < m; ++r) {
+    if (!driven[r]) continue;
+    if (ideal_drivers) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) sum += sol.device_current[r * n + c];
+      sol.row_terminal_current[r] = sum;
+    } else {
+      sol.row_terminal_current[r] = (src[r] - v[r]) * g_drv;
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!driven[m + c]) continue;
+    if (ideal_drivers) {
+      // Junction current is positive row→col, i.e. *into* the column
+      // node; the terminal convention is source→array, so negate.
+      double sum = 0.0;
+      for (std::size_t r = 0; r < m; ++r) sum += sol.device_current[r * n + c];
+      sol.col_terminal_current[c] = -sum;
+    } else {
+      sol.col_terminal_current[c] = (src[m + c] - v[m + c]) * g_drv;
+    }
+  }
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed model: a node per junction on each wire layer.
+// ---------------------------------------------------------------------------
+CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
+  const std::size_t m = rows(), n = cols();
+  MEMCIM_CHECK_MSG(m * n <= 64 * 64,
+                   "distributed model is intended for arrays up to 64x64; "
+                   "use kLumpedLines beyond that");
+  const std::size_t n_nodes = 2 * m * n;
+  const auto row_node = [n](std::size_t r, std::size_t c) { return r * n + c; };
+  const auto col_node = [m, n](std::size_t r, std::size_t c) {
+    return m * n + c * m + r;
+  };
+  const double g_wire = 1.0 / config_.wire_segment.value();
+  const double g_drv = 1.0 / (config_.driver.value() > 0.0
+                                  ? config_.driver.value()
+                                  : kIdealDriverOhms);
+
+  std::vector<double> v(n_nodes, 0.0);
+  // Seed driven lines so the first chord-conductance pass is sensible.
+  for (std::size_t r = 0; r < m; ++r)
+    if (bias.rows[r])
+      for (std::size_t c = 0; c < n; ++c)
+        v[row_node(r, c)] = bias.rows[r]->value();
+  for (std::size_t c = 0; c < n; ++c)
+    if (bias.cols[c])
+      for (std::size_t r = 0; r < m; ++r)
+        v[col_node(r, c)] = bias.cols[c]->value();
+
+  CrossbarSolution sol;
+  sol.row_voltage.resize(m);
+  sol.col_voltage.resize(n);
+  sol.device_voltage.assign(m * n, 0.0);
+  sol.device_current.assign(m * n, 0.0);
+  sol.row_terminal_current.assign(m, 0.0);
+  sol.col_terminal_current.assign(n, 0.0);
+
+  double lambda_adaptive = config_.damping;
+  double prev_max_dv = std::numeric_limits<double>::infinity();
+  for (std::size_t sweep = 0; sweep < config_.max_nonlinear_iterations;
+       ++sweep) {
+    SparseMatrix a(n_nodes, n_nodes);
+    std::vector<double> rhs(n_nodes, 0.0);
+    auto stamp = [&](std::size_t i, std::size_t j, double gc) {
+      a.add(i, i, gc);
+      a.add(j, j, gc);
+      a.add(i, j, -gc);
+      a.add(j, i, -gc);
+    };
+    // Wire segments along rows (driver at column 0) and columns (driver
+    // at row 0).
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c + 1 < n; ++c)
+        stamp(row_node(r, c), row_node(r, c + 1), g_wire);
+    for (std::size_t c = 0; c < n; ++c)
+      for (std::size_t r = 0; r + 1 < m; ++r)
+        stamp(col_node(r, c), col_node(r + 1, c), g_wire);
+    // Junction devices.
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        const Voltage vd(v[row_node(r, c)] - v[col_node(r, c)]);
+        const double gc = std::max(
+            kGFloor, devices_[r * n + c]->conductance(vd).value());
+        stamp(row_node(r, c), col_node(r, c), gc);
+      }
+    // Drivers.
+    for (std::size_t r = 0; r < m; ++r)
+      if (bias.rows[r]) {
+        const std::size_t node = row_node(r, 0);
+        a.add(node, node, g_drv);
+        rhs[node] += g_drv * bias.rows[r]->value();
+      }
+    for (std::size_t c = 0; c < n; ++c)
+      if (bias.cols[c]) {
+        const std::size_t node = col_node(0, c);
+        a.add(node, node, g_drv);
+        rhs[node] += g_drv * bias.cols[c]->value();
+      }
+    a.finalize();
+
+    const std::vector<double> x = solve_dense(a.to_dense(), rhs);
+    const double lambda = sweep == 0 ? 1.0 : lambda_adaptive;
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const double next = lambda * x[i] + (1.0 - lambda) * v[i];
+      max_dv = std::max(max_dv, std::abs(next - v[i]));
+      v[i] = next;
+    }
+    sol.nonlinear_iterations = sweep + 1;
+    if (sweep > 0 && max_dv < config_.nonlinear_tolerance) {
+      sol.converged = true;
+      break;
+    }
+    if (sweep > 0 && max_dv >= prev_max_dv)
+      lambda_adaptive = std::max(0.05, 0.5 * lambda_adaptive);
+    prev_max_dv = max_dv;
+  }
+
+  for (std::size_t r = 0; r < m; ++r) sol.row_voltage[r] = v[row_node(r, 0)];
+  for (std::size_t c = 0; c < n; ++c) sol.col_voltage[c] = v[col_node(0, c)];
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      const double vd = v[row_node(r, c)] - v[col_node(r, c)];
+      sol.device_voltage[r * n + c] = vd;
+      sol.device_current[r * n + c] =
+          devices_[r * n + c]->current(Voltage(vd)).value();
+    }
+  for (std::size_t r = 0; r < m; ++r)
+    if (bias.rows[r])
+      sol.row_terminal_current[r] =
+          (bias.rows[r]->value() - v[row_node(r, 0)]) * g_drv;
+  for (std::size_t c = 0; c < n; ++c)
+    if (bias.cols[c])
+      sol.col_terminal_current[c] =
+          (bias.cols[c]->value() - v[col_node(0, c)]) * g_drv;
+  return sol;
+}
+
+CrossbarSolution CrossbarArray::apply_pulse(const LineBias& bias, Time dt) {
+  CrossbarSolution sol = solve(bias);
+  const std::size_t n = cols();
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      devices_[r * n + c]->apply(Voltage(sol.device_voltage[r * n + c]), dt);
+  return sol;
+}
+
+Energy CrossbarArray::total_device_energy() const {
+  Energy total{0.0};
+  for (const auto& d : devices_) total += d->energy_dissipated();
+  return total;
+}
+
+}  // namespace memcim

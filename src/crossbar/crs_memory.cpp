@@ -1,0 +1,64 @@
+#include "crossbar/crs_memory.h"
+
+#include "common/error.h"
+
+namespace memcim {
+
+CrsMemory::CrsMemory(std::size_t rows, std::size_t cols,
+                     const CrsCellParams& cell_params)
+    : rows_(rows), cols_(cols) {
+  MEMCIM_CHECK_MSG(rows > 0 && cols > 0, "memory dimensions must be positive");
+  cells_.assign(rows * cols, CrsCell(cell_params));
+}
+
+CrsCell& CrsMemory::at(std::size_t r, std::size_t c) {
+  MEMCIM_CHECK(r < rows_ && c < cols_);
+  return cells_[r * cols_ + c];
+}
+
+const CrsCell& CrsMemory::cell(std::size_t r, std::size_t c) const {
+  MEMCIM_CHECK(r < rows_ && c < cols_);
+  return cells_[r * cols_ + c];
+}
+
+void CrsMemory::write(std::size_t r, std::size_t c, bool bit) {
+  at(r, c).write(bit);
+  ++writes_;
+}
+
+bool CrsMemory::read(std::size_t r, std::size_t c) {
+  const CrsReadResult result = at(r, c).read_with_writeback();
+  ++reads_;
+  if (result.destructive) ++destructive_reads_;
+  return result.bit;
+}
+
+void CrsMemory::write_word(std::size_t r, const std::vector<bool>& bits) {
+  MEMCIM_CHECK_MSG(bits.size() == cols_, "word width mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) write(r, c, bits[c]);
+}
+
+std::vector<bool> CrsMemory::read_word(std::size_t r) {
+  std::vector<bool> bits(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) bits[c] = read(r, c);
+  return bits;
+}
+
+std::uint64_t CrsMemory::total_pulses() const {
+  std::uint64_t total = 0;
+  for (const CrsCell& cell : cells_) total += cell.pulses();
+  return total;
+}
+
+Energy CrsMemory::total_energy() const {
+  Energy total{0.0};
+  for (const CrsCell& cell : cells_) total += cell.energy();
+  return total;
+}
+
+Time CrsMemory::total_time() const {
+  if (cells_.empty()) return Time(0.0);
+  return cells_.front().params().t_pulse * static_cast<double>(total_pulses());
+}
+
+}  // namespace memcim

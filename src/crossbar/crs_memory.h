@@ -1,0 +1,64 @@
+// A CRS-based crossbar memory bank with the full read/write protocol of
+// Section IV.B: destructive reads of '0' followed by automatic
+// write-back, per-transaction pulse and energy accounting.
+//
+// This is the behavioural (threshold state machine) model — sneak paths
+// are structurally absent in a CRS array, which is exactly the paper's
+// argument for using CRS junctions, so no network solve is needed for
+// functional operation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "device/crs.h"
+
+namespace memcim {
+
+class CrsMemory {
+ public:
+  CrsMemory(std::size_t rows, std::size_t cols,
+            const CrsCellParams& cell_params);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Write one bit (one full-amplitude pulse).
+  void write(std::size_t r, std::size_t c, bool bit);
+
+  /// Read one bit with write-back; counts the extra restore pulse when
+  /// the read was destructive.
+  [[nodiscard]] bool read(std::size_t r, std::size_t c);
+
+  /// Row-granular word access.
+  void write_word(std::size_t r, const std::vector<bool>& bits);
+  [[nodiscard]] std::vector<bool> read_word(std::size_t r);
+
+  [[nodiscard]] const CrsCell& cell(std::size_t r, std::size_t c) const;
+
+  // -- transaction statistics -----------------------------------------------
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t destructive_reads() const {
+    return destructive_reads_;
+  }
+  /// Total pulses across all cells (reads, write-backs and writes).
+  [[nodiscard]] std::uint64_t total_pulses() const;
+  /// Total switching energy across all cells.
+  [[nodiscard]] Energy total_energy() const;
+  /// Wall-clock time of all pulses issued so far (pulses are serialized
+  /// per bank in this model).
+  [[nodiscard]] Time total_time() const;
+
+ private:
+  [[nodiscard]] CrsCell& at(std::size_t r, std::size_t c);
+
+  std::size_t rows_, cols_;
+  std::vector<CrsCell> cells_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t destructive_reads_ = 0;
+};
+
+}  // namespace memcim

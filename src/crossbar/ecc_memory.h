@@ -1,0 +1,59 @@
+// SECDED-protected CRS memory — the production answer to the device
+// non-idealities of Section IV.A: with finite endurance (1e10–1e12
+// cycles) and disturb accumulation, a large crossbar bank needs error
+// correction to reach system-level reliability.  Hamming(13,8):
+// 8 data bits, 4 Hamming parity bits and one overall parity bit per
+// codeword — single-error correction, double-error detection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crossbar/crs_memory.h"
+
+namespace memcim {
+
+inline constexpr std::size_t kEccCodewordBits = 13;
+
+/// Encode one byte into a 13-bit SECDED codeword.
+[[nodiscard]] std::array<bool, kEccCodewordBits> ecc_encode(std::uint8_t data);
+
+struct EccDecodeResult {
+  std::uint8_t data = 0;
+  bool corrected = false;      ///< a single-bit error was repaired
+  bool uncorrectable = false;  ///< a double-bit error was detected
+};
+
+/// Decode a 13-bit codeword, correcting a single flipped bit.
+[[nodiscard]] EccDecodeResult ecc_decode(
+    const std::array<bool, kEccCodewordBits>& codeword);
+
+/// A byte-granular CRS memory bank with transparent SECDED.
+class EccCrsMemory {
+ public:
+  EccCrsMemory(std::size_t rows, const CrsCellParams& cell_params);
+
+  [[nodiscard]] std::size_t rows() const { return memory_.rows(); }
+
+  void write_byte(std::size_t row, std::uint8_t value);
+
+  /// Read with correction; on a single-bit error the corrected codeword
+  /// is scrubbed back into the array.
+  [[nodiscard]] EccDecodeResult read_byte(std::size_t row);
+
+  /// Fault injection: flip the stored bit at codeword position `bit`.
+  void inject_error(std::size_t row, std::size_t bit);
+
+  [[nodiscard]] std::uint64_t corrected_errors() const { return corrected_; }
+  [[nodiscard]] std::uint64_t uncorrectable_errors() const {
+    return uncorrectable_;
+  }
+  [[nodiscard]] const CrsMemory& raw() const { return memory_; }
+
+ private:
+  CrsMemory memory_;
+  std::uint64_t corrected_ = 0;
+  std::uint64_t uncorrectable_ = 0;
+};
+
+}  // namespace memcim

@@ -1,0 +1,96 @@
+// Cross-point junction options (Figure 3 right panel, Section IV.B
+// "Selector devices"): a memristive element alone (1R) or in series
+// with a diode (1D1R), a nonlinear two-terminal selector (1S1R), or an
+// access transistor (1T1R).
+//
+// Each selector composes over any `Device`; the series stack solves its
+// internal node by bisection exactly like the CRS, so junction current
+// and state evolution stay self-consistent.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "device/device.h"
+
+namespace memcim {
+
+/// Stateless two-terminal selector characteristic I(V).
+struct SelectorIv {
+  /// Must be strictly monotone increasing with I(0) = 0.
+  std::function<Current(Voltage)> current;
+  const char* name = "selector";
+};
+
+/// Exponential diode: I = I_s·(e^{V/nVt} − 1), reverse current −I_s.
+[[nodiscard]] SelectorIv diode_selector(Current saturation = Current(1e-12),
+                                        Voltage thermal = Voltage(0.026),
+                                        double ideality = 1.5);
+
+/// Symmetric nonlinear selector (NDR/threshold-type, paper ref [79]):
+/// I = g₀·v₀·sinh(V/v₀), where g₀ is the small-signal conductance.
+/// To suppress sneak paths g₀ must sit far below the memristor's LRS
+/// conductance (so the ~V/3 sneak legs are starved) while the sinh
+/// explosion at full read bias still feeds the selected cell; the
+/// defaults give a >1e6 full-bias/half-bias current ratio.
+[[nodiscard]] SelectorIv nonlinear_selector(Conductance g_on = Conductance(1e-7),
+                                            Voltage v0 = Voltage(0.04));
+
+/// A memristive device in series with a selector (1D1R / 1S1R).
+class SelectorDevice final : public Device {
+ public:
+  SelectorDevice(std::unique_ptr<Device> base, SelectorIv selector);
+
+  SelectorDevice(const SelectorDevice& other);
+  SelectorDevice& operator=(const SelectorDevice& other);
+
+  [[nodiscard]] Current current(Voltage v) const override;
+  void apply(Voltage v, Time dt) override;
+  [[nodiscard]] double state() const override { return base_->state(); }
+  void set_state(double x) override { base_->set_state(x); }
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+
+  [[nodiscard]] const Device& base() const { return *base_; }
+
+  /// Voltage across the memristive element when `v` is applied to the
+  /// stack (internal-node solution).
+  [[nodiscard]] Voltage device_share(Voltage v) const;
+
+ private:
+  std::unique_ptr<Device> base_;
+  SelectorIv selector_;
+};
+
+/// A memristive device gated by an access transistor (1T1R).  The gate
+/// is a digital control: enabled → R_on in series, disabled → R_off
+/// (effectively open, which is why 1T1R kills sneak paths outright).
+class TransistorDevice final : public Device {
+ public:
+  TransistorDevice(std::unique_ptr<Device> base,
+                   Resistance r_on = Resistance(2e3),
+                   Resistance r_off = Resistance(1e12));
+
+  TransistorDevice(const TransistorDevice& other);
+  TransistorDevice& operator=(const TransistorDevice& other);
+
+  void set_gate(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool gate() const { return enabled_; }
+
+  [[nodiscard]] Current current(Voltage v) const override;
+  void apply(Voltage v, Time dt) override;
+  [[nodiscard]] double state() const override { return base_->state(); }
+  void set_state(double x) override { base_->set_state(x); }
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+
+ private:
+  [[nodiscard]] Resistance series_resistance() const {
+    return enabled_ ? r_on_ : r_off_;
+  }
+
+  std::unique_ptr<Device> base_;
+  Resistance r_on_;
+  Resistance r_off_;
+  bool enabled_ = false;
+};
+
+}  // namespace memcim

@@ -1,0 +1,78 @@
+#include "crossbar/vmm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace memcim {
+
+CrossbarVmm::CrossbarVmm(const VmmConfig& config, const Device& prototype)
+    : config_(config), array_(config.array, prototype) {
+  MEMCIM_CHECK(config_.v_read.value() > 0.0);
+  // Probe the conductance window at the read voltage.
+  auto probe = prototype.clone();
+  probe->set_state(0.0);
+  g_min_ = probe->conductance(config_.v_read);
+  probe->set_state(1.0);
+  g_max_ = probe->conductance(config_.v_read);
+  MEMCIM_CHECK_MSG(g_max_.value() > g_min_.value(),
+                   "prototype must have a positive conductance window");
+  weights_.assign(inputs(), std::vector<double>(outputs(), 0.0));
+}
+
+void CrossbarVmm::program(const std::vector<std::vector<double>>& weights) {
+  MEMCIM_CHECK_MSG(weights.size() == inputs(), "weight row count mismatch");
+  for (std::size_t i = 0; i < inputs(); ++i) {
+    MEMCIM_CHECK_MSG(weights[i].size() == outputs(),
+                     "weight column count mismatch");
+    for (std::size_t j = 0; j < outputs(); ++j) {
+      const double w = weights[i][j];
+      MEMCIM_CHECK_MSG(w >= 0.0 && w <= 1.0, "weights must lie in [0,1]");
+      array_.device(i, j).set_state(w);
+      weights_[i][j] = w;
+    }
+  }
+}
+
+std::vector<double> CrossbarVmm::multiply(const std::vector<double>& x) const {
+  MEMCIM_CHECK_MSG(x.size() == inputs(), "input length mismatch");
+  LineBias bias;
+  bias.rows.resize(inputs());
+  bias.cols.assign(outputs(), Voltage(0.0));  // virtual-ground columns
+  double x_sum = 0.0;
+  for (std::size_t i = 0; i < inputs(); ++i) {
+    MEMCIM_CHECK_MSG(x[i] >= 0.0 && x[i] <= 1.0, "inputs must lie in [0,1]");
+    bias.rows[i] = config_.v_read * x[i];
+    x_sum += x[i];
+  }
+  const CrossbarSolution sol = array_.solve(bias);
+
+  // Column current: I_j = Σ G_ij·v_i.  Subtract the G_min pedestal and
+  // normalize to the weight window.
+  const double pedestal = g_min_.value() * config_.v_read.value() * x_sum;
+  const double scale =
+      config_.v_read.value() * (g_max_.value() - g_min_.value());
+  std::vector<double> y(outputs());
+  for (std::size_t j = 0; j < outputs(); ++j)
+    y[j] = (-sol.col_terminal_current[j] - pedestal) / scale;
+  return y;
+}
+
+std::vector<double> CrossbarVmm::golden(const std::vector<double>& x) const {
+  MEMCIM_CHECK(x.size() == inputs());
+  std::vector<double> y(outputs(), 0.0);
+  for (std::size_t j = 0; j < outputs(); ++j)
+    for (std::size_t i = 0; i < inputs(); ++i) y[j] += weights_[i][j] * x[i];
+  return y;
+}
+
+double CrossbarVmm::relative_error(const std::vector<double>& x) const {
+  const std::vector<double> analog = multiply(x);
+  const std::vector<double> exact = golden(x);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < outputs(); ++j)
+    worst = std::max(worst, std::abs(analog[j] - exact[j]));
+  return worst / static_cast<double>(inputs());
+}
+
+}  // namespace memcim

@@ -1,0 +1,63 @@
+// Analog vector–matrix multiplication on the crossbar — the paper's
+// closing pointer beyond digital CIM: memristors "may play a
+// significant role in … neural and analogue computing" (Section III.C)
+// and "complex self-learning neural networks" (ref [61]).
+//
+// The crossbar computes y = Wᵀ·x in one shot by physics: weights are
+// programmed as junction conductances G = G_min + w·(G_max − G_min),
+// inputs are applied as row voltages x·V_read (sub-threshold, so the
+// state is undisturbed), and each grounded column's current is the
+// weighted sum Σᵢ Gᵢⱼ·Vᵢ.  De-biasing the G_min offset and dividing by
+// V_read·(G_max−G_min) recovers the numeric product.
+//
+// Wire resistance (the distributed network model) introduces the
+// IR-drop error every analog-CIM design fights — quantified by
+// bench_ablation_vmm.
+#pragma once
+
+#include <vector>
+
+#include "crossbar/crossbar.h"
+
+namespace memcim {
+
+struct VmmConfig {
+  CrossbarConfig array{};       ///< rows = input length, cols = outputs
+  Voltage v_read{0.2};          ///< input full-scale voltage (sub-threshold)
+};
+
+class CrossbarVmm {
+ public:
+  /// `prototype` must expose a monotone state→conductance map; the
+  /// conductance window is probed from states 0 and 1.
+  CrossbarVmm(const VmmConfig& config, const Device& prototype);
+
+  [[nodiscard]] std::size_t inputs() const { return array_.rows(); }
+  [[nodiscard]] std::size_t outputs() const { return array_.cols(); }
+
+  /// Program weights w ∈ [0,1], w[i][j] = weight of input i on output j.
+  void program(const std::vector<std::vector<double>>& weights);
+
+  /// Analog multiply: x ∈ [0,1]^inputs → y ≈ Wᵀ·x (exact on ideal
+  /// wires/devices; IR-drop and device nonlinearity otherwise).
+  [[nodiscard]] std::vector<double> multiply(
+      const std::vector<double>& x) const;
+
+  /// Reference multiply with the *programmed* weights (digital golden).
+  [[nodiscard]] std::vector<double> golden(const std::vector<double>& x) const;
+
+  /// max_j |multiply − golden| over a given input, normalized to the
+  /// number of inputs (full-scale output).
+  [[nodiscard]] double relative_error(const std::vector<double>& x) const;
+
+  [[nodiscard]] const CrossbarArray& array() const { return array_; }
+
+ private:
+  VmmConfig config_;
+  CrossbarArray array_;
+  Conductance g_min_{0.0};
+  Conductance g_max_{0.0};
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace memcim

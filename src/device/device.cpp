@@ -1,0 +1,25 @@
+#include "device/device.h"
+
+#include <algorithm>
+
+namespace memcim {
+
+using namespace memcim::literals;
+
+Conductance Device::conductance(Voltage v) const {
+  Voltage probe = v;
+  if (std::abs(v.value()) < 1e-6) probe = 1.0_mV;
+  return current(probe) / probe;
+}
+
+void Device::record_step(Voltage v, Current i, Time dt, double x_before,
+                         double x_after) {
+  energy_ += abs(v * i) * dt;
+  const bool was_lrs = x_before >= 0.5;
+  const bool is_lrs_now = x_after >= 0.5;
+  if (was_lrs != is_lrs_now) ++switches_;
+}
+
+double clamp_state(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace memcim

@@ -1,0 +1,77 @@
+// Base interface for memristive device models.
+//
+// All models expose the same contract so crossbar circuits, stateful
+// logic and the architecture layer can mix device types freely:
+//
+//  * `current(v)`   — instantaneous I(V) at the present internal state,
+//  * `apply(v, dt)` — evolve the internal state under bias `v` for `dt`
+//                     and accumulate dissipated energy,
+//  * `state()`      — normalized state x ∈ [0,1]; x = 1 is the low
+//                     resistive state (LRS, logic '1'), x = 0 the high
+//                     resistive state (HRS, logic '0').
+//
+// Sign convention: positive voltage = potential of the top electrode
+// above the bottom electrode; for bipolar devices positive bias drives
+// SET (HRS→LRS) and negative bias drives RESET.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.h"
+
+namespace memcim {
+
+class Device {
+ public:
+  Device() = default;
+  Device(const Device&) = default;
+  Device& operator=(const Device&) = default;
+  virtual ~Device() = default;
+
+  /// Instantaneous current at bias `v` (state is not advanced).
+  [[nodiscard]] virtual Current current(Voltage v) const = 0;
+
+  /// Effective (chord) conductance I/V at bias `v`; at v = 0 the
+  /// small-signal limit is evaluated with a 1 mV probe.
+  [[nodiscard]] virtual Conductance conductance(Voltage v) const;
+
+  /// Advance internal state by `dt` under bias `v`, accumulating the
+  /// dissipated energy ∫ V·I dt (left-rectangle rule over the step).
+  virtual void apply(Voltage v, Time dt) = 0;
+
+  /// Normalized internal state in [0,1]; 1 = LRS.
+  [[nodiscard]] virtual double state() const = 0;
+
+  /// Force the internal state (e.g. initialization or test fixtures).
+  virtual void set_state(double x) = 0;
+
+  /// Deep copy preserving internal state.
+  [[nodiscard]] virtual std::unique_ptr<Device> clone() const = 0;
+
+  /// Digital view of the state with a 0.5 threshold.
+  [[nodiscard]] bool is_lrs() const { return state() >= 0.5; }
+
+  /// Energy dissipated by all apply() calls since construction/reset.
+  [[nodiscard]] Energy energy_dissipated() const { return energy_; }
+  void reset_energy() { energy_ = Energy(0.0); }
+
+  /// Number of completed resistive switching events (LRS↔HRS crossings);
+  /// drives endurance/wear-out modeling.
+  [[nodiscard]] std::uint64_t switch_count() const { return switches_; }
+
+ protected:
+  /// Book-keeping helper for subclasses: call from apply() with the
+  /// state before and after the step.
+  void record_step(Voltage v, Current i, Time dt, double x_before,
+                   double x_after);
+
+ private:
+  Energy energy_{0.0};
+  std::uint64_t switches_ = 0;
+};
+
+/// Clamp a state value into [0,1].
+[[nodiscard]] double clamp_state(double x);
+
+}  // namespace memcim

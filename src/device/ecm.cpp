@@ -1,0 +1,59 @@
+#include "device/ecm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace memcim {
+
+EcmDevice::EcmDevice(const EcmParams& params, double initial_state)
+    : params_(params), x_(clamp_state(initial_state)) {
+  MEMCIM_CHECK_MSG(params_.g_on.value() > params_.g_off.value() &&
+                       params_.g_off.value() > 0.0,
+                   "require G_on > G_off > 0");
+  MEMCIM_CHECK(params_.v_th_set.value() > 0.0);
+  MEMCIM_CHECK(params_.v_th_reset.value() < 0.0);
+  MEMCIM_CHECK(params_.v_write.value() >= params_.v_th_set.value());
+  MEMCIM_CHECK(params_.t_switch.value() > 0.0);
+  MEMCIM_CHECK(params_.kinetics_v0.value() > 0.0);
+  MEMCIM_CHECK(params_.reset_asymmetry >= 1.0);
+}
+
+Conductance EcmDevice::state_conductance() const {
+  const double ratio = params_.g_on.value() / params_.g_off.value();
+  return Conductance(params_.g_off.value() * std::pow(ratio, x_));
+}
+
+Current EcmDevice::current(Voltage v) const { return state_conductance() * v; }
+
+double EcmDevice::growth_rate(Voltage v) const {
+  const double v0 = params_.kinetics_v0.value();
+  // Normalize so that at ±v_write the magnitude is 1/t_switch (SET) or
+  // 1/(asymmetry·t_switch) (RESET).
+  const double sinh_at_write = std::sinh(params_.v_write.value() / v0);
+  if (v.value() > params_.v_th_set.value()) {
+    const double over = std::sinh(v.value() / v0) / sinh_at_write;
+    return over / params_.t_switch.value();
+  }
+  if (v.value() < params_.v_th_reset.value()) {
+    const double over = std::sinh(-v.value() / v0) / sinh_at_write;
+    return -over / (params_.reset_asymmetry * params_.t_switch.value());
+  }
+  return 0.0;
+}
+
+void EcmDevice::apply(Voltage v, Time dt) {
+  MEMCIM_CHECK(dt.value() >= 0.0);
+  const Current i = current(v);
+  const double x_before = x_;
+  x_ = clamp_state(x_ + growth_rate(v) * dt.value());
+  record_step(v, i, dt, x_before, x_);
+}
+
+void EcmDevice::set_state(double x) { x_ = clamp_state(x); }
+
+std::unique_ptr<Device> EcmDevice::clone() const {
+  return std::make_unique<EcmDevice>(*this);
+}
+
+}  // namespace memcim

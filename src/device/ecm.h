@@ -1,0 +1,57 @@
+// Electrochemical-metallization (ECM / CBRAM) device model — the
+// Ag/Cu-filament cell of the paper's Section IV.A (F = 10 nm [63],
+// < 10 ns switching [64], > 1e10 cycles [65], Ag-chalcogenide retention
+// [67]).
+//
+// Differences from the VCM model that the paper calls out and that we
+// reproduce:
+//
+//  * the state variable is the *filament length* (paper: "the filament
+//    length can be considered the state variable [68]");
+//  * conductance depends exponentially on the residual tunnelling gap:
+//    G(x) = G_off·(G_on/G_off)^x, not a linear mix;
+//  * growth follows Butler–Volmer-like sinh kinetics in the overdrive
+//    ("the strong non-linearity of the switching kinetics must be
+//    reflected by the model"), and dissolution (RESET) is slower than
+//    growth by an asymmetry factor.
+#pragma once
+
+#include "device/device.h"
+
+namespace memcim {
+
+struct EcmParams {
+  Conductance g_on{1.0 / 25e3};    ///< filament fully formed (R_on = 25 kΩ)
+  Conductance g_off{1.0 / 100e6};  ///< filament dissolved (R_off = 100 MΩ)
+  Voltage v_th_set{0.25};          ///< nucleation threshold (positive bias)
+  Voltage v_th_reset{-0.15};       ///< dissolution threshold (negative bias)
+  Voltage v_write{1.0};            ///< nominal write amplitude
+  Time t_switch{10e-9};            ///< full SET at +v_write (10 ns [64])
+  Voltage kinetics_v0{0.1};        ///< sinh kinetics scale
+  double reset_asymmetry = 3.0;    ///< RESET is this factor slower than SET
+};
+
+class EcmDevice final : public Device {
+ public:
+  explicit EcmDevice(const EcmParams& params, double initial_state = 0.0);
+
+  [[nodiscard]] Current current(Voltage v) const override;
+  void apply(Voltage v, Time dt) override;
+  [[nodiscard]] double state() const override { return x_; }
+  void set_state(double x) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+
+  [[nodiscard]] const EcmParams& params() const { return params_; }
+
+  /// Exponential gap conductance G(x) = G_off·(G_on/G_off)^x.
+  [[nodiscard]] Conductance state_conductance() const;
+
+  /// Signed filament growth rate dx/dt (1/s) at bias `v`.
+  [[nodiscard]] double growth_rate(Voltage v) const;
+
+ private:
+  EcmParams params_;
+  double x_;  ///< normalized filament length; 1 = contact (LRS)
+};
+
+}  // namespace memcim

@@ -1,0 +1,74 @@
+#include "device/linear_ion_drift.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace memcim {
+
+const char* to_string(WindowFunction w) {
+  switch (w) {
+    case WindowFunction::kNone: return "none";
+    case WindowFunction::kJoglekar: return "joglekar";
+    case WindowFunction::kBiolek: return "biolek";
+    case WindowFunction::kProdromakis: return "prodromakis";
+  }
+  return "?";
+}
+
+LinearIonDriftDevice::LinearIonDriftDevice(const LinearIonDriftParams& params,
+                                           double initial_state)
+    : params_(params), x_(clamp_state(initial_state)) {
+  MEMCIM_CHECK_MSG(params_.r_on.value() > 0.0 &&
+                       params_.r_off.value() > params_.r_on.value(),
+                   "require 0 < R_on < R_off");
+  MEMCIM_CHECK(params_.depth.value() > 0.0 && params_.mobility > 0.0);
+  MEMCIM_CHECK(params_.window_p >= 1.0 && params_.window_j > 0.0);
+}
+
+Resistance LinearIonDriftDevice::resistance() const {
+  return params_.r_on * x_ + params_.r_off * (1.0 - x_);
+}
+
+Current LinearIonDriftDevice::current(Voltage v) const {
+  return v / resistance();
+}
+
+double LinearIonDriftDevice::window_value(double x, double current_sign) const {
+  switch (params_.window) {
+    case WindowFunction::kNone:
+      return 1.0;
+    case WindowFunction::kJoglekar:
+      return 1.0 - std::pow(2.0 * x - 1.0, 2.0 * params_.window_p);
+    case WindowFunction::kBiolek: {
+      // stp(−i): 1 when current flows toward RESET (x shrinking).
+      const double stp = current_sign < 0.0 ? 1.0 : 0.0;
+      return 1.0 - std::pow(x - stp, 2.0 * params_.window_p);
+    }
+    case WindowFunction::kProdromakis: {
+      const double term = (x - 0.5) * (x - 0.5) + 0.75;
+      return params_.window_j * (1.0 - std::pow(term, params_.window_p));
+    }
+  }
+  return 1.0;
+}
+
+void LinearIonDriftDevice::apply(Voltage v, Time dt) {
+  MEMCIM_CHECK(dt.value() >= 0.0);
+  const Current i = current(v);
+  const double x_before = x_;
+  // dx/dt = k · i · f(x) with k = μ_v·R_on/D².
+  const double k = params_.mobility * params_.r_on.value() /
+                   (params_.depth.value() * params_.depth.value());
+  const double f = window_value(x_, i.value() >= 0.0 ? 1.0 : -1.0);
+  x_ = clamp_state(x_ + k * i.value() * f * dt.value());
+  record_step(v, i, dt, x_before, x_);
+}
+
+void LinearIonDriftDevice::set_state(double x) { x_ = clamp_state(x); }
+
+std::unique_ptr<Device> LinearIonDriftDevice::clone() const {
+  return std::make_unique<LinearIonDriftDevice>(*this);
+}
+
+}  // namespace memcim

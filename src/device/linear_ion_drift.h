@@ -1,0 +1,69 @@
+// Linear ion-drift memristor (Strukov et al., Nature 2008 — paper
+// ref [39]) with the standard window functions that bound dopant
+// drift at the device edges.
+//
+// The device is modelled as two resistors in series: a doped region of
+// normalized width x with resistance x·R_on and an undoped region with
+// (1−x)·R_off.  The state equation is
+//
+//    dx/dt = (μ_v · R_on / D²) · i(t) · f(x)
+//
+// where f is the window function.  The paper's Section IV.A notes that
+// "simple memristor models fail to predict the correct device
+// behaviour" — this model is included both as the canonical baseline
+// and to let bench_ablation_windows demonstrate exactly that claim
+// against the nonlinear-kinetics VCM/ECM models.
+#pragma once
+
+#include "device/device.h"
+
+namespace memcim {
+
+/// Window function selection for the ion-drift state equation.
+enum class WindowFunction {
+  kNone,         ///< f(x) = 1 (state clamped to [0,1] after the step)
+  kJoglekar,     ///< f(x) = 1 − (2x−1)^(2p)
+  kBiolek,       ///< f(x) = 1 − (x − step(−i))^(2p); kills boundary lock-up
+  kProdromakis,  ///< f(x) = j·(1 − ((x−0.5)² + 0.75)^p)
+};
+
+[[nodiscard]] const char* to_string(WindowFunction w);
+
+struct LinearIonDriftParams {
+  Resistance r_on{100.0};      ///< fully doped (LRS) resistance
+  Resistance r_off{16'000.0};  ///< fully undoped (HRS) resistance
+  Length depth{10e-9};         ///< film thickness D
+  /// Ion mobility μ_v in m²/(s·V); 1e-14 is the TiO₂ value used by
+  /// Strukov et al.
+  double mobility = 1e-14;
+  WindowFunction window = WindowFunction::kJoglekar;
+  double window_p = 1.0;  ///< window exponent p
+  double window_j = 1.0;  ///< Prodromakis scale j
+};
+
+class LinearIonDriftDevice final : public Device {
+ public:
+  explicit LinearIonDriftDevice(const LinearIonDriftParams& params,
+                                double initial_state = 0.0);
+
+  [[nodiscard]] Current current(Voltage v) const override;
+  void apply(Voltage v, Time dt) override;
+  [[nodiscard]] double state() const override { return x_; }
+  void set_state(double x) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+
+  [[nodiscard]] const LinearIonDriftParams& params() const { return params_; }
+
+  /// Total device resistance at the present state.
+  [[nodiscard]] Resistance resistance() const;
+
+  /// Window value f(x) for current-direction `current_sign` (Biolek's
+  /// window depends on it); exposed for tests and the window ablation.
+  [[nodiscard]] double window_value(double x, double current_sign) const;
+
+ private:
+  LinearIonDriftParams params_;
+  double x_;
+};
+
+}  // namespace memcim

@@ -1,0 +1,73 @@
+#include "device/pcm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace memcim {
+
+PcmDevice::PcmDevice(const PcmParams& params, double initial_state)
+    : params_(params), x_(clamp_state(initial_state)) {
+  MEMCIM_CHECK_MSG(params_.g_on.value() > params_.g_off.value() &&
+                       params_.g_off.value() > 0.0,
+                   "require G_on > G_off > 0");
+  MEMCIM_CHECK(params_.v_ovonic.value() > 0.0);
+  MEMCIM_CHECK_MSG(params_.p_melt.value() > params_.p_crystallize.value() &&
+                       params_.p_crystallize.value() > 0.0,
+                   "require P_melt > P_crystallize > 0");
+  MEMCIM_CHECK(params_.t_set.value() > 0.0 && params_.t_reset.value() > 0.0);
+  MEMCIM_CHECK(params_.drift_nu >= 0.0 && params_.drift_t0.value() > 0.0);
+  age_ = params_.drift_t0;
+}
+
+double PcmDevice::drifted_off_conductance() const {
+  // Amorphous conductance decays with age: G = g_off·(age/t₀)^(−ν).
+  const double ratio = age_.value() / params_.drift_t0.value();
+  return params_.g_off.value() * std::pow(ratio, -params_.drift_nu);
+}
+
+Conductance PcmDevice::effective_conductance(Voltage v) const {
+  const double g_amorphous = drifted_off_conductance();
+  double g = g_amorphous + (params_.g_on.value() - g_amorphous) * x_;
+  // Ovonic threshold switching: above |V_ov| the amorphous fraction
+  // conducts electronically (both polarities — PCM is unipolar).
+  if (std::abs(v.value()) >= params_.v_ovonic.value())
+    g = params_.g_on.value();
+  return Conductance(g);
+}
+
+Current PcmDevice::current(Voltage v) const {
+  return effective_conductance(v) * v;
+}
+
+void PcmDevice::apply(Voltage v, Time dt) {
+  MEMCIM_CHECK(dt.value() >= 0.0);
+  const Current i = current(v);
+  const double x_before = x_;
+  const Power p = abs(v * i);
+
+  if (p >= params_.p_melt) {
+    // Melt: amorphize on the quench timescale; the new amorphous phase
+    // is young (drift clock restarts).
+    x_ = clamp_state(x_ - dt.value() / params_.t_reset.value());
+    age_ = params_.drift_t0;
+  } else if (p >= params_.p_crystallize) {
+    // Crystallization zone: anneal toward LRS.
+    x_ = clamp_state(x_ + dt.value() / params_.t_set.value());
+  } else {
+    // Sub-heating: the amorphous phase just ages (drift).
+    age_ += dt;
+  }
+  record_step(v, i, dt, x_before, x_);
+}
+
+void PcmDevice::set_state(double x) {
+  x_ = clamp_state(x);
+  age_ = params_.drift_t0;
+}
+
+std::unique_ptr<Device> PcmDevice::clone() const {
+  return std::make_unique<PcmDevice>(*this);
+}
+
+}  // namespace memcim

@@ -1,0 +1,68 @@
+// Phase-change memory (PCM) device model — the first of the paper's
+// three memristor classes ("they can be classified based on their
+// dominant physical operating mechanism into three classes [30]: Phase
+// Change Memories, Electrostatic/Electronic Effects Memories, and Redox
+// memories", Section IV.A).
+//
+// The state variable is the crystalline fraction x (1 = crystalline =
+// LRS).  Unlike the bipolar VCM/ECM cells, PCM is *unipolar*: switching
+// is driven by Joule heating, not field polarity —
+//
+//   * SET (crystallize): moderate power holds the cell between the
+//     crystallization and melting points; x grows on the (slow)
+//     crystallization timescale,
+//   * RESET (amorphize): high power melts the cell; the quench after
+//     the pulse freezes it amorphous — fast,
+//   * the ovonic threshold switch: above |V_ovonic| the amorphous phase
+//     snaps electronically conductive, which is what lets a SET pulse
+//     heat an otherwise high-resistance cell,
+//   * resistance drift: the amorphous resistance ages upward as
+//     R ∝ (t/t₀)^ν — the PCM-specific retention effect.
+#pragma once
+
+#include "device/device.h"
+
+namespace memcim {
+
+struct PcmParams {
+  Conductance g_on{1.0 / 5e3};     ///< crystalline (R ≈ 5 kΩ)
+  Conductance g_off{1.0 / 500e3};  ///< amorphous at age t₀ (R ≈ 500 kΩ)
+  Voltage v_ovonic{1.2};           ///< threshold-switching voltage
+  /// Heating zones (with g_on = 200 µS: crystallize from ~0.5 V,
+  /// melt from ~2.24 V — a 1.5 V SET pulse sits safely in between).
+  Power p_crystallize{50e-6};  ///< ≥ this: crystallization zone
+  Power p_melt{1e-3};          ///< ≥ this: melting (RESET) zone
+  Time t_set{100e-9};              ///< full crystallization at SET power
+  Time t_reset{1e-9};              ///< melt-quench time
+  /// Amorphous drift exponent ν: G_amorphous(t) = g_off·(t/t₀)^(−ν).
+  double drift_nu = 0.05;
+  Time drift_t0{1e-6};             ///< age normalization
+};
+
+class PcmDevice final : public Device {
+ public:
+  explicit PcmDevice(const PcmParams& params, double initial_state = 0.0);
+
+  [[nodiscard]] Current current(Voltage v) const override;
+  void apply(Voltage v, Time dt) override;
+  [[nodiscard]] double state() const override { return x_; }
+  void set_state(double x) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+
+  [[nodiscard]] const PcmParams& params() const { return params_; }
+
+  /// Age of the amorphous phase since the last melt.
+  [[nodiscard]] Time amorphous_age() const { return age_; }
+
+  /// Effective conductance including ovonic snap and drift.
+  [[nodiscard]] Conductance effective_conductance(Voltage v) const;
+
+ private:
+  [[nodiscard]] double drifted_off_conductance() const;
+
+  PcmParams params_;
+  double x_;
+  Time age_{1e-6};  ///< starts at t₀ (freshly quenched reference)
+};
+
+}  // namespace memcim

@@ -1,0 +1,89 @@
+#include "device/variability.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace memcim {
+
+VariableDevice::VariableDevice(std::unique_ptr<Device> base,
+                               const VariabilityParams& params, Rng rng)
+    : base_(std::move(base)), params_(params), rng_(rng) {
+  MEMCIM_CHECK(base_ != nullptr);
+  MEMCIM_CHECK(params_.sigma_d2d >= 0.0 && params_.sigma_c2c >= 0.0);
+  MEMCIM_CHECK(params_.retention_tau.value() >= 0.0);
+  if (params_.sigma_d2d > 0.0)
+    d2d_gain_ = rng_.lognormal_median(1.0, params_.sigma_d2d);
+}
+
+VariableDevice::VariableDevice(const VariableDevice& other)
+    : Device(other),
+      base_(other.base_->clone()),
+      params_(other.params_),
+      rng_(other.rng_),
+      d2d_gain_(other.d2d_gain_),
+      c2c_gain_(other.c2c_gain_),
+      last_switch_count_(other.last_switch_count_),
+      failed_(other.failed_) {}
+
+VariableDevice& VariableDevice::operator=(const VariableDevice& other) {
+  if (this != &other) {
+    Device::operator=(other);
+    base_ = other.base_->clone();
+    params_ = other.params_;
+    rng_ = other.rng_;
+    d2d_gain_ = other.d2d_gain_;
+    c2c_gain_ = other.c2c_gain_;
+    last_switch_count_ = other.last_switch_count_;
+    failed_ = other.failed_;
+  }
+  return *this;
+}
+
+Current VariableDevice::current(Voltage v) const {
+  return base_->current(v) * gain();
+}
+
+void VariableDevice::maybe_wear_out() {
+  if (params_.endurance_cycles == 0 || failed_) return;
+  if (base_->switch_count() >= params_.endurance_cycles) {
+    failed_ = true;
+    base_->set_state(params_.fail_to_lrs ? 1.0 : 0.0);
+  }
+}
+
+void VariableDevice::apply(Voltage v, Time dt) {
+  const Current i_before = current(v);
+  if (failed_) {
+    // A worn-out device still conducts (and dissipates) but never moves.
+    record_step(v, i_before, dt, base_->state(), base_->state());
+    return;
+  }
+  const std::uint64_t switches_before = base_->switch_count();
+  const double x_before = state();
+  base_->apply(v, dt);
+  // Retention drift toward the mid state under weak bias.
+  if (params_.retention_tau.value() > 0.0 &&
+      std::abs(v.value()) < 1e-3) {
+    const double decay = std::exp(-dt.value() / params_.retention_tau.value());
+    base_->set_state(0.5 + (base_->state() - 0.5) * decay);
+  }
+  if (base_->switch_count() != switches_before && params_.sigma_c2c > 0.0)
+    c2c_gain_ = rng_.lognormal_median(1.0, params_.sigma_c2c);
+  maybe_wear_out();
+  // The wrapper keeps its own energy/switch books (the base's internal
+  // accounting is not exposed through the decorator).
+  record_step(v, i_before, dt, x_before, state());
+}
+
+double VariableDevice::state() const { return base_->state(); }
+
+void VariableDevice::set_state(double x) {
+  if (!failed_) base_->set_state(x);
+}
+
+std::unique_ptr<Device> VariableDevice::clone() const {
+  return std::make_unique<VariableDevice>(*this);
+}
+
+}  // namespace memcim

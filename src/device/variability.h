@@ -1,0 +1,68 @@
+// Device non-idealities: device-to-device and cycle-to-cycle variation,
+// endurance wear-out, and retention drift.
+//
+// Implemented as a decorator over any `Device` so every model (ion
+// drift, VCM, ECM, CRS stack) gains the same non-ideality vocabulary.
+// The paper leans on memristor endurance/retention numbers (Section
+// IV.A: >1e12 cycles VCM, >1e10 ECM, >10 y retention) — this module is
+// what lets bench_ablation_variability probe how far those properties
+// can degrade before the architecture's read margin collapses.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "device/device.h"
+
+namespace memcim {
+
+struct VariabilityParams {
+  /// σ of ln(G) applied once at construction to both G_on and G_off
+  /// (device-to-device spread).  0 disables.
+  double sigma_d2d = 0.0;
+  /// σ of ln(G) re-drawn after every switching event (cycle-to-cycle).
+  double sigma_c2c = 0.0;
+  /// Device fails stuck-at after this many switching events (0 = ∞).
+  std::uint64_t endurance_cycles = 0;
+  /// If true the endurance failure is stuck-at-LRS, else stuck-at-HRS.
+  bool fail_to_lrs = true;
+  /// Retention: state relaxes toward 0.5 with this time constant under
+  /// zero bias (0 = perfect retention).
+  Time retention_tau{0.0};
+};
+
+/// A `Device` wrapper that perturbs the wrapped device's observable
+/// conductance and injects wear-out and drift.
+class VariableDevice final : public Device {
+ public:
+  VariableDevice(std::unique_ptr<Device> base, const VariabilityParams& params,
+                 Rng rng);
+
+  VariableDevice(const VariableDevice& other);
+  VariableDevice& operator=(const VariableDevice& other);
+
+  [[nodiscard]] Current current(Voltage v) const override;
+  void apply(Voltage v, Time dt) override;
+  [[nodiscard]] double state() const override;
+  void set_state(double x) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const Device& base() const { return *base_; }
+
+  /// Multiplicative conductance perturbation currently in force.
+  [[nodiscard]] double gain() const { return d2d_gain_ * c2c_gain_; }
+
+ private:
+  void maybe_wear_out();
+
+  std::unique_ptr<Device> base_;
+  VariabilityParams params_;
+  Rng rng_;
+  double d2d_gain_ = 1.0;
+  double c2c_gain_ = 1.0;
+  std::uint64_t last_switch_count_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace memcim

@@ -1,0 +1,76 @@
+#include "device/vcm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace memcim {
+
+VcmDevice::VcmDevice(const VcmParams& params, double initial_state)
+    : params_(params), x_(clamp_state(initial_state)) {
+  MEMCIM_CHECK_MSG(params_.g_on.value() > params_.g_off.value() &&
+                       params_.g_off.value() > 0.0,
+                   "require G_on > G_off > 0");
+  MEMCIM_CHECK(params_.v_th_set.value() > 0.0);
+  MEMCIM_CHECK(params_.v_th_reset.value() < 0.0);
+  MEMCIM_CHECK(params_.v_write.value() >= params_.v_th_set.value());
+  MEMCIM_CHECK(params_.t_switch.value() > 0.0);
+  MEMCIM_CHECK(params_.kinetics_v0.value() > 0.0);
+  MEMCIM_CHECK(params_.nonlinearity >= 0.0);
+  MEMCIM_CHECK(params_.conductance_shape >= 1.0);
+  MEMCIM_CHECK(params_.snap_x >= 0.0 && params_.snap_x < 0.5);
+}
+
+Conductance VcmDevice::state_conductance() const {
+  const double mix = params_.conductance_shape == 1.0
+                         ? x_
+                         : std::pow(x_, params_.conductance_shape);
+  return params_.g_off + (params_.g_on - params_.g_off) * mix;
+}
+
+Current VcmDevice::current(Voltage v) const {
+  const Conductance g = state_conductance();
+  if (params_.nonlinearity == 0.0) return g * v;
+  // I = G·sinh(κV)/κ — odd, monotone, reduces to G·V as κ→0.
+  const double kappa = params_.nonlinearity;
+  return Current(g.value() * std::sinh(kappa * v.value()) / kappa);
+}
+
+double VcmDevice::switching_rate(Voltage v) const {
+  const double rate_peak = 1.0 / params_.t_switch.value();
+  const double v0 = params_.kinetics_v0.value();
+  if (v.value() > params_.v_th_set.value()) {
+    return rate_peak * std::exp((v.value() - params_.v_write.value()) / v0);
+  }
+  if (v.value() < params_.v_th_reset.value()) {
+    // RESET: mirror of SET around zero with the same nominal amplitude.
+    return -rate_peak *
+           std::exp((-v.value() - params_.v_write.value()) / v0);
+  }
+  return 0.0;  // sub-threshold: state frozen (non-volatile storage)
+}
+
+void VcmDevice::apply(Voltage v, Time dt) {
+  MEMCIM_CHECK(dt.value() >= 0.0);
+  const Current i = current(v);
+  const double x_before = x_;
+  const double rate = switching_rate(v);
+  x_ = clamp_state(x_ + rate * dt.value());
+  if (params_.snap_x > 0.0) {
+    // Filament runaway: once a transition reaches the snap point it
+    // completes within the pulse.
+    if (rate > 0.0 && x_ >= params_.snap_x)
+      x_ = 1.0;
+    else if (rate < 0.0 && x_ <= 1.0 - params_.snap_x)
+      x_ = 0.0;
+  }
+  record_step(v, i, dt, x_before, x_);
+}
+
+void VcmDevice::set_state(double x) { x_ = clamp_state(x); }
+
+std::unique_ptr<Device> VcmDevice::clone() const {
+  return std::make_unique<VcmDevice>(*this);
+}
+
+}  // namespace memcim

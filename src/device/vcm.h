@@ -1,0 +1,76 @@
+// Valence-change-memory (VCM) device model — the TaOx/HfOx-class
+// bipolar ReRAM cell the paper cites as the fastest, highest-endurance
+// memristor option (Section IV.A: F = 10 nm [62], < 200 ps switching
+// [42], > 1e12 cycles endurance [65]).
+//
+// The model captures the two properties that matter at architecture
+// level and that the simple ion-drift model misses:
+//
+//  1. *Threshold switching with exponential voltage-time kinetics*
+//     ("voltage-time dilemma"): below |V_th| the state is effectively
+//     frozen; above it the switching rate grows exponentially with
+//     overdrive.  This is what makes V/2 bias schemes possible — a
+//     half-selected cell disturbs ~exp(V_w/2v₀) times slower than the
+//     selected cell switches.
+//
+//  2. Optional *I–V nonlinearity* (current-controlled negative
+//     differential-resistance devices, paper ref [79]):
+//     I = G(x)·sinh(κV)/κ, which suppresses sneak currents at the
+//     half-select voltage.
+#pragma once
+
+#include "device/device.h"
+
+namespace memcim {
+
+struct VcmParams {
+  Conductance g_on{1.0 / 10e3};    ///< LRS conductance (R_on = 10 kΩ)
+  Conductance g_off{1.0 / 10e6};   ///< HRS conductance (R_off = 10 MΩ)
+  Voltage v_th_set{0.8};           ///< SET threshold (positive bias)
+  Voltage v_th_reset{-0.8};        ///< RESET threshold (negative bias)
+  Voltage v_write{2.0};            ///< nominal write amplitude
+  Time t_switch{200e-12};          ///< full switch time at ±v_write (200 ps [42])
+  /// Kinetics slope v₀: switching rate ∝ exp((|V|−|V_w|)/v₀).  Smaller
+  /// v₀ = steeper voltage-time characteristic = better half-select
+  /// immunity.
+  Voltage kinetics_v0{0.15};
+  /// I–V nonlinearity κ in 1/V; 0 = ohmic.  The chord-conductance ratio
+  /// G(V_w)/G(V_w/2) ≈ 2·sinh(κV_w)/ (2·sinh(κV_w/2)·...) grows with κ.
+  double nonlinearity = 0.0;
+  /// Conductance shape exponent: G(x) = G_off + (G_on−G_off)·x^shape.
+  /// 1 = linear mix; larger values model filamentary devices whose
+  /// conductance stays near G_off until the filament nearly closes —
+  /// essential for stateful (IMPLY) logic, where a half-switched output
+  /// must not load the shared node.
+  double conductance_shape = 1.0;
+  /// Abrupt-completion threshold: if > 0, a SET that drives x past this
+  /// point snaps to 1 within the same pulse (thermal/field runaway of
+  /// filament formation), and symmetrically a RESET past (1−snap_x)
+  /// snaps to 0.  0 disables (gradual switching).
+  double snap_x = 0.0;
+};
+
+class VcmDevice final : public Device {
+ public:
+  explicit VcmDevice(const VcmParams& params, double initial_state = 0.0);
+
+  [[nodiscard]] Current current(Voltage v) const override;
+  void apply(Voltage v, Time dt) override;
+  [[nodiscard]] double state() const override { return x_; }
+  void set_state(double x) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+
+  [[nodiscard]] const VcmParams& params() const { return params_; }
+
+  /// Linear-mix conductance G(x) = G_off + x·(G_on − G_off).
+  [[nodiscard]] Conductance state_conductance() const;
+
+  /// dx/dt (1/s, signed) at bias `v` — exposed for kinetics tests.
+  [[nodiscard]] double switching_rate(Voltage v) const;
+
+ private:
+  VcmParams params_;
+  double x_;
+};
+
+}  // namespace memcim

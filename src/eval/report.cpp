@@ -1,0 +1,101 @@
+#include "eval/report.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace memcim {
+
+namespace {
+
+/// Areas render in µm² (SI prefixes do not distribute over squared
+/// units, so si_string would mislead here).
+std::string um2_string(Area a, int precision = 4) {
+  return sci_string(a.value() * 1e12, precision - 1) + " um2";
+}
+
+}  // namespace
+
+std::string render_table1(const Table1& t) {
+  std::ostringstream os;
+  TextTable conv({"Conventional (22nm FinFET)", "value"});
+  conv.add_row({"gate delay", si_string(t.finfet.gate_delay.value(), "s")});
+  conv.add_row({"area per gate", um2_string(t.finfet.gate_area)});
+  conv.add_row({"power per gate", si_string(t.finfet.gate_power.value(), "W")});
+  conv.add_row({"leakage per gate",
+                si_string(t.finfet.gate_leakage.value(), "W")});
+  conv.add_row({"clock", si_string(t.finfet.clock.value(), "Hz")});
+  conv.add_row({"L1 cache size", std::to_string(t.cache_dna.size_bytes) + " B"});
+  conv.add_row({"L1 cache area", um2_string(t.cache_dna.area)});
+  conv.add_row({"cache static power",
+                si_string(t.cache_dna.static_power.value(), "W")});
+  conv.add_row({"hit ratio (DNA / math)",
+                fixed_string(t.cache_dna.hit_ratio, 2) + " / " +
+                    fixed_string(t.cache_math.hit_ratio, 2)});
+  conv.add_row({"miss penalty",
+                fixed_string(t.cache_dna.miss_penalty_cycles, 0) + " cycles"});
+  conv.add_row({"CLA adder gates", std::to_string(t.cla.gates)});
+  conv.add_row({"CLA adder latency",
+                si_string(t.cla.latency(t.finfet).value(), "s")});
+  conv.add_row({"clusters (DNA / math)",
+                std::to_string(t.clusters_dna.clusters) + " / " +
+                    std::to_string(t.clusters_math.clusters)});
+  conv.add_row({"units per cluster",
+                std::to_string(t.clusters_dna.units_per_cluster)});
+
+  TextTable cim({"CIM (5nm memristor crossbar)", "value"});
+  cim.add_row({"memristor write time",
+               si_string(t.memristor.write_time.value(), "s")});
+  cim.add_row({"area per memristor", um2_string(t.memristor.device_area)});
+  cim.add_row({"energy per write",
+               si_string(t.memristor.write_energy.value(), "J")});
+  cim.add_row({"comparator devices / steps",
+               std::to_string(t.cim_comparator.memristors) + " / " +
+                   std::to_string(t.cim_comparator.steps)});
+  cim.add_row({"comparator latency",
+               si_string(t.cim_comparator.latency(t.memristor).value(), "s")});
+  cim.add_row({"comparator energy",
+               si_string(t.cim_comparator.dynamic_energy.value(), "J")});
+  cim.add_row({"TC-adder devices / steps",
+               std::to_string(t.cim_adder.memristors) + " / " +
+                   std::to_string(t.cim_adder.steps)});
+  cim.add_row({"TC-adder latency",
+               si_string(t.cim_adder.latency(t.memristor).value(), "s")});
+  cim.add_row({"TC-adder energy",
+               si_string(t.cim_adder.dynamic_energy.value(), "J")});
+  cim.add_row({"static energy", "0 (non-volatile)"});
+
+  os << conv.to_text() << '\n' << cim.to_text();
+  return os.str();
+}
+
+std::string render_table2(const Table2& table) {
+  TextTable t({"Metric", "Workload", "Conv (ours)", "CIM (ours)",
+               "Conv (paper)", "CIM (paper)", "gain (ours)", "gain (paper)"});
+  for (const Table2Entry& e : table.entries) {
+    t.add_row({e.metric, e.workload, sci_string(e.conventional),
+               sci_string(e.cim), sci_string(e.paper_conventional),
+               sci_string(e.paper_cim), sci_string(e.improvement(), 2),
+               sci_string(e.paper_improvement(), 2)});
+  }
+  return t.to_text();
+}
+
+std::string render_table2_audit(const Table2& table) {
+  TextTable t({"Workload", "Arch", "T/op", "E/op", "total time",
+               "total energy", "area"});
+  auto add = [&](const ArchCost& c, const char* wl) {
+    t.add_row({wl, c.arch, si_string(c.time_per_op.value(), "s"),
+               si_string(c.energy_per_op.value(), "J"),
+               si_string(c.total_time.value(), "s"),
+               si_string(c.total_energy.value(), "J"),
+               fixed_string(c.total_area.value() * 1e6, 4) + " mm2"});
+  };
+  add(table.dna_conventional, "DNA");
+  add(table.dna_cim, "DNA");
+  add(table.math_conventional, "math");
+  add(table.math_cim, "math");
+  return t.to_text();
+}
+
+}  // namespace memcim

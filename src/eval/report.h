@@ -1,0 +1,23 @@
+// Rendering helpers turning Table-1/Table-2 structures into the
+// aligned text tables the bench binaries print.
+#pragma once
+
+#include <string>
+
+#include "arch/tech_params.h"
+#include "eval/table2.h"
+
+namespace memcim {
+
+/// Render the Table 1 assumption registry (both columns, with units).
+[[nodiscard]] std::string render_table1(const Table1& t);
+
+/// Render Table 2 as the paper prints it (metric × arch × workload),
+/// side by side with the paper's published values.
+[[nodiscard]] std::string render_table2(const Table2& table);
+
+/// Render the intermediate quantities (T/op, E/op, areas) that produce
+/// Table 2 — the audit trail for EXPERIMENTS.md.
+[[nodiscard]] std::string render_table2_audit(const Table2& table);
+
+}  // namespace memcim

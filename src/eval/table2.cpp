@@ -1,0 +1,64 @@
+#include "eval/table2.h"
+
+namespace memcim {
+
+double Table2Entry::improvement() const {
+  return smaller_is_better ? conventional / cim : cim / conventional;
+}
+
+double Table2Entry::paper_improvement() const {
+  return smaller_is_better ? paper_conventional / paper_cim
+                           : paper_cim / paper_conventional;
+}
+
+Table2 make_table2(const Table1& t) {
+  Table2 table;
+  const WorkloadSpec dna = dna_workload_spec(t);
+  const WorkloadSpec math = math_workload_spec(t);
+  table.dna_conventional = evaluate_conventional(dna, t);
+  table.dna_cim = evaluate_cim(dna, t);
+  table.math_conventional = evaluate_conventional(math, t);
+  table.math_cim = evaluate_cim(math, t);
+
+  auto push = [&](const char* metric, const char* workload,
+                  double conv, double cim, double p_conv, double p_cim,
+                  bool smaller_better) {
+    Table2Entry e;
+    e.metric = metric;
+    e.workload = workload;
+    e.conventional = conv;
+    e.cim = cim;
+    e.paper_conventional = p_conv;
+    e.paper_cim = p_cim;
+    e.smaller_is_better = smaller_better;
+    table.entries.push_back(e);
+  };
+
+  push("energy-delay/op [J*s]", "DNA sequencing",
+       table.dna_conventional.energy_delay_per_op(),
+       table.dna_cim.energy_delay_per_op(), PaperTable2::kDnaEdConv,
+       PaperTable2::kDnaEdCim, true);
+  push("energy-delay/op [J*s]", "10^6 additions",
+       table.math_conventional.energy_delay_per_op(),
+       table.math_cim.energy_delay_per_op(), PaperTable2::kMathEdConv,
+       PaperTable2::kMathEdCim, true);
+  push("computing efficiency [ops/J]", "DNA sequencing",
+       table.dna_conventional.computing_efficiency(),
+       table.dna_cim.computing_efficiency(), PaperTable2::kDnaEffConv,
+       PaperTable2::kDnaEffCim, false);
+  push("computing efficiency [ops/J]", "10^6 additions",
+       table.math_conventional.computing_efficiency(),
+       table.math_cim.computing_efficiency(), PaperTable2::kMathEffConv,
+       PaperTable2::kMathEffCim, false);
+  push("performance/area [ops/s/mm2]", "DNA sequencing",
+       table.dna_conventional.performance_per_area_mm2(),
+       table.dna_cim.performance_per_area_mm2(),
+       PaperTable2::kDnaPerfAreaConv, PaperTable2::kDnaPerfAreaCim, false);
+  push("performance/area [ops/s/mm2]", "10^6 additions",
+       table.math_conventional.performance_per_area_mm2(),
+       table.math_cim.performance_per_area_mm2(),
+       PaperTable2::kMathPerfAreaConv, PaperTable2::kMathPerfAreaCim, false);
+  return table;
+}
+
+}  // namespace memcim

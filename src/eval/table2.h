@@ -1,0 +1,54 @@
+// The Table 2 evaluator: both workloads × both architectures × the
+// three paper metrics, with the paper's published values carried
+// alongside for paper-vs-measured reporting.
+#pragma once
+
+#include <vector>
+
+#include "arch/cost_model.h"
+
+namespace memcim {
+
+/// One metric row of Table 2.
+struct Table2Entry {
+  const char* metric = "";
+  const char* workload = "";
+  double conventional = 0.0;
+  double cim = 0.0;
+  double paper_conventional = 0.0;  ///< value printed in the paper
+  double paper_cim = 0.0;
+  /// conventional / cim for "smaller is better" metrics (ED/op), or
+  /// cim / conventional for "bigger is better" (efficiency, perf/area).
+  [[nodiscard]] double improvement() const;
+  [[nodiscard]] double paper_improvement() const;
+  bool smaller_is_better = false;
+};
+
+struct Table2 {
+  ArchCost dna_conventional, dna_cim;
+  ArchCost math_conventional, math_cim;
+  std::vector<Table2Entry> entries;
+};
+
+/// Evaluate Table 2 from the Table 1 assumptions.
+[[nodiscard]] Table2 make_table2(const Table1& t);
+
+/// The values published in the paper's Table 2, for reference columns.
+struct PaperTable2 {
+  // DNA sequencing column.
+  static constexpr double kDnaEdConv = 2.0210e-06;
+  static constexpr double kDnaEdCim = 2.3382e-09;
+  static constexpr double kDnaEffConv = 4.1097e+04;
+  static constexpr double kDnaEffCim = 3.7037e+07;
+  static constexpr double kDnaPerfAreaConv = 5.7312e+09;
+  static constexpr double kDnaPerfAreaCim = 5.1118e+09;
+  // 10^6 additions column.
+  static constexpr double kMathEdConv = 1.5043e-18;
+  static constexpr double kMathEdCim = 9.2570e-21;
+  static constexpr double kMathEffConv = 6.5226e+09;
+  static constexpr double kMathEffCim = 3.9063e+12;
+  static constexpr double kMathPerfAreaConv = 5.1118e+09;
+  static constexpr double kMathPerfAreaCim = 4.9164e+12;
+};
+
+}  // namespace memcim

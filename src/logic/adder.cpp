@@ -1,0 +1,66 @@
+#include "logic/adder.h"
+
+#include "common/error.h"
+
+namespace memcim {
+
+FullAdderResult full_adder(Fabric& f, Reg a, Reg b, Reg cin) {
+  const Reg x = gate_xor(f, a, b);      // 13
+  const Reg s = gate_xor(f, x, cin);    // 13
+  const Reg g = gate_and(f, a, b);      // 5
+  const Reg h = gate_and(f, x, cin);    // 5
+  const Reg c = gate_or(f, g, h);       // 7
+  return {s, c};
+}
+
+GateCost cost_full_adder() {
+  const std::size_t steps = 2 * cost_xor().steps + 2 * cost_and().steps +
+                            cost_or().steps;
+  const std::size_t regs = 2 * cost_xor().registers +
+                           2 * cost_and().registers + cost_or().registers;
+  return {steps, regs};
+}
+
+RippleAdderResult ripple_adder(Fabric& f, std::span<const Reg> a,
+                               std::span<const Reg> b) {
+  MEMCIM_CHECK_MSG(a.size() == b.size() && !a.empty(),
+                   "ripple_adder needs equal non-empty operands");
+  RippleAdderResult result;
+  result.sum.reserve(a.size());
+  Reg carry = f.alloc();
+  f.set(carry, false);  // carry-in = 0
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FullAdderResult fa = full_adder(f, a[i], b[i], carry);
+    result.sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  result.carry_out = carry;
+  return result;
+}
+
+std::size_t ripple_adder_steps(std::size_t bits) {
+  return 1 + cost_full_adder().steps * bits;
+}
+
+std::uint64_t add_integers(Fabric& f, std::uint64_t a, std::uint64_t b,
+                           std::size_t bits) {
+  MEMCIM_CHECK_MSG(bits >= 1 && bits <= 64, "width must be 1..64");
+  std::vector<Reg> ra, rb;
+  ra.reserve(bits);
+  rb.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const Reg r1 = f.alloc();
+    f.set(r1, (a >> i) & 1u);
+    ra.push_back(r1);
+    const Reg r2 = f.alloc();
+    f.set(r2, (b >> i) & 1u);
+    rb.push_back(r2);
+  }
+  const RippleAdderResult sum = ripple_adder(f, ra, rb);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bits; ++i)
+    if (f.read(sum.sum[i])) value |= (std::uint64_t{1} << i);
+  return value;
+}
+
+}  // namespace memcim

@@ -1,0 +1,85 @@
+// Memristive content-addressable memory — Section IV.C(b): "Moreover,
+// CAMs based on memristors are feasible with different flavors [90,91];
+// e.g., a CRS-based CAM is recently demonstrated [84]".
+//
+// Each row stores a word in CRS cells (plus a per-bit mask for the
+// ternary flavour); a search broadcasts the key on the match lines and
+// every row evaluates in parallel.  In hardware the match is a
+// wired-AND of per-bit XNORs sensed on the row's match line in one
+// cycle; we model that as: match-phase latency = one search pulse
+// sequence regardless of the row count, energy = per-cell comparison
+// energy summed over all cells that participate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "device/crs.h"
+
+namespace memcim {
+
+/// One ternary bit of a stored CAM word.
+enum class CamBit : std::uint8_t {
+  kZero,
+  kOne,
+  kDontCare,  ///< matches either key bit (ternary CAM)
+};
+
+struct CamConfig {
+  std::size_t rows = 64;
+  std::size_t word_bits = 32;
+  CrsCellParams cell{};
+  /// Match-line evaluation: precharge + evaluate, two array pulses.
+  std::size_t search_pulses = 2;
+};
+
+struct CamSearchResult {
+  std::vector<std::size_t> matching_rows;
+  Time latency{0.0};   ///< one parallel search (row-count independent)
+  Energy energy{0.0};  ///< summed cell comparison energy of this search
+};
+
+class CrsCam {
+ public:
+  explicit CrsCam(const CamConfig& config);
+
+  [[nodiscard]] const CamConfig& config() const { return config_; }
+
+  /// Program a row with a binary word (LSB first).
+  void write_row(std::size_t row, const std::vector<bool>& word);
+  /// Program a row with a ternary word (don't-cares allowed).
+  void write_row_ternary(std::size_t row, const std::vector<CamBit>& word);
+  /// Invalidate a row: it matches nothing until rewritten.
+  void erase_row(std::size_t row);
+
+  [[nodiscard]] std::vector<CamBit> read_row(std::size_t row) const;
+
+  /// Parallel search: every valid row whose word matches `key` under
+  /// the ternary rules.
+  [[nodiscard]] CamSearchResult search(const std::vector<bool>& key);
+
+  /// First matching row, if any (priority encoder behaviour).
+  [[nodiscard]] std::optional<std::size_t> search_first(
+      const std::vector<bool>& key);
+
+  // -- lifetime statistics ---------------------------------------------------
+  [[nodiscard]] std::uint64_t searches() const { return searches_; }
+  [[nodiscard]] Energy total_energy() const { return total_energy_; }
+
+ private:
+  struct Row {
+    std::vector<CrsCell> value;  ///< stored bit (CRS '1' = 1)
+    std::vector<CrsCell> mask;   ///< CRS '1' = bit participates in match
+    bool valid = false;
+  };
+
+  [[nodiscard]] Row& at(std::size_t row);
+
+  CamConfig config_;
+  std::vector<Row> rows_;
+  std::uint64_t searches_ = 0;
+  Energy total_energy_{0.0};
+};
+
+}  // namespace memcim

@@ -1,0 +1,44 @@
+#include "logic/comparator.h"
+
+#include "common/error.h"
+#include "logic/gates.h"
+
+namespace memcim {
+
+ComparatorCost comparator_cost() { return {}; }
+
+Reg paper_comparator(Fabric& f, Reg a1, Reg a0, Reg b1, Reg b0) {
+  const Reg x1 = gate_xor(f, a1, b1);
+  const Reg x0 = gate_xor(f, a0, b0);
+  return gate_nand(f, x1, x0);
+}
+
+Reg equality_comparator(Fabric& f, Reg a1, Reg a0, Reg b1, Reg b0) {
+  const Reg x1 = gate_xor(f, a1, b1);
+  const Reg x0 = gate_xor(f, a0, b0);
+  return gate_nor(f, x1, x0);
+}
+
+Reg word_equality(Fabric& f, std::span<const Reg> a, std::span<const Reg> b) {
+  MEMCIM_CHECK_MSG(a.size() == b.size() && !a.empty(),
+                   "word_equality needs equal non-empty operands");
+  Reg acc = gate_xnor(f, a[0], b[0]);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const Reg eq_i = gate_xnor(f, a[i], b[i]);
+    acc = gate_and(f, acc, eq_i);
+  }
+  return acc;
+}
+
+std::vector<Reg> load_word(Fabric& f, const std::vector<bool>& bits) {
+  std::vector<Reg> regs;
+  regs.reserve(bits.size());
+  for (bool bit : bits) {
+    const Reg r = f.alloc();
+    f.set(r, bit);
+    regs.push_back(r);
+  }
+  return regs;
+}
+
+}  // namespace memcim

@@ -1,0 +1,62 @@
+#include "logic/crs_fabric.h"
+
+#include "common/error.h"
+
+namespace memcim {
+
+CrsFabric::CrsFabric(const CrsCellParams& cell_params,
+                     const LogicCostModel& cost)
+    : Fabric(cost), cell_params_(cell_params) {}
+
+void CrsFabric::grow(std::size_t n) {
+  while (cells_.size() < n)
+    cells_.emplace_back(cell_params_, CrsState::kZero);
+}
+
+const CrsCell& CrsFabric::cell(Reg r) const {
+  MEMCIM_CHECK(r < cells_.size());
+  return cells_[r];
+}
+
+Energy CrsFabric::cell_energy() const {
+  Energy total{0.0};
+  for (const auto& c : cells_) total += c.energy();
+  return total;
+}
+
+std::uint64_t CrsFabric::cell_pulses() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.pulses();
+  return total;
+}
+
+bool CrsFabric::sense(Reg r) const {
+  const CrsState s = cells_[r].state();
+  MEMCIM_CHECK_MSG(s != CrsState::kOn && s != CrsState::kUndefined,
+                   "CRS register left in transient state " << to_string(s));
+  return s == CrsState::kOne;
+}
+
+void CrsFabric::do_set(Reg r, bool value) { cells_[r].write(value); }
+
+void CrsFabric::do_imply(Reg p, Reg q) {
+  // q ← ¬p ∨ q.  Current values are sensed from the cells; the operate
+  // pulse applies V = V_q_in − V_p_in with the target initialized to
+  // '1'.  Init and operate are the 2 pulses of the paper's sequence
+  // (the read is on the sense amps, free in the cost model).
+  const bool pv = sense(p);
+  const bool qv = sense(q);
+  CrsCell& target = cells_[q];
+  const double half = cell_params_.v_th2.value() * 1.1 / 2.0;
+  // Init Z to '1' (paper step 1).
+  target.apply_pulse(Voltage(2.0 * half * 1.0));
+  // Operate (paper step 2): V = V_q − V_p, inputs at ±½V_write.  Only
+  // (p,q) = (1,0) yields −V_write and flips the target to '0'.
+  const double vq = qv ? +half : -half;
+  const double vp = pv ? +half : -half;
+  target.apply_pulse(Voltage(vq - vp));
+}
+
+bool CrsFabric::do_read(Reg r) const { return sense(r); }
+
+}  // namespace memcim

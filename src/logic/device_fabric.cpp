@@ -1,0 +1,75 @@
+#include "logic/device_fabric.h"
+
+#include "common/error.h"
+
+namespace memcim {
+
+DeviceFabric::DeviceFabric(const DeviceFabricParams& params,
+                           const LogicCostModel& cost)
+    : Fabric(cost), params_(params) {
+  const VcmParams& d = params_.device;
+  MEMCIM_CHECK_MSG(params_.v_cond.value() < d.v_th_set.value(),
+                   "V_COND must be sub-threshold or P itself would switch");
+  MEMCIM_CHECK_MSG(params_.v_set.value() >= d.v_th_set.value(),
+                   "V_SET must exceed the SET threshold");
+  const double r_on = 1.0 / d.g_on.value();
+  const double r_off = 1.0 / d.g_off.value();
+  MEMCIM_CHECK_MSG(params_.r_g.value() > r_on && params_.r_g.value() < r_off,
+                   "require R_on < R_G < R_off (Kvatinsky design rule)");
+  MEMCIM_CHECK(params_.pulse_t_switch > 0.0 && params_.substeps > 0);
+}
+
+void DeviceFabric::grow(std::size_t n) {
+  while (devices_.size() < n)
+    devices_.emplace_back(params_.device, 0.0);
+}
+
+double DeviceFabric::analog_state(Reg r) const {
+  MEMCIM_CHECK(r < devices_.size());
+  return devices_[r].state();
+}
+
+Energy DeviceFabric::circuit_energy() const {
+  Energy total{0.0};
+  for (const auto& d : devices_) total += d.energy_dissipated();
+  return total;
+}
+
+double DeviceFabric::solve_node(double g_p, double g_q) const {
+  // KCL at the shared node: (V_COND−Vn)·gP + (V_SET−Vn)·gQ = Vn/R_G.
+  const double g_rg = 1.0 / params_.r_g.value();
+  return (params_.v_cond.value() * g_p + params_.v_set.value() * g_q) /
+         (g_p + g_q + g_rg);
+}
+
+Voltage DeviceFabric::imp_node_voltage(Reg p, Reg q) const {
+  MEMCIM_CHECK(p < devices_.size() && q < devices_.size());
+  return Voltage(solve_node(devices_[p].state_conductance().value(),
+                            devices_[q].state_conductance().value()));
+}
+
+void DeviceFabric::do_set(Reg r, bool value) {
+  // Unconditional write: isolated device, full ±v_write for t_switch.
+  VcmDevice& d = devices_[r];
+  const Voltage v = value ? params_.device.v_write
+                          : Voltage(-params_.device.v_write.value());
+  d.apply(v, params_.device.t_switch);
+}
+
+void DeviceFabric::do_imply(Reg p, Reg q) {
+  VcmDevice& dp = devices_[p];
+  VcmDevice& dq = devices_[q];
+  const Time dt = params_.device.t_switch *
+                  (params_.pulse_t_switch /
+                   static_cast<double>(params_.substeps));
+  for (std::size_t s = 0; s < params_.substeps; ++s) {
+    const double vn = solve_node(dp.state_conductance().value(),
+                                 dq.state_conductance().value());
+    dp.apply(Voltage(params_.v_cond.value() - vn), dt);
+    dq.apply(Voltage(params_.v_set.value() - vn), dt);
+  }
+}
+
+bool DeviceFabric::do_read(Reg r) const { return devices_[r].is_lrs(); }
+
+}  // namespace memcim

@@ -1,0 +1,68 @@
+// Device-level IMP fabric — the circuit of Figure 5(a).
+//
+// Each register is a VCM memristor with its bottom electrode on a
+// shared node loaded by R_G to ground.  An IMP step drives the top
+// electrode of P with V_COND (sub-threshold) and of Q with V_SET:
+//
+//   * P in LRS (p = 1): the shared node is pulled toward V_COND, the
+//     drop across Q stays below its effective switching window → q
+//     unchanged.
+//   * P in HRS (p = 0): the node stays near ground, Q sees ≈ V_SET and
+//     SETs → q ← 1.
+//
+// Together: q ← ¬p ∨ q = p IMP q.  The voltage margins, half-select
+// creep and the need for abrupt filamentary conductance are all real
+// here — see DeviceFabricParams for the constraints.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "device/vcm.h"
+#include "logic/fabric.h"
+
+namespace memcim {
+
+struct DeviceFabricParams {
+  VcmParams device;        ///< per-register device (use presets::vcm_taox_logic())
+  Voltage v_cond{0.5};     ///< conditioning voltage on P (must stay sub-threshold)
+  Voltage v_set{2.0};      ///< SET voltage on Q
+  Resistance r_g{316e3};   ///< load resistor; R_on < R_G < R_off (Kvatinsky)
+  /// Pulse width of one IMP/SET step in units of the device t_switch;
+  /// > 1 gives the conditional SET headroom to complete.
+  double pulse_t_switch = 4.0;
+  /// Integration substeps per pulse (the shared node is re-solved each
+  /// substep, capturing the negative feedback as Q's conductance rises).
+  std::size_t substeps = 16;
+};
+
+class DeviceFabric final : public Fabric {
+ public:
+  explicit DeviceFabric(const DeviceFabricParams& params,
+                        const LogicCostModel& cost = {});
+
+  /// Analog state of a register (for margin analysis in tests/benches).
+  [[nodiscard]] double analog_state(Reg r) const;
+
+  /// Total energy dissipated in the devices (circuit-level, ∫VI dt) —
+  /// distinct from the cost-model energy() of the base class.
+  [[nodiscard]] Energy circuit_energy() const;
+
+  /// Shared-node voltage solved for the present device states when
+  /// V_COND is applied to p and V_SET to q; exposed for tests.
+  [[nodiscard]] Voltage imp_node_voltage(Reg p, Reg q) const;
+
+ protected:
+  void do_set(Reg r, bool value) override;
+  void do_imply(Reg p, Reg q) override;
+  [[nodiscard]] bool do_read(Reg r) const override;
+  void grow(std::size_t n) override;
+
+ private:
+  [[nodiscard]] double solve_node(double g_p, double g_q) const;
+
+  DeviceFabricParams params_;
+  std::vector<VcmDevice> devices_;
+};
+
+}  // namespace memcim

@@ -1,0 +1,12 @@
+#include "logic/fabric.h"
+
+#include "common/error.h"
+
+namespace memcim {
+
+void Fabric::check(Reg r) const {
+  MEMCIM_CHECK_MSG(r < size_, "register " << r << " not allocated (size "
+                                          << size_ << ")");
+}
+
+}  // namespace memcim

@@ -1,0 +1,118 @@
+// Stateful-logic fabric: the execution substrate for material
+// implication (IMP) programs — Section IV.C of the paper.
+//
+// A fabric is a growable file of memristive registers supporting the
+// three primitive micro-operations of stateful logic:
+//
+//   set(r, v)    — unconditional write (1 step, 1 device write),
+//   imply(p, q)  — q ← p IMP q = ¬p ∨ q (1 step),
+//   read(r)      — sense the stored bit.
+//
+// Every gate, comparator and adder in this library is an IMP program
+// over this interface, so the same program runs on:
+//
+//   * IdealFabric  — boolean semantics (the architecture-level model),
+//   * DeviceFabric — two real VCM devices + load resistor R_G driven
+//     with V_COND/V_SET (Figure 5(a), Borghetti/Kvatinsky style),
+//   * CrsFabric    — one CRS cell per register operated with ±½V_write
+//     input voltages (Figure 5(b), Linn in-array style).
+//
+// The fabric also keeps the cost books: steps (latency quanta — one
+// memristor write time each, Table 1: 200 ps) and device writes
+// (dynamic energy quanta, Table 1: 1 fJ per write).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace memcim {
+
+/// Register index within a fabric.
+using Reg = std::size_t;
+
+/// Latency/energy quanta of one micro-op (Table 1 of the paper).
+struct LogicCostModel {
+  Time t_step{200e-12};      ///< memristor write time per step
+  Energy e_write{1e-15};     ///< dynamic energy per device write
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const LogicCostModel& cost = {}) : cost_(cost) {}
+  Fabric(const Fabric&) = default;
+  Fabric& operator=(const Fabric&) = default;
+  virtual ~Fabric() = default;
+
+  /// Allocate a fresh register (initial state is logic 0; allocation
+  /// itself is free — devices exist physically, cost accrues on use).
+  [[nodiscard]] Reg alloc() {
+    grow(size_ + 1);
+    return size_++;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Unconditional write: set_step_cost() steps, 1 device write.
+  void set(Reg r, bool value) {
+    check(r);
+    do_set(r, value);
+    steps_ += set_step_cost();
+    ++writes_;
+  }
+
+  /// Material implication q ← p IMP q: imply_step_cost() steps, 1
+  /// device write.
+  void imply(Reg p, Reg q) {
+    check(p);
+    check(q);
+    do_imply(p, q);
+    steps_ += imply_step_cost();
+    ++writes_;
+  }
+
+  /// Sense the digital value of register r (free in the cost model —
+  /// readout happens on the sense amps, not the array).
+  [[nodiscard]] bool read(Reg r) const {
+    check(r);
+    return do_read(r);
+  }
+
+  // -- cost books -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] Time latency() const {
+    return cost_.t_step * static_cast<double>(steps_);
+  }
+  [[nodiscard]] Energy energy() const {
+    return cost_.e_write * static_cast<double>(writes_);
+  }
+  [[nodiscard]] const LogicCostModel& cost_model() const { return cost_; }
+
+  void reset_counters() {
+    steps_ = 0;
+    writes_ = 0;
+  }
+
+ protected:
+  virtual void do_set(Reg r, bool value) = 0;
+  virtual void do_imply(Reg p, Reg q) = 0;
+  [[nodiscard]] virtual bool do_read(Reg r) const = 0;
+  /// Ensure backing storage for at least n registers.
+  virtual void grow(std::size_t n) = 0;
+  /// Latency quanta per primitive; backends whose circuit needs more
+  /// than one pulse (e.g. CRS init + operate) override these.
+  [[nodiscard]] virtual std::uint64_t set_step_cost() const { return 1; }
+  [[nodiscard]] virtual std::uint64_t imply_step_cost() const { return 1; }
+
+ private:
+  void check(Reg r) const;
+
+  LogicCostModel cost_;
+  std::size_t size_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace memcim

@@ -1,0 +1,80 @@
+#include "logic/gates.h"
+
+namespace memcim {
+
+Reg gate_not(Fabric& f, Reg a) {
+  const Reg r = f.alloc();
+  f.set(r, false);
+  f.imply(a, r);  // r = ¬a ∨ 0
+  return r;
+}
+
+Reg gate_copy(Fabric& f, Reg a) {
+  const Reg w = gate_not(f, a);
+  return gate_not(f, w);
+}
+
+Reg gate_nand(Fabric& f, Reg a, Reg b) {
+  const Reg s = f.alloc();
+  f.set(s, false);
+  f.imply(a, s);  // s = ¬a
+  f.imply(b, s);  // s = ¬b ∨ ¬a
+  return s;
+}
+
+Reg gate_and(Fabric& f, Reg a, Reg b) {
+  const Reg s = gate_nand(f, a, b);
+  return gate_not(f, s);
+}
+
+Reg gate_or(Fabric& f, Reg a, Reg b) {
+  const Reg w = gate_not(f, a);   // w = ¬a
+  const Reg r = gate_copy(f, b);  // r = b
+  f.imply(w, r);                  // r = a ∨ b
+  return r;
+}
+
+Reg gate_nor(Fabric& f, Reg a, Reg b) {
+  const Reg w = gate_not(f, a);
+  const Reg x = gate_not(f, b);
+  const Reg s = gate_nand(f, w, x);  // s = a ∨ b
+  return gate_not(f, s);
+}
+
+Reg gate_xor_destructive(Fabric& f, Reg a, Reg b) {
+  const Reg w1 = f.alloc();
+  const Reg w2 = f.alloc();
+  const Reg w3 = f.alloc();
+  f.set(w1, false);
+  f.imply(a, w1);    // w1 = ¬a
+  f.set(w2, false);
+  f.imply(b, w2);    // w2 = ¬b
+  f.imply(w1, w2);   // w2 = a ∨ ¬b
+  f.set(w3, false);
+  f.imply(w2, w3);   // w3 = ¬a ∧ b
+  f.imply(a, b);     // b  = ¬a ∨ b   (input b consumed)
+  f.imply(b, w3);    // w3 = (a ∧ ¬b) ∨ (¬a ∧ b)
+  return w3;
+}
+
+Reg gate_xor(Fabric& f, Reg a, Reg b) {
+  const Reg b_copy = gate_copy(f, b);
+  return gate_xor_destructive(f, a, b_copy);
+}
+
+Reg gate_xnor(Fabric& f, Reg a, Reg b) {
+  const Reg x = gate_xor(f, a, b);
+  return gate_not(f, x);
+}
+
+GateCost cost_not() { return {2, 1}; }
+GateCost cost_copy() { return {4, 2}; }
+GateCost cost_nand() { return {3, 1}; }
+GateCost cost_and() { return {5, 2}; }
+GateCost cost_or() { return {7, 3}; }
+GateCost cost_nor() { return {9, 4}; }
+GateCost cost_xor_destructive() { return {9, 3}; }
+GateCost cost_xor() { return {13, 5}; }
+GateCost cost_xnor() { return {15, 6}; }
+
+}  // namespace memcim

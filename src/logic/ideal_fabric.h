@@ -1,0 +1,28 @@
+// Boolean-semantics fabric: exact IMP algebra with full cost
+// accounting.  This is the backend the architecture model executes on —
+// billions of operations per workload, so no device integration.
+#pragma once
+
+#include <vector>
+
+#include "logic/fabric.h"
+
+namespace memcim {
+
+class IdealFabric final : public Fabric {
+ public:
+  explicit IdealFabric(const LogicCostModel& cost = {}) : Fabric(cost) {}
+
+ protected:
+  void do_set(Reg r, bool value) override { bits_[r] = value; }
+  void do_imply(Reg p, Reg q) override { bits_[q] = !bits_[p] || bits_[q]; }
+  [[nodiscard]] bool do_read(Reg r) const override { return bits_[r]; }
+  void grow(std::size_t n) override {
+    if (bits_.size() < n) bits_.resize(n, false);
+  }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+}  // namespace memcim

@@ -1,0 +1,71 @@
+#include "logic/program.h"
+
+#include "common/error.h"
+
+namespace memcim {
+
+namespace {
+
+/// Allocate a fresh contiguous register window and return its base.
+Reg allocate_window(Fabric& fabric, std::size_t registers) {
+  MEMCIM_CHECK_MSG(registers > 0, "program has no registers");
+  const Reg base = fabric.alloc();
+  for (std::size_t i = 1; i < registers; ++i) (void)fabric.alloc();
+  return base;
+}
+
+void replay(const CimProgram& program, Fabric& fabric, Reg base,
+            const std::vector<bool>& inputs) {
+  MEMCIM_CHECK_MSG(inputs.size() == program.inputs,
+                   "program expects " << program.inputs << " inputs, got "
+                                      << inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    fabric.set(base + i, inputs[i]);
+  for (const CimInstruction& inst : program.instructions) {
+    switch (inst.op) {
+      case CimOp::kSetFalse:
+        fabric.set(base + inst.a, false);
+        break;
+      case CimOp::kSetTrue:
+        fabric.set(base + inst.a, true);
+        break;
+      case CimOp::kImply:
+        fabric.imply(base + inst.a, base + inst.b);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+bool run_program(const CimProgram& program, Fabric& fabric,
+                 const std::vector<bool>& inputs) {
+  const Reg base = allocate_window(fabric, program.registers);
+  replay(program, fabric, base, inputs);
+  return fabric.read(base + program.output);
+}
+
+SimdRunResult run_program_simd(
+    const CimProgram& program, Fabric& fabric,
+    const std::vector<std::vector<bool>>& input_sets) {
+  MEMCIM_CHECK_MSG(!input_sets.empty(), "SIMD run needs at least one window");
+  fabric.reset_counters();
+  SimdRunResult result;
+  result.outputs.reserve(input_sets.size());
+  for (const std::vector<bool>& inputs : input_sets) {
+    const Reg base = allocate_window(fabric, program.registers);
+    replay(program, fabric, base, inputs);
+    result.outputs.push_back(fabric.read(base + program.output));
+  }
+  // All windows execute the identical instruction stream concurrently:
+  // the pass latency is one window's step count.
+  const std::uint64_t steps_per_window =
+      fabric.steps() / input_sets.size();
+  result.latency = fabric.cost_model().t_step *
+                   static_cast<double>(steps_per_window);
+  result.energy = fabric.energy();
+  result.writes = fabric.writes();
+  return result;
+}
+
+}  // namespace memcim

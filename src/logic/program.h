@@ -1,0 +1,113 @@
+// CIM microcode: record → replay stateful-logic programs.
+//
+// The paper's architecture drives the crossbar from a CMOS controller
+// ("the communication and control from/to the crossbar can be realized
+// using CMOS technology", Section III.A).  That controller does not
+// re-derive gate sequences per operation — it replays *microcode*.
+// This module provides exactly that:
+//
+//   * `RecordingFabric` captures the set/imply stream a gate-library
+//     computation emits, producing a `CimProgram`,
+//   * `run_program` replays a program on any backend fabric,
+//   * `run_program_simd` replays it across W independent register
+//     windows ("rows"): one program's latency, W× the writes — the
+//     massive-parallelism execution model of the CIM array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/fabric.h"
+
+namespace memcim {
+
+enum class CimOp : std::uint8_t {
+  kSetFalse,  ///< reg[a] ← 0
+  kSetTrue,   ///< reg[a] ← 1
+  kImply,     ///< reg[b] ← reg[a] IMP reg[b]
+};
+
+struct CimInstruction {
+  CimOp op = CimOp::kSetFalse;
+  Reg a = 0;
+  Reg b = 0;
+};
+
+/// A recorded stateful-logic program over a window of `registers`
+/// registers; `inputs` leading registers are the operands, `output` is
+/// where the result lands.
+struct CimProgram {
+  std::vector<CimInstruction> instructions;
+  std::size_t registers = 0;
+  std::size_t inputs = 0;
+  Reg output = 0;
+
+  [[nodiscard]] std::size_t length() const { return instructions.size(); }
+};
+
+/// A Fabric that executes nothing physical — it records the microcode.
+class RecordingFabric final : public Fabric {
+ public:
+  RecordingFabric() = default;
+
+  /// The instruction stream captured so far.
+  [[nodiscard]] const std::vector<CimInstruction>& recording() const {
+    return recording_;
+  }
+
+ protected:
+  void do_set(Reg r, bool value) override {
+    recording_.push_back({value ? CimOp::kSetTrue : CimOp::kSetFalse, r, 0});
+    bits_[r] = value;
+  }
+  void do_imply(Reg p, Reg q) override {
+    recording_.push_back({CimOp::kImply, p, q});
+    bits_[q] = !bits_[p] || bits_[q];
+  }
+  [[nodiscard]] bool do_read(Reg r) const override { return bits_[r]; }
+  void grow(std::size_t n) override {
+    if (bits_.size() < n) bits_.resize(n, false);
+  }
+
+ private:
+  std::vector<CimInstruction> recording_;
+  std::vector<bool> bits_;
+};
+
+/// Record a computation into a program.  `body` receives the fabric and
+/// the pre-allocated input registers and returns the output register.
+template <typename Body>
+[[nodiscard]] CimProgram record_program(std::size_t inputs, Body&& body) {
+  RecordingFabric recorder;
+  std::vector<Reg> in_regs;
+  in_regs.reserve(inputs);
+  for (std::size_t i = 0; i < inputs; ++i) in_regs.push_back(recorder.alloc());
+  const Reg out = body(recorder, in_regs);
+  CimProgram program;
+  program.instructions = recorder.recording();
+  program.registers = recorder.size();
+  program.inputs = inputs;
+  program.output = out;
+  return program;
+}
+
+/// Replay a program on `fabric` with the given operand bits; registers
+/// are allocated at a fresh window.  Returns the output bit.
+[[nodiscard]] bool run_program(const CimProgram& program, Fabric& fabric,
+                               const std::vector<bool>& inputs);
+
+struct SimdRunResult {
+  std::vector<bool> outputs;  ///< one per window
+  Time latency{0.0};          ///< one program pass (windows concurrent)
+  Energy energy{0.0};         ///< summed over all windows
+  std::uint64_t writes = 0;
+};
+
+/// Replay a program across `input_sets.size()` independent register
+/// windows of the same fabric — rows of the crossbar executing the
+/// same microcode in lock-step.
+[[nodiscard]] SimdRunResult run_program_simd(
+    const CimProgram& program, Fabric& fabric,
+    const std::vector<std::vector<bool>>& input_sets);
+
+}  // namespace memcim

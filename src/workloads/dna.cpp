@@ -1,0 +1,189 @@
+#include "workloads/dna.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace memcim {
+
+namespace {
+constexpr char kAlphabet[] = {'A', 'C', 'G', 'T'};
+}
+
+char to_char(Nucleotide n) { return kAlphabet[static_cast<std::size_t>(n)]; }
+
+Nucleotide nucleotide_from_char(char c) {
+  switch (c) {
+    case 'A': return Nucleotide::kA;
+    case 'C': return Nucleotide::kC;
+    case 'G': return Nucleotide::kG;
+    case 'T': return Nucleotide::kT;
+    default: break;
+  }
+  throw Error(std::string("invalid nucleotide character '") + c + "'");
+}
+
+std::string generate_genome(std::size_t bases, Rng& rng) {
+  MEMCIM_CHECK(bases > 0);
+  std::string genome(bases, 'A');
+  for (char& c : genome)
+    c = kAlphabet[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  return genome;
+}
+
+std::vector<ShortRead> generate_reads(const std::string& genome,
+                                      const ReadSetParams& params, Rng& rng) {
+  MEMCIM_CHECK(params.read_length >= 1 &&
+               params.read_length <= genome.size());
+  MEMCIM_CHECK(params.coverage > 0.0);
+  MEMCIM_CHECK(params.error_rate >= 0.0 && params.error_rate <= 1.0);
+  const auto n_reads = static_cast<std::size_t>(
+      params.coverage * static_cast<double>(genome.size()) /
+      static_cast<double>(params.read_length));
+  std::vector<ShortRead> reads;
+  reads.reserve(n_reads);
+  const auto max_start =
+      static_cast<std::int64_t>(genome.size() - params.read_length);
+  for (std::size_t i = 0; i < n_reads; ++i) {
+    ShortRead read;
+    read.true_position =
+        static_cast<std::size_t>(rng.uniform_int(0, max_start));
+    read.bases = genome.substr(read.true_position, params.read_length);
+    if (params.error_rate > 0.0)
+      for (char& c : read.bases)
+        if (rng.bernoulli(params.error_rate))
+          c = kAlphabet[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+SortedIndex::SortedIndex(const std::string& reference, std::size_t k)
+    : reference_(reference), k_(k) {
+  MEMCIM_CHECK_MSG(k >= 1 && k <= reference.size(),
+                   "k must be within the reference length");
+  positions_.resize(reference.size() - k + 1);
+  for (std::size_t i = 0; i < positions_.size(); ++i) positions_[i] = i;
+  // Sorting the index destroys the reference's spatial locality — the
+  // effect the paper blames for the 50 % cache hit rate.
+  std::sort(positions_.begin(), positions_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return reference_.compare(a, k_, reference_, b, k_) < 0;
+            });
+}
+
+int SortedIndex::compare_at(std::size_t pos, const std::string& pattern) {
+  for (std::size_t i = 0; i < k_; ++i) {
+    ++comparisons_;
+    if (trace_ != nullptr) {
+      trace_->record(kReferenceBase + pos + i);
+      trace_->record(kPatternBase + i);
+    }
+    if (reference_[pos + i] != pattern[i])
+      return reference_[pos + i] < pattern[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::size_t> SortedIndex::lookup(const std::string& pattern) {
+  MEMCIM_CHECK_MSG(pattern.size() >= k_, "pattern shorter than k");
+  // Binary search for the leftmost k-mer >= pattern.
+  std::size_t lo = 0, hi = positions_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (trace_ != nullptr) trace_->record(kIndexBase + 8 * mid);
+    if (compare_at(positions_[mid], pattern) < 0)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  std::vector<std::size_t> hits;
+  while (lo < positions_.size()) {
+    if (trace_ != nullptr) trace_->record(kIndexBase + 8 * lo);
+    if (compare_at(positions_[lo], pattern) != 0) break;
+    hits.push_back(positions_[lo]);
+    ++lo;
+  }
+  return hits;
+}
+
+MatchStats match_reads(const std::string& reference,
+                       const std::vector<ShortRead>& reads, std::size_t k) {
+  SortedIndex index(reference, k);
+  MatchStats stats;
+  stats.reads_total = reads.size();
+  std::uint64_t verify_comparisons = 0;
+  for (const ShortRead& read : reads) {
+    const std::vector<std::size_t> candidates = index.lookup(read.bases);
+    bool matched = false;
+    for (const std::size_t pos : candidates) {
+      if (pos + read.bases.size() > reference.size()) continue;
+      bool equal = true;
+      for (std::size_t i = k; i < read.bases.size(); ++i) {
+        ++verify_comparisons;
+        if (reference[pos + i] != read.bases[i]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) ++stats.reads_matched;
+  }
+  stats.character_comparisons = index.character_comparisons() + verify_comparisons;
+  return stats;
+}
+
+MatchStats match_reads_tolerant(const std::string& reference,
+                                const std::vector<ShortRead>& reads,
+                                std::size_t k, std::size_t seeds,
+                                std::size_t max_mismatches) {
+  MEMCIM_CHECK_MSG(seeds >= 1, "need at least one seed");
+  SortedIndex index(reference, k);
+  MatchStats stats;
+  stats.reads_total = reads.size();
+  std::uint64_t verify_comparisons = 0;
+  for (const ShortRead& read : reads) {
+    bool matched = false;
+    for (std::size_t s = 0; s < seeds && !matched; ++s) {
+      const std::size_t offset = s * k;
+      if (offset + k > read.bases.size()) break;
+      const std::vector<std::size_t> candidates =
+          index.lookup(read.bases.substr(offset, k));
+      for (const std::size_t seed_pos : candidates) {
+        if (seed_pos < offset) continue;
+        const std::size_t start = seed_pos - offset;
+        if (start + read.bases.size() > reference.size()) continue;
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < read.bases.size(); ++i) {
+          ++verify_comparisons;
+          if (reference[start + i] != read.bases[i] &&
+              ++mismatches > max_mismatches)
+            break;
+        }
+        if (mismatches <= max_mismatches) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) ++stats.reads_matched;
+  }
+  stats.character_comparisons =
+      index.character_comparisons() + verify_comparisons;
+  return stats;
+}
+
+PaperDnaCounts paper_dna_counts(double coverage, double genome_bases,
+                                double read_length) {
+  MEMCIM_CHECK(coverage > 0.0 && genome_bases > 0.0 && read_length > 0.0);
+  PaperDnaCounts counts;
+  counts.short_reads = coverage * genome_bases / read_length;
+  counts.comparisons = 4.0 * counts.short_reads;
+  return counts;
+}
+
+}  // namespace memcim

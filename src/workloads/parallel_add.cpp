@@ -1,0 +1,53 @@
+#include "workloads/parallel_add.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "logic/tc_adder.h"
+
+namespace memcim {
+
+ParallelAddResult run_parallel_add(const ParallelAddParams& params,
+                                   const CrsCellParams& cell, Rng& rng) {
+  MEMCIM_CHECK(params.operations > 0 && params.adders > 0);
+  MEMCIM_CHECK(params.width >= 1 && params.width <= 63);
+
+  // One physical adder per farm slot, reused across batches.
+  std::vector<CrsTcAdder> farm;
+  farm.reserve(params.adders);
+  for (std::size_t i = 0; i < params.adders; ++i)
+    farm.emplace_back(params.width, cell);
+
+  const std::uint64_t max_operand =
+      (std::uint64_t{1} << params.width) - 1;
+
+  ParallelAddResult result;
+  result.sums.reserve(params.operations);
+  const std::size_t batches =
+      (params.operations + params.adders - 1) / params.adders;
+  Time batch_latency{0.0};
+  for (std::size_t batch = 0; batch < batches; ++batch) {
+    Time worst_in_batch{0.0};
+    const std::size_t begin = batch * params.adders;
+    const std::size_t end =
+        std::min(begin + params.adders, params.operations);
+    for (std::size_t op = begin; op < end; ++op) {
+      const auto a = static_cast<std::uint64_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(max_operand)));
+      const auto b = static_cast<std::uint64_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(max_operand)));
+      CrsTcAdder& adder = farm[op - begin];
+      const TcAdderResult r = adder.add(a, b);
+      result.sums.push_back(r.sum);
+      result.total_pulses += r.pulses;
+      result.total_energy += r.energy;
+      worst_in_batch = std::max(worst_in_batch, r.latency);
+      if (r.sum != ((a + b) & max_operand)) ++result.mismatches;
+    }
+    batch_latency += worst_in_batch;
+  }
+  result.latency = batch_latency;
+  return result;
+}
+
+}  // namespace memcim

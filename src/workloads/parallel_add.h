@@ -1,0 +1,40 @@
+// The mathematics workload of Section III.B.2: a large batch of
+// independent 32-bit additions ("here we assume 10^6 parallel addition
+// operations").  Besides the closed-form spec used by the Table 2
+// evaluator, this module runs the batch *functionally* on a farm of
+// CRS TC-adders so results, pulse counts and switching energy come from
+// the device models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "device/crs.h"
+
+namespace memcim {
+
+struct ParallelAddParams {
+  std::size_t operations = 1024;  ///< batch size (paper: 10^6)
+  std::size_t width = 32;         ///< operand width in bits
+  std::size_t adders = 256;       ///< physical adder farm size
+};
+
+struct ParallelAddResult {
+  std::vector<std::uint64_t> sums;
+  std::uint64_t total_pulses = 0;
+  Energy total_energy{0.0};
+  /// Wall latency: batches run back-to-back, adders within a batch in
+  /// parallel → ceil(ops/adders) · (4N+5) pulses.
+  Time latency{0.0};
+  std::uint64_t mismatches = 0;  ///< vs the golden CPU adds (must be 0)
+};
+
+/// Generate `operations` random operand pairs and add them on the CRS
+/// adder farm, verifying every result against native addition.
+[[nodiscard]] ParallelAddResult run_parallel_add(const ParallelAddParams& params,
+                                                 const CrsCellParams& cell,
+                                                 Rng& rng);
+
+}  // namespace memcim

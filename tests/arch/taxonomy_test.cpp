@@ -1,0 +1,55 @@
+#include "arch/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace memcim {
+namespace {
+
+TEST(Taxonomy, FiveClassesInPaperOrder) {
+  const auto survey = taxonomy_survey();
+  ASSERT_EQ(survey.size(), 5u);
+  EXPECT_EQ(survey.front().cls, SystemClass::kMainMemoryEra);
+  EXPECT_EQ(survey.back().cls, SystemClass::kComputationInMemory);
+}
+
+TEST(Taxonomy, MovementShareSharpensTowardCim) {
+  const auto survey = taxonomy_survey();
+  // The pre-cache machine and today's cache-bound machines spend most
+  // energy moving data; CIM spends essentially none.
+  EXPECT_GT(survey[0].movement_energy_share, 0.99);   // DRAM era
+  EXPECT_GT(survey[1].movement_energy_share, 0.95);   // cache era
+  // Paper Section II.B: "energy consumption of the cache accesses and
+  // communication makes up easily 70% to 90%" — class (c).
+  EXPECT_GE(survey[2].movement_energy_share, 0.70);
+  EXPECT_LE(survey[2].movement_energy_share, 0.95);
+  EXPECT_LT(survey[4].movement_energy_share, 0.01);   // CIM
+}
+
+TEST(Taxonomy, AccessLatencyMonotoneExceptPim) {
+  const auto survey = taxonomy_survey();
+  // (a) → (c) access latency falls as the working set moves closer.
+  EXPECT_GT(survey[0].access_latency, survey[1].access_latency);
+  EXPECT_GT(survey[1].access_latency, survey[2].access_latency);
+  // CIM is the closest of all.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_GT(survey[i].access_latency, survey[4].access_latency);
+}
+
+TEST(Taxonomy, OpCostsComposeFromAccessAndCompute) {
+  for (const TaxonomyPoint& p : taxonomy_survey()) {
+    EXPECT_GT(p.op_latency.value(), p.access_latency.value());
+    EXPECT_GT(p.op_energy.value(), p.access_energy.value());
+    EXPECT_GT(p.movement_energy_share, 0.0);
+    EXPECT_LT(p.movement_energy_share, 1.0);
+  }
+}
+
+TEST(Taxonomy, LabelsAreDistinct) {
+  const auto survey = taxonomy_survey();
+  for (std::size_t i = 0; i < survey.size(); ++i)
+    for (std::size_t j = i + 1; j < survey.size(); ++j)
+      EXPECT_STRNE(to_string(survey[i].cls), to_string(survey[j].cls));
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,127 @@
+#include "common/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace memcim {
+namespace {
+
+TEST(Sparse, DuplicateTripletsAreSummed) {
+  SparseMatrix a(2, 2);
+  a.add(0, 0, 1.0);
+  a.add(0, 0, 2.5);
+  a.add(1, 1, 4.0);
+  a.finalize();
+  EXPECT_EQ(a.nonzeros(), 2u);
+  const auto d = a.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 3.5);
+  EXPECT_DOUBLE_EQ(d[1], 4.0);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  Rng rng(11);
+  const std::size_t n = 20;
+  SparseMatrix s(n, n);
+  for (int k = 0; k < 80; ++k) {
+    const auto r = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const auto c = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    s.add(r, c, rng.uniform(-2.0, 2.0));
+  }
+  s.finalize();
+  const Matrix d = s.to_dense();
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto ys = s.multiply(x);
+  const auto yd = d.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(Sparse, EmptyRowsHandled) {
+  SparseMatrix a(3, 3);
+  a.add(0, 0, 2.0);
+  a.add(2, 2, 5.0);
+  a.finalize();
+  const auto y = a.multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+TEST(Sparse, RequiresFinalizeBeforeUse) {
+  SparseMatrix a(2, 2);
+  a.add(0, 0, 1.0);
+  EXPECT_THROW((void)a.multiply({1.0, 1.0}), Error);
+  EXPECT_THROW((void)a.nonzeros(), Error);
+}
+
+TEST(Sparse, OutOfRangeAddThrows) {
+  SparseMatrix a(2, 2);
+  EXPECT_THROW(a.add(2, 0, 1.0), Error);
+  EXPECT_THROW(a.add(0, 5, 1.0), Error);
+}
+
+// Build the graph Laplacian of a path with both ends tied to ground —
+// SPD, and structurally identical to crossbar nodal matrices.
+SparseMatrix grounded_path_laplacian(std::size_t n, double g) {
+  SparseMatrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    a.add(i, i, g);
+    a.add(i + 1, i + 1, g);
+    a.add(i, i + 1, -g);
+    a.add(i + 1, i, -g);
+  }
+  a.add(0, 0, g);          // tie to ground
+  a.add(n - 1, n - 1, g);  // tie to ground
+  a.finalize();
+  return a;
+}
+
+TEST(Sparse, CgMatchesLuOnSpdSystem) {
+  const std::size_t n = 50;
+  const auto a = grounded_path_laplacian(n, 1e-3);
+  std::vector<double> b(n, 0.0);
+  b[0] = 1e-3;  // inject current at node 0
+  const auto x_lu = solve_dense(a.to_dense(), b);
+  const auto cg = conjugate_gradient(a, b);
+  ASSERT_TRUE(cg.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(cg.x[i], x_lu[i], 1e-6);
+}
+
+TEST(Sparse, CgZeroRhsIsZeroSolution) {
+  const auto a = grounded_path_laplacian(10, 1.0);
+  const auto cg = conjugate_gradient(a, std::vector<double>(10, 0.0));
+  EXPECT_TRUE(cg.converged);
+  EXPECT_EQ(cg.iterations, 0u);
+  for (double v : cg.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Sparse, CgIterationCapRespected) {
+  const auto a = grounded_path_laplacian(100, 1.0);
+  std::vector<double> b(100, 1.0);
+  CgOptions opts;
+  opts.max_iterations = 2;
+  opts.tolerance = 1e-15;
+  const auto cg = conjugate_gradient(a, b, opts);
+  EXPECT_FALSE(cg.converged);
+  EXPECT_EQ(cg.iterations, 2u);
+  EXPECT_GT(cg.residual_norm, 0.0);
+}
+
+TEST(Sparse, CgScalesToLargerSystems) {
+  const std::size_t n = 2000;
+  const auto a = grounded_path_laplacian(n, 5e-4);
+  std::vector<double> b(n, 0.0);
+  b[n / 2] = 1e-3;
+  const auto cg = conjugate_gradient(a, b);
+  EXPECT_TRUE(cg.converged);
+  // Residual check: ‖b − A·x‖ small relative to ‖b‖.
+  const auto ax = a.multiply(cg.x);
+  double r2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) r2 += (b[i] - ax[i]) * (b[i] - ax[i]);
+  EXPECT_LT(std::sqrt(r2), 1e-10);
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,76 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+TEST(Units, LiteralsScaleToBaseSi) {
+  EXPECT_DOUBLE_EQ((200.0_ps).value(), 200e-12);
+  EXPECT_DOUBLE_EQ((1.0_fJ).value(), 1e-15);
+  EXPECT_DOUBLE_EQ((175.0_nW).value(), 175e-9);
+  EXPECT_DOUBLE_EQ((10.0_kohm).value(), 1e4);
+  EXPECT_DOUBLE_EQ((1.0_GHz).value(), 1e9);
+  EXPECT_DOUBLE_EQ((0.248_um2).value(), 0.248e-12);
+  EXPECT_DOUBLE_EQ((5.0_nm).value(), 5e-9);
+}
+
+TEST(Units, OhmsLawRoundTrip) {
+  const Voltage v = 2.0_V;
+  const Resistance r = 10.0_kohm;
+  const Current i = v / r;
+  EXPECT_DOUBLE_EQ(i.value(), 2e-4);
+  EXPECT_DOUBLE_EQ((i * r).value(), v.value());
+  const Conductance g = 1.0 / r;
+  EXPECT_DOUBLE_EQ((g * v).value(), i.value());
+}
+
+TEST(Units, PowerEnergyAlgebra) {
+  const Power p = 2.0_V * 1.0_mA;           // 2 mW
+  const Energy e = p * 1.0_ns;              // 2 pJ
+  EXPECT_DOUBLE_EQ(p.value(), 2e-3);
+  EXPECT_DOUBLE_EQ(e.value(), 2e-12);
+  const EnergyDelay edp = e * 1.0_ns;
+  EXPECT_DOUBLE_EQ(edp.value(), 2e-21);
+}
+
+TEST(Units, SameDimensionRatioIsScalarDouble) {
+  const double ratio = 1.0_us / 1.0_ns;
+  EXPECT_DOUBLE_EQ(ratio, 1000.0);
+}
+
+TEST(Units, FrequencyPeriodInverse) {
+  const Frequency f = 1.0_GHz;
+  const Time period = 1.0 / f;
+  EXPECT_DOUBLE_EQ(period.value(), 1e-9);
+}
+
+TEST(Units, ComparisonAndArithmetic) {
+  EXPECT_LT(1.0_ns, 1.0_us);
+  EXPECT_EQ(1.0_ns + 1.0_ns, 2.0_ns);
+  EXPECT_EQ(-(1.0_V), Voltage(-1.0));
+  Time t = 1.0_ns;
+  t += 1.0_ns;
+  t *= 2.0;
+  EXPECT_DOUBLE_EQ(t.value(), 4e-9);
+  EXPECT_DOUBLE_EQ(abs(Voltage(-3.0)).value(), 3.0);
+}
+
+TEST(Units, SiStringPicksEngineeringPrefix) {
+  EXPECT_EQ(si_string(2.5e-9, "s"), "2.5 ns");
+  EXPECT_EQ(si_string(1.5e4, "ohm"), "15 kohm");
+  EXPECT_EQ(si_string(0.0, "J"), "0 J");
+  EXPECT_EQ(si_string(1e-15, "J"), "1 fJ");
+}
+
+TEST(Units, SciAndFixedStrings) {
+  EXPECT_EQ(sci_string(2.0210e-6), "2.0210e-06");
+  EXPECT_EQ(fixed_string(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace memcim

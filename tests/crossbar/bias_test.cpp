@@ -1,0 +1,69 @@
+#include "crossbar/bias.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+TEST(Bias, FloatingSchemeLeavesUnaccessedLinesFloating) {
+  const LineBias b = access_bias(4, 4, 1, 2, 2.0_V, BiasScheme::kFloating);
+  ASSERT_EQ(b.rows.size(), 4u);
+  ASSERT_EQ(b.cols.size(), 4u);
+  EXPECT_EQ(b.rows[1], 2.0_V);
+  EXPECT_EQ(b.cols[2], Voltage(0.0));
+  for (std::size_t r : {0u, 2u, 3u}) EXPECT_FALSE(b.rows[r].has_value());
+  for (std::size_t c : {0u, 1u, 3u}) EXPECT_FALSE(b.cols[c].has_value());
+}
+
+TEST(Bias, GroundedSchemeDrivesAllLines) {
+  const LineBias b = access_bias(3, 3, 0, 0, 1.0_V, BiasScheme::kGrounded);
+  EXPECT_EQ(b.rows[0], 1.0_V);
+  EXPECT_EQ(*b.rows[1], Voltage(0.0));
+  EXPECT_EQ(*b.rows[2], Voltage(0.0));
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(*b.cols[c], Voltage(0.0));
+}
+
+TEST(Bias, VHalfSchemeHalfSelectVoltages) {
+  const LineBias b = access_bias(3, 3, 1, 1, 2.0_V, BiasScheme::kVHalf);
+  EXPECT_EQ(*b.rows[1], 2.0_V);
+  EXPECT_EQ(*b.cols[1], Voltage(0.0));
+  EXPECT_EQ(*b.rows[0], 1.0_V);
+  EXPECT_EQ(*b.cols[0], 1.0_V);
+  // Unselected cell (0,0): 1 − 1 = 0 V.  Half-selected (1,0): 2 − 1 = 1 V.
+}
+
+TEST(Bias, VThirdSchemeThirdsPattern) {
+  const LineBias b = access_bias(3, 3, 0, 0, 3.0_V, BiasScheme::kVThird);
+  EXPECT_EQ(*b.rows[0], 3.0_V);
+  EXPECT_EQ(*b.cols[0], Voltage(0.0));
+  EXPECT_DOUBLE_EQ(b.rows[1]->value(), 1.0);   // V/3
+  EXPECT_DOUBLE_EQ(b.cols[1]->value(), 2.0);   // 2V/3
+  // Unselected cell (1,1) sees 1 − 2 = −V/3; half-selected row cell
+  // (0,1) sees 3 − 2 = V/3; half-selected column cell (1,0) sees V/3.
+}
+
+TEST(Bias, NegativeAmplitudeMirrors) {
+  const LineBias b = access_bias(2, 2, 0, 0, -2.0_V, BiasScheme::kVHalf);
+  EXPECT_EQ(*b.rows[0], -2.0_V);
+  EXPECT_DOUBLE_EQ(b.rows[1]->value(), -1.0);
+  EXPECT_DOUBLE_EQ(b.cols[1]->value(), -1.0);
+}
+
+TEST(Bias, OutOfRangeAccessThrows) {
+  EXPECT_THROW((void)access_bias(2, 2, 2, 0, 1.0_V, BiasScheme::kVHalf), Error);
+  EXPECT_THROW((void)access_bias(2, 2, 0, 5, 1.0_V, BiasScheme::kVHalf), Error);
+}
+
+TEST(Bias, SchemeNames) {
+  EXPECT_STREQ(to_string(BiasScheme::kFloating), "floating");
+  EXPECT_STREQ(to_string(BiasScheme::kGrounded), "grounded");
+  EXPECT_STREQ(to_string(BiasScheme::kVHalf), "v/2");
+  EXPECT_STREQ(to_string(BiasScheme::kVThird), "v/3");
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,133 @@
+#include "crossbar/ecc_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/presets.h"
+
+namespace memcim {
+namespace {
+
+TEST(Ecc, EncodeDecodeRoundTripAllBytes) {
+  for (int v = 0; v < 256; ++v) {
+    const auto cw = ecc_encode(static_cast<std::uint8_t>(v));
+    const EccDecodeResult r = ecc_decode(cw);
+    EXPECT_EQ(r.data, v);
+    EXPECT_FALSE(r.corrected);
+    EXPECT_FALSE(r.uncorrectable);
+  }
+}
+
+TEST(Ecc, EverySingleBitErrorIsCorrected) {
+  // Property: for a sample of bytes, flipping any one of the 13
+  // codeword bits still decodes to the original byte.
+  for (int v : {0x00, 0xFF, 0xA5, 0x3C, 0x01, 0x80, 0x5A}) {
+    const auto clean = ecc_encode(static_cast<std::uint8_t>(v));
+    for (std::size_t bit = 0; bit < kEccCodewordBits; ++bit) {
+      auto corrupted = clean;
+      corrupted[bit] = !corrupted[bit];
+      const EccDecodeResult r = ecc_decode(corrupted);
+      EXPECT_EQ(r.data, v) << "byte " << v << " bit " << bit;
+      EXPECT_TRUE(r.corrected) << "byte " << v << " bit " << bit;
+      EXPECT_FALSE(r.uncorrectable);
+    }
+  }
+}
+
+TEST(Ecc, DoubleBitErrorsAreDetected) {
+  for (int v : {0x00, 0xFF, 0x96}) {
+    const auto clean = ecc_encode(static_cast<std::uint8_t>(v));
+    int detected = 0, total = 0;
+    for (std::size_t b1 = 0; b1 < kEccCodewordBits; ++b1)
+      for (std::size_t b2 = b1 + 1; b2 < kEccCodewordBits; ++b2) {
+        auto corrupted = clean;
+        corrupted[b1] = !corrupted[b1];
+        corrupted[b2] = !corrupted[b2];
+        const EccDecodeResult r = ecc_decode(corrupted);
+        ++total;
+        if (r.uncorrectable) ++detected;
+        EXPECT_FALSE(r.corrected && r.data == v && !r.uncorrectable)
+            << "double error silently mis-decoded as clean correction";
+      }
+    EXPECT_EQ(detected, total) << "all double errors must be flagged";
+  }
+}
+
+TEST(Ecc, TripleErrorsNeverCrashAndNeverDecodeSilently) {
+  // ≥3-bit errors are beyond SECDED: some alias to a (wrong) single-bit
+  // correction, some to invalid syndromes (13–15) — the decoder must
+  // flag the latter as uncorrectable and must never throw.
+  const auto clean = ecc_encode(0x6D);
+  int invalid_syndrome_cases = 0;
+  for (std::size_t b1 = 0; b1 < kEccCodewordBits; ++b1)
+    for (std::size_t b2 = b1 + 1; b2 < kEccCodewordBits; ++b2)
+      for (std::size_t b3 = b2 + 1; b3 < kEccCodewordBits; ++b3) {
+        auto corrupted = clean;
+        corrupted[b1] = !corrupted[b1];
+        corrupted[b2] = !corrupted[b2];
+        corrupted[b3] = !corrupted[b3];
+        const EccDecodeResult r = ecc_decode(corrupted);  // must not throw
+        if (r.uncorrectable) ++invalid_syndrome_cases;
+      }
+  EXPECT_GT(invalid_syndrome_cases, 0);
+}
+
+TEST(EccMemory, TransparentStorage) {
+  EccCrsMemory mem(16, presets::crs_cell());
+  for (std::size_t r = 0; r < 16; ++r)
+    mem.write_byte(r, static_cast<std::uint8_t>(r * 17));
+  for (std::size_t r = 0; r < 16; ++r) {
+    const auto result = mem.read_byte(r);
+    EXPECT_EQ(result.data, static_cast<std::uint8_t>(r * 17));
+    EXPECT_FALSE(result.corrected);
+  }
+  EXPECT_EQ(mem.corrected_errors(), 0u);
+}
+
+TEST(EccMemory, InjectedFaultIsCorrectedAndScrubbed) {
+  EccCrsMemory mem(4, presets::crs_cell());
+  mem.write_byte(2, 0xB7);
+  mem.inject_error(2, 5);
+  const auto first = mem.read_byte(2);
+  EXPECT_EQ(first.data, 0xB7);
+  EXPECT_TRUE(first.corrected);
+  EXPECT_EQ(mem.corrected_errors(), 1u);
+  // Scrubbing repaired the stored codeword: the next read is clean.
+  const auto second = mem.read_byte(2);
+  EXPECT_EQ(second.data, 0xB7);
+  EXPECT_FALSE(second.corrected);
+  EXPECT_EQ(mem.corrected_errors(), 1u);
+}
+
+TEST(EccMemory, DoubleFaultFlaggedUncorrectable) {
+  EccCrsMemory mem(1, presets::crs_cell());
+  mem.write_byte(0, 0x42);
+  mem.inject_error(0, 3);
+  mem.inject_error(0, 9);
+  const auto r = mem.read_byte(0);
+  EXPECT_TRUE(r.uncorrectable);
+  EXPECT_EQ(mem.uncorrectable_errors(), 1u);
+}
+
+TEST(EccMemory, ScrubbingPreventsErrorAccumulation) {
+  // One error at a time, read (and scrub) between injections: the bank
+  // survives many more faults than its 2-error codeword limit.
+  EccCrsMemory mem(1, presets::crs_cell());
+  mem.write_byte(0, 0x5C);
+  for (std::size_t round = 0; round < 10; ++round) {
+    mem.inject_error(0, round % kEccCodewordBits);
+    const auto r = mem.read_byte(0);
+    EXPECT_EQ(r.data, 0x5C) << "round " << round;
+    EXPECT_FALSE(r.uncorrectable);
+  }
+  EXPECT_EQ(mem.corrected_errors(), 10u);
+}
+
+TEST(EccMemory, Validation) {
+  EccCrsMemory mem(2, presets::crs_cell());
+  EXPECT_THROW(mem.inject_error(0, 13), Error);
+  EXPECT_THROW(mem.write_byte(5, 0), Error);
+}
+
+}  // namespace
+}  // namespace memcim

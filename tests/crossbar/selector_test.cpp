@@ -1,0 +1,115 @@
+#include "crossbar/selector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "device/presets.h"
+#include "device/vcm.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+std::unique_ptr<Device> lrs_vcm() {
+  return std::make_unique<VcmDevice>(presets::vcm_taox(), 1.0);
+}
+
+TEST(Selector, DiodeForwardReverseAsymmetry) {
+  const SelectorIv d = diode_selector();
+  const double fwd = d.current(0.7_V).value();
+  const double rev = d.current(-0.7_V).value();
+  EXPECT_GT(fwd, 1e-6);
+  EXPECT_LT(std::abs(rev), 2e-12);  // only the saturation leak
+  EXPECT_LT(rev, 0.0);
+  EXPECT_DOUBLE_EQ(d.current(Voltage(0.0)).value(), 0.0);
+}
+
+TEST(Selector, DiodeExponentOverflowClamped) {
+  const SelectorIv d = diode_selector();
+  EXPECT_TRUE(std::isfinite(d.current(100.0_V).value()));
+}
+
+TEST(Selector, NonlinearSelectorOddAndSuperlinear) {
+  const SelectorIv s = nonlinear_selector();
+  const double i1 = s.current(0.5_V).value();
+  const double i2 = s.current(1.0_V).value();
+  EXPECT_DOUBLE_EQ(s.current(-0.5_V).value(), -i1);
+  EXPECT_GT(i2 / i1, 10.0);  // far steeper than ohmic doubling
+}
+
+TEST(Selector, SeriesStackCurrentContinuity) {
+  SelectorDevice stack(lrs_vcm(), nonlinear_selector());
+  const Voltage v = 1.0_V;
+  const Voltage vd = stack.device_share(v);
+  const double i_dev = stack.base().current(vd).value();
+  const double i_sel =
+      nonlinear_selector().current(Voltage(v.value() - vd.value())).value();
+  EXPECT_NEAR(i_dev, i_sel, std::abs(i_dev) * 1e-6 + 1e-15);
+  EXPECT_NEAR(stack.current(v).value(), i_dev, 1e-15);
+}
+
+TEST(Selector, DiodeStackBlocksReverseSneak) {
+  SelectorDevice stack(lrs_vcm(), diode_selector());
+  // Reverse bias: the diode eats nearly all the drop.
+  const double i_rev = stack.current(-1.0_V).value();
+  EXPECT_LT(std::abs(i_rev), 2e-12);
+  // Forward: nearly the bare-device current (diode drop ≈ 0.5–0.7 V
+  // costs some, but current must still be within an order of magnitude).
+  const double i_fwd = stack.current(1.5_V).value();
+  EXPECT_GT(i_fwd, 1e-5);
+}
+
+TEST(Selector, ApplyForwardWritesReverseDoesNot) {
+  const VcmParams p = presets::vcm_taox();
+  SelectorDevice stack(std::make_unique<VcmDevice>(p, 0.0), diode_selector());
+  // Reverse "write": diode blocks, device must stay HRS.
+  stack.apply(Voltage(-p.v_write.value() * 1.5), p.t_switch * 10.0);
+  EXPECT_LT(stack.state(), 0.05);
+  // Forward write with margin for the diode drop.
+  for (int i = 0; i < 20; ++i)
+    stack.apply(Voltage(p.v_write.value() + 0.8), p.t_switch);
+  EXPECT_TRUE(stack.is_lrs());
+}
+
+TEST(Selector, TransistorGateControlsCurrent) {
+  TransistorDevice t(lrs_vcm());
+  t.set_gate(false);
+  const double i_off = t.current(1.0_V).value();
+  t.set_gate(true);
+  const double i_on = t.current(1.0_V).value();
+  EXPECT_GT(i_on / i_off, 1e6);
+  // Gate on: current close to bare device (R_on 2 kΩ + 10 kΩ device).
+  EXPECT_NEAR(i_on, 1.0 / 12e3, 1.0 / 12e3 * 0.01);
+}
+
+TEST(Selector, TransistorOffBlocksWrites) {
+  const VcmParams p = presets::vcm_taox();
+  TransistorDevice t(std::make_unique<VcmDevice>(p, 0.0));
+  t.set_gate(false);
+  t.apply(p.v_write * 1.5, p.t_switch * 100.0);
+  EXPECT_LT(t.state(), 0.01);
+  t.set_gate(true);
+  for (int i = 0; i < 10; ++i) t.apply(p.v_write * 1.5, p.t_switch);
+  EXPECT_TRUE(t.is_lrs());
+}
+
+TEST(Selector, CloneDeepCopiesWrappedDevice) {
+  SelectorDevice stack(std::make_unique<VcmDevice>(presets::vcm_taox(), 0.0),
+                       nonlinear_selector());
+  auto copy = stack.clone();
+  stack.set_state(1.0);
+  EXPECT_DOUBLE_EQ(copy->state(), 0.0);
+  EXPECT_DOUBLE_EQ(stack.state(), 1.0);
+
+  TransistorDevice t(lrs_vcm());
+  t.set_gate(true);
+  auto tc = t.clone();
+  auto* tcd = dynamic_cast<TransistorDevice*>(tc.get());
+  ASSERT_NE(tcd, nullptr);
+  EXPECT_TRUE(tcd->gate());
+}
+
+}  // namespace
+}  // namespace memcim

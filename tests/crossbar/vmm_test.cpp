@@ -1,0 +1,110 @@
+#include "crossbar/vmm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "device/presets.h"
+#include "device/vcm.h"
+
+namespace memcim {
+namespace {
+
+VmmConfig vmm_cfg(std::size_t in, std::size_t out,
+                  NetworkModel model = NetworkModel::kLumpedLines) {
+  VmmConfig cfg;
+  cfg.array.rows = in;
+  cfg.array.cols = out;
+  cfg.array.model = model;
+  return cfg;
+}
+
+VcmDevice linear_proto() { return VcmDevice(presets::vcm_taox(), 0.0); }
+
+TEST(Vmm, IdentityMatrixPassesInputsThrough) {
+  CrossbarVmm vmm(vmm_cfg(4, 4), linear_proto());
+  std::vector<std::vector<double>> eye(4, std::vector<double>(4, 0.0));
+  for (std::size_t i = 0; i < 4; ++i) eye[i][i] = 1.0;
+  vmm.program(eye);
+  const std::vector<double> x{0.1, 0.5, 0.9, 0.0};
+  const auto y = vmm.multiply(x);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(y[j], x[j], 1e-9);
+}
+
+TEST(Vmm, MatchesGoldenOnIdealWires) {
+  Rng rng(314);
+  CrossbarVmm vmm(vmm_cfg(8, 6), linear_proto());
+  std::vector<std::vector<double>> w(8, std::vector<double>(6));
+  for (auto& row : w)
+    for (auto& wij : row) wij = rng.uniform(0.0, 1.0);
+  vmm.program(w);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(8);
+    for (auto& xi : x) xi = rng.uniform(0.0, 1.0);
+    const auto analog = vmm.multiply(x);
+    const auto exact = vmm.golden(x);
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(analog[j], exact[j], 1e-6) << "output " << j;
+  }
+}
+
+TEST(Vmm, ZeroWeightsGiveZeroOutput) {
+  CrossbarVmm vmm(vmm_cfg(4, 3), linear_proto());
+  vmm.program(std::vector<std::vector<double>>(4, std::vector<double>(3, 0.0)));
+  const auto y = vmm.multiply({1.0, 1.0, 1.0, 1.0});
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Vmm, FullWeightsSumAllInputs) {
+  CrossbarVmm vmm(vmm_cfg(5, 2), linear_proto());
+  vmm.program(std::vector<std::vector<double>>(5, std::vector<double>(2, 1.0)));
+  const auto y = vmm.multiply({0.2, 0.2, 0.2, 0.2, 0.2});
+  EXPECT_NEAR(y[0], 1.0, 1e-9);
+  EXPECT_NEAR(y[1], 1.0, 1e-9);
+}
+
+TEST(Vmm, WireResistanceDegradesAccuracy) {
+  Rng rng(99);
+  std::vector<std::vector<double>> w(16, std::vector<double>(16));
+  for (auto& row : w)
+    for (auto& wij : row) wij = rng.uniform(0.3, 1.0);
+  std::vector<double> x(16);
+  for (auto& xi : x) xi = rng.uniform(0.3, 1.0);
+
+  CrossbarVmm ideal(vmm_cfg(16, 16), linear_proto());
+  ideal.program(w);
+  VmmConfig resistive = vmm_cfg(16, 16, NetworkModel::kDistributed);
+  resistive.array.wire_segment = Resistance(20.0);
+  CrossbarVmm wired(resistive, linear_proto());
+  wired.program(w);
+
+  EXPECT_LT(ideal.relative_error(x), 1e-8);
+  EXPECT_GT(wired.relative_error(x), ideal.relative_error(x) * 100.0);
+  // ...but still bounded: ~10 % of full scale at 20 Ω/segment on a
+  // dense all-active 16×16 pattern (the IR-drop tax, see
+  // bench_ablation_vmm for the sweep).
+  EXPECT_LT(wired.relative_error(x), 0.2);
+}
+
+TEST(Vmm, ReadVoltageDoesNotDisturbWeights) {
+  CrossbarVmm vmm(vmm_cfg(4, 4), linear_proto());
+  std::vector<std::vector<double>> w(4, std::vector<double>(4, 0.5));
+  vmm.program(w);
+  const std::vector<double> x{1.0, 1.0, 1.0, 1.0};
+  const auto y1 = vmm.multiply(x);
+  for (int rep = 0; rep < 100; ++rep) (void)vmm.multiply(x);
+  const auto y2 = vmm.multiply(x);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(y1[j], y2[j]);
+}
+
+TEST(Vmm, Validation) {
+  CrossbarVmm vmm(vmm_cfg(2, 2), linear_proto());
+  EXPECT_THROW(vmm.program({{0.5}}), Error);                 // shape
+  EXPECT_THROW(vmm.program({{1.5, 0.0}, {0.0, 0.0}}), Error);  // range
+  vmm.program({{1.0, 0.0}, {0.0, 1.0}});
+  EXPECT_THROW((void)vmm.multiply({0.5}), Error);            // length
+  EXPECT_THROW((void)vmm.multiply({0.5, 2.0}), Error);       // range
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,230 @@
+#include "device/crs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/presets.h"
+#include "device/vcm.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+// ---------------------------------------------------------------------------
+// Behavioural CrsCell.
+// ---------------------------------------------------------------------------
+
+TEST(CrsCell, WriteThenReadOne) {
+  CrsCell cell(presets::crs_cell());
+  cell.write(true);
+  EXPECT_EQ(cell.state(), CrsState::kOne);
+  const auto r = cell.read();
+  EXPECT_TRUE(r.bit);
+  EXPECT_FALSE(r.destructive);
+  EXPECT_EQ(cell.state(), CrsState::kOne);  // '1' read is non-destructive
+  EXPECT_DOUBLE_EQ(r.spike.value(), 0.0);
+}
+
+TEST(CrsCell, ReadZeroIsDestructiveWithSpike) {
+  CrsCell cell(presets::crs_cell(), CrsState::kZero);
+  const auto r = cell.read();
+  EXPECT_FALSE(r.bit);
+  EXPECT_TRUE(r.destructive);
+  EXPECT_EQ(cell.state(), CrsState::kOn);  // paper: '0' switches to ON
+  EXPECT_GT(r.spike.value(), 0.0);
+}
+
+TEST(CrsCell, ReadWithWritebackRestoresZero) {
+  CrsCell cell(presets::crs_cell(), CrsState::kZero);
+  const auto r = cell.read_with_writeback();
+  EXPECT_TRUE(r.destructive);
+  EXPECT_EQ(cell.state(), CrsState::kZero);
+  // Re-read gives the same answer.
+  const auto r2 = cell.read_with_writeback();
+  EXPECT_FALSE(r2.bit);
+  EXPECT_EQ(cell.state(), CrsState::kZero);
+}
+
+TEST(CrsCell, LowBiasNeverDisturbs) {
+  // "The internal memory states '0' and '1' of a CRS cell are
+  // indistinguishable at low voltages" — and untouched by them.
+  for (CrsState s : {CrsState::kZero, CrsState::kOne}) {
+    CrsCell cell(presets::crs_cell(), s);
+    cell.apply_pulse(0.9_V);    // below v_th1
+    cell.apply_pulse(-0.9_V);   // above v_th3
+    EXPECT_EQ(cell.state(), s);
+    EXPECT_EQ(cell.transitions(), 0u);
+  }
+}
+
+TEST(CrsCell, FullWritePathsFromEveryState) {
+  for (CrsState s : {CrsState::kZero, CrsState::kOne, CrsState::kOn}) {
+    CrsCell c1(presets::crs_cell(), s);
+    c1.write(true);
+    EXPECT_EQ(c1.state(), CrsState::kOne) << "from " << to_string(s);
+    CrsCell c0(presets::crs_cell(), s);
+    c0.write(false);
+    EXPECT_EQ(c0.state(), CrsState::kZero) << "from " << to_string(s);
+  }
+}
+
+TEST(CrsCell, IntermediatePositivePulseOnlyHalfSwitches) {
+  CrsCell cell(presets::crs_cell(), CrsState::kZero);
+  cell.apply_pulse(1.5_V);  // v_th1 < v < v_th2
+  EXPECT_EQ(cell.state(), CrsState::kOn);
+  cell.apply_pulse(1.5_V);  // staying in ON
+  EXPECT_EQ(cell.state(), CrsState::kOn);
+  cell.apply_pulse(2.5_V);  // complete the transition
+  EXPECT_EQ(cell.state(), CrsState::kOne);
+}
+
+TEST(CrsCell, NegativeBranchMirrors) {
+  CrsCell cell(presets::crs_cell(), CrsState::kOne);
+  cell.apply_pulse(-1.5_V);
+  EXPECT_EQ(cell.state(), CrsState::kOn);
+  cell.apply_pulse(-2.5_V);
+  EXPECT_EQ(cell.state(), CrsState::kZero);
+}
+
+TEST(CrsCell, EnergyCountsTransitionsOnly) {
+  CrsCell cell(presets::crs_cell(), CrsState::kZero);
+  cell.apply_pulse(0.5_V);  // no transition
+  EXPECT_DOUBLE_EQ(cell.energy().value(), 0.0);
+  cell.write(true);  // 0 → 1: one transition
+  EXPECT_DOUBLE_EQ(cell.energy().value(), 1e-15);
+  cell.write(true);  // already 1: no energy
+  EXPECT_DOUBLE_EQ(cell.energy().value(), 1e-15);
+  EXPECT_EQ(cell.transitions(), 1u);
+  EXPECT_EQ(cell.pulses(), 3u);
+}
+
+TEST(CrsCell, InvalidThresholdsRejected) {
+  CrsCellParams p = presets::crs_cell();
+  p.v_read = 2.5_V;  // outside (v_th1, v_th2)
+  EXPECT_THROW(CrsCell{p}, Error);
+  p = presets::crs_cell();
+  p.v_th2 = 0.5_V;  // below v_th1
+  EXPECT_THROW(CrsCell{p}, Error);
+  p = presets::crs_cell();
+  p.v_th4 = -0.5_V;  // above v_th3
+  EXPECT_THROW(CrsCell{p}, Error);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit-level CrsDevice.
+// ---------------------------------------------------------------------------
+
+TEST(CrsDevice, ForceStateMapsToConstituents) {
+  auto crs = presets::make_crs_vcm();
+  crs->force_state(CrsState::kOne);
+  EXPECT_EQ(crs->logic_state(), CrsState::kOne);
+  EXPECT_TRUE(crs->device_a().is_lrs());
+  EXPECT_FALSE(crs->device_b().is_lrs());
+  crs->force_state(CrsState::kZero);
+  EXPECT_EQ(crs->logic_state(), CrsState::kZero);
+  crs->force_state(CrsState::kOn);
+  EXPECT_EQ(crs->logic_state(), CrsState::kOn);
+}
+
+TEST(CrsDevice, SplitVoltageConservesTotal) {
+  auto crs = presets::make_crs_vcm();
+  crs->force_state(CrsState::kZero);
+  const Voltage v = 1.2_V;
+  const Voltage va = crs->split_voltage(v);
+  // Currents through both constituents must match at the solution.
+  const double ia = crs->device_a().current(va).value();
+  const double ib = crs->device_b().current(v - va).value();
+  EXPECT_NEAR(ia, ib, std::abs(ia) * 1e-6 + 1e-15);
+  EXPECT_GE(va.value(), 0.0);
+  EXPECT_LE(va.value(), v.value());
+}
+
+TEST(CrsDevice, HrsDeviceTakesMostOfTheDrop) {
+  auto crs = presets::make_crs_vcm();
+  crs->force_state(CrsState::kZero);  // A:HRS, B:LRS
+  const Voltage va = crs->split_voltage(1.0_V);
+  EXPECT_GT(va.value(), 0.9);  // nearly all across the HRS device A
+}
+
+TEST(CrsDevice, BothLogicStatesBlockAtLowBias) {
+  // The defining CRS property: '0' and '1' are both high-resistive at
+  // read-disturb-free voltages, so no sneak paths.
+  for (CrsState s : {CrsState::kZero, CrsState::kOne}) {
+    auto crs = presets::make_crs_vcm();
+    crs->force_state(s);
+    const Current i = crs->current(0.3_V);
+    // Below a microamp — two orders under the ON current.
+    EXPECT_LT(std::abs(i.value()), 1e-6) << to_string(s);
+  }
+  auto on = presets::make_crs_vcm();
+  on->force_state(CrsState::kOn);
+  EXPECT_GT(on->current(0.3_V).value(), 1e-5);
+}
+
+TEST(CrsDevice, PositiveWritePulseReachesOneViaOn) {
+  auto crs = presets::make_crs_vcm();
+  crs->force_state(CrsState::kZero);
+  // Drive hard positive long enough to SET A and then RESET B.
+  const VcmParams p = presets::vcm_taox();
+  for (int step = 0; step < 200; ++step)
+    crs->apply(2.0 * p.v_write, p.t_switch);
+  EXPECT_EQ(crs->logic_state(), CrsState::kOne);
+}
+
+TEST(CrsDevice, NegativeWritePulseReturnsToZero) {
+  auto crs = presets::make_crs_vcm();
+  crs->force_state(CrsState::kOne);
+  const VcmParams p = presets::vcm_taox();
+  for (int step = 0; step < 200; ++step)
+    crs->apply(-2.0 * p.v_write, p.t_switch);
+  EXPECT_EQ(crs->logic_state(), CrsState::kZero);
+}
+
+TEST(CrsDevice, CloneDeepCopies) {
+  auto crs = presets::make_crs_vcm();
+  crs->force_state(CrsState::kOne);
+  auto copy = crs->clone();
+  crs->force_state(CrsState::kZero);
+  auto* copy_crs = dynamic_cast<CrsDevice*>(copy.get());
+  ASSERT_NE(copy_crs, nullptr);
+  EXPECT_EQ(copy_crs->logic_state(), CrsState::kOne);
+}
+
+TEST(CrsDevice, EcmPairAlsoFormsValidCrs) {
+  // The original Linn et al. demonstration used ECM (Ag) cells; the
+  // same anti-serial construction must show the same state logic.
+  auto crs = presets::make_crs_ecm();
+  EXPECT_EQ(crs->logic_state(), CrsState::kZero);  // factory state
+  for (CrsState s : {CrsState::kZero, CrsState::kOne}) {
+    crs->force_state(s);
+    EXPECT_LT(std::abs(crs->current(0.1_V).value()), 1e-6) << to_string(s);
+  }
+  // Hard positive drive takes '0' through ON to '1' (ECM is slower:
+  // scale pulses by its 10 ns switching time).
+  crs->force_state(CrsState::kZero);
+  const EcmParams p = presets::ecm_ag();
+  for (int step = 0; step < 400; ++step)
+    crs->apply(2.0 * p.v_write, p.t_switch);
+  EXPECT_EQ(crs->logic_state(), CrsState::kOne);
+}
+
+TEST(CrsDevice, IvSweepProducesButterfly) {
+  auto crs = presets::make_crs_vcm();
+  crs->force_state(CrsState::kZero);
+  const auto trace = sweep_iv(*crs, 5.0_V, 50, 100.0_ps);
+  ASSERT_EQ(trace.size(), 200u);
+  // Somewhere on the positive leg the cell passes through ON...
+  bool saw_on = false, saw_one = false;
+  for (const auto& pt : trace) {
+    if (pt.state == CrsState::kOn) saw_on = true;
+    if (pt.state == CrsState::kOne) saw_one = true;
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_one);
+  // ...and the sweep ends back in '0' (negative leg restores it).
+  EXPECT_EQ(trace.back().state, CrsState::kZero);
+}
+
+}  // namespace
+}  // namespace memcim

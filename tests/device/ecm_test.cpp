@@ -1,0 +1,99 @@
+#include "device/ecm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "device/presets.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+TEST(Ecm, ExponentialGapConductance) {
+  EcmDevice d(presets::ecm_ag(), 0.5);
+  const auto& p = d.params();
+  // At half filament the conductance is the geometric mean.
+  const double geo = std::sqrt(p.g_on.value() * p.g_off.value());
+  EXPECT_NEAR(d.state_conductance().value(), geo, geo * 1e-9);
+}
+
+TEST(Ecm, ConductanceEndpoints) {
+  EcmDevice hrs(presets::ecm_ag(), 0.0);
+  EcmDevice lrs(presets::ecm_ag(), 1.0);
+  EXPECT_NEAR(hrs.state_conductance().value(), 1.0 / 100e6, 1e-12);
+  EXPECT_NEAR(lrs.state_conductance().value(), 1.0 / 25e3, 1e-9);
+}
+
+TEST(Ecm, FullSetAtWriteVoltage) {
+  const EcmParams p = presets::ecm_ag();
+  EcmDevice d(p, 0.0);
+  d.apply(p.v_write, p.t_switch);
+  EXPECT_DOUBLE_EQ(d.state(), 1.0);
+}
+
+TEST(Ecm, ResetIsSlowerByAsymmetryFactor) {
+  const EcmParams p = presets::ecm_ag();
+  EcmDevice d(p, 1.0);
+  d.apply(-p.v_write, p.t_switch);
+  // After one SET-duration pulse only 1/asymmetry of the filament is gone.
+  EXPECT_NEAR(d.state(), 1.0 - 1.0 / p.reset_asymmetry, 1e-9);
+  d.apply(-p.v_write, p.t_switch * (p.reset_asymmetry - 1.0));
+  EXPECT_NEAR(d.state(), 0.0, 1e-12);
+}
+
+TEST(Ecm, SubThresholdFrozen) {
+  EcmDevice d(presets::ecm_ag(), 0.4);
+  d.apply(0.2_V, 1.0_s);
+  d.apply(-0.1_V, 1.0_s);
+  EXPECT_DOUBLE_EQ(d.state(), 0.4);
+}
+
+TEST(Ecm, SinhKineticsStronglyNonlinear) {
+  EcmDevice d(presets::ecm_ag(), 0.0);
+  const EcmParams& p = d.params();
+  const double r_half = d.growth_rate(p.v_write / 2.0);
+  const double r_full = d.growth_rate(p.v_write);
+  // sinh kinetics: doubling voltage multiplies the rate far more than 2×.
+  EXPECT_GT(r_full / r_half, 50.0);
+}
+
+TEST(Ecm, GrowthRateSignConvention) {
+  EcmDevice d(presets::ecm_ag(), 0.5);
+  EXPECT_GT(d.growth_rate(1.0_V), 0.0);
+  EXPECT_LT(d.growth_rate(-1.0_V), 0.0);
+  EXPECT_EQ(d.growth_rate(0.0_V), 0.0);
+}
+
+TEST(Ecm, RateNormalizationAtWriteVoltage) {
+  EcmDevice d(presets::ecm_ag(), 0.0);
+  const EcmParams& p = d.params();
+  EXPECT_NEAR(d.growth_rate(p.v_write) * p.t_switch.value(), 1.0, 1e-9);
+}
+
+TEST(Ecm, CurrentFollowsStateConductance) {
+  EcmDevice d(presets::ecm_ag(), 1.0);
+  EXPECT_NEAR(d.current(0.1_V).value(), 0.1 / 25e3, 1e-12);
+}
+
+TEST(Ecm, ParameterValidation) {
+  EcmParams p = presets::ecm_ag();
+  p.reset_asymmetry = 0.5;
+  EXPECT_THROW(EcmDevice{p}, Error);
+  p = presets::ecm_ag();
+  p.v_th_reset = 0.1_V;  // must be negative
+  EXPECT_THROW(EcmDevice{p}, Error);
+}
+
+TEST(Ecm, CloneIndependence) {
+  EcmDevice d(presets::ecm_ag(), 0.0);
+  auto c = d.clone();
+  d.apply(1.0_V, 10.0_ns);
+  EXPECT_DOUBLE_EQ(c->state(), 0.0);
+  EXPECT_DOUBLE_EQ(d.state(), 1.0);
+}
+
+}  // namespace
+}  // namespace memcim

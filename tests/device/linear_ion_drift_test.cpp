@@ -1,0 +1,149 @@
+#include "device/linear_ion_drift.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/presets.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+LinearIonDriftParams params_with(WindowFunction w) {
+  LinearIonDriftParams p = presets::ion_drift_tio2();
+  p.window = w;
+  return p;
+}
+
+TEST(IonDrift, ResistanceEndpoints) {
+  LinearIonDriftDevice hrs(presets::ion_drift_tio2(), 0.0);
+  LinearIonDriftDevice lrs(presets::ion_drift_tio2(), 1.0);
+  EXPECT_DOUBLE_EQ(hrs.resistance().value(), 16e3);
+  EXPECT_DOUBLE_EQ(lrs.resistance().value(), 100.0);
+}
+
+TEST(IonDrift, OhmicCurrent) {
+  LinearIonDriftDevice d(presets::ion_drift_tio2(), 1.0);
+  EXPECT_DOUBLE_EQ(d.current(1.0_V).value(), 1.0 / 100.0);
+  EXPECT_DOUBLE_EQ(d.current(-1.0_V).value(), -1.0 / 100.0);
+}
+
+TEST(IonDrift, PositiveBiasGrowsState) {
+  LinearIonDriftDevice d(params_with(WindowFunction::kNone), 0.1);
+  const double x0 = d.state();
+  for (int i = 0; i < 100; ++i) d.apply(1.0_V, 1.0_us);
+  EXPECT_GT(d.state(), x0);
+}
+
+TEST(IonDrift, NegativeBiasShrinksState) {
+  LinearIonDriftDevice d(params_with(WindowFunction::kNone), 0.9);
+  for (int i = 0; i < 100; ++i) d.apply(-1.0_V, 1.0_us);
+  EXPECT_LT(d.state(), 0.9);
+}
+
+TEST(IonDrift, StateStaysInUnitInterval) {
+  LinearIonDriftDevice d(params_with(WindowFunction::kNone), 0.5);
+  for (int i = 0; i < 1000; ++i) d.apply(5.0_V, 10.0_us);
+  EXPECT_LE(d.state(), 1.0);
+  for (int i = 0; i < 1000; ++i) d.apply(-5.0_V, 10.0_us);
+  EXPECT_GE(d.state(), 0.0);
+}
+
+TEST(IonDrift, JoglekarWindowShape) {
+  LinearIonDriftDevice d(params_with(WindowFunction::kJoglekar));
+  EXPECT_DOUBLE_EQ(d.window_value(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.window_value(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.window_value(1.0, 1.0), 0.0);
+}
+
+TEST(IonDrift, BiolekWindowIsDirectionDependent) {
+  LinearIonDriftDevice d(params_with(WindowFunction::kBiolek));
+  // Near x=1: growth (i>0) is blocked, shrink (i<0) is free.
+  EXPECT_NEAR(d.window_value(1.0, +1.0), 0.0, 1e-12);
+  EXPECT_NEAR(d.window_value(1.0, -1.0), 1.0, 1e-12);
+  // Near x=0: the mirror situation.
+  EXPECT_NEAR(d.window_value(0.0, -1.0), 0.0, 1e-12);
+  EXPECT_NEAR(d.window_value(0.0, +1.0), 1.0, 1e-12);
+}
+
+TEST(IonDrift, ProdromakisWindowPeaksAtCenter) {
+  auto p = params_with(WindowFunction::kProdromakis);
+  p.window_p = 2.0;
+  p.window_j = 1.0;
+  LinearIonDriftDevice d(p);
+  const double center = d.window_value(0.5, 1.0);
+  const double edge = d.window_value(0.0, 1.0);
+  EXPECT_GT(center, edge);
+  EXPECT_GT(center, 0.0);
+}
+
+// Parameterized sweep: every window keeps the state inside [0,1] and
+// preserves the drift direction.
+class WindowSweep : public ::testing::TestWithParam<WindowFunction> {};
+
+TEST_P(WindowSweep, DriftDirectionAndBounds) {
+  LinearIonDriftDevice d(params_with(GetParam()), 0.3);
+  const double x0 = d.state();
+  for (int i = 0; i < 50; ++i) d.apply(1.2_V, 1.0_us);
+  EXPECT_GE(d.state(), x0);
+  EXPECT_LE(d.state(), 1.0);
+  const double x1 = d.state();
+  for (int i = 0; i < 50; ++i) d.apply(-1.2_V, 1.0_us);
+  EXPECT_LE(d.state(), x1);
+  EXPECT_GE(d.state(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowSweep,
+                         ::testing::Values(WindowFunction::kNone,
+                                           WindowFunction::kJoglekar,
+                                           WindowFunction::kBiolek,
+                                           WindowFunction::kProdromakis),
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
+                         });
+
+TEST(IonDrift, EnergyAccumulates) {
+  LinearIonDriftDevice d(presets::ion_drift_tio2(), 1.0);
+  EXPECT_DOUBLE_EQ(d.energy_dissipated().value(), 0.0);
+  d.apply(1.0_V, 1.0_ns);
+  // P = V²/R = 1/100 W for 1 ns → 10 pJ.
+  EXPECT_NEAR(d.energy_dissipated().value(), 1e-11, 1e-13);
+  d.reset_energy();
+  EXPECT_DOUBLE_EQ(d.energy_dissipated().value(), 0.0);
+}
+
+TEST(IonDrift, SwitchCountIncrementsOnCrossing) {
+  LinearIonDriftDevice d(params_with(WindowFunction::kNone), 0.45);
+  EXPECT_EQ(d.switch_count(), 0u);
+  while (d.state() < 0.5) d.apply(1.0_V, 1.0_us);
+  EXPECT_EQ(d.switch_count(), 1u);
+}
+
+TEST(IonDrift, CloneIsIndependent) {
+  LinearIonDriftDevice d(params_with(WindowFunction::kNone), 0.2);
+  auto copy = d.clone();
+  d.apply(1.0_V, 100.0_us);
+  EXPECT_NE(copy->state(), d.state());
+  EXPECT_DOUBLE_EQ(copy->state(), 0.2);
+}
+
+TEST(IonDrift, ParameterValidation) {
+  LinearIonDriftParams p = presets::ion_drift_tio2();
+  p.r_on = Resistance(0.0);
+  EXPECT_THROW(LinearIonDriftDevice{p}, Error);
+  p = presets::ion_drift_tio2();
+  p.r_off = 50.0_ohm;  // < r_on
+  EXPECT_THROW(LinearIonDriftDevice{p}, Error);
+  p = presets::ion_drift_tio2();
+  p.window_p = 0.5;  // must be >= 1
+  EXPECT_THROW(LinearIonDriftDevice{p}, Error);
+}
+
+TEST(IonDrift, ConductanceChordAtZeroUsesProbe) {
+  LinearIonDriftDevice d(presets::ion_drift_tio2(), 1.0);
+  EXPECT_NEAR(d.conductance(Voltage(0.0)).value(), 1.0 / 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,105 @@
+#include "device/pcm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+TEST(Pcm, SetPulseCrystallizes) {
+  PcmDevice d(PcmParams{}, 0.0);
+  // 1.5 V is above the ovonic threshold (so the amorphous cell
+  // conducts and heats) and inside the crystallization power zone.
+  d.apply(1.5_V, 100.0_ns);  // one t_set-long pulse
+  EXPECT_TRUE(d.is_lrs());
+  EXPECT_DOUBLE_EQ(d.state(), 1.0);
+}
+
+TEST(Pcm, ResetPulseMeltQuenches) {
+  PcmDevice d(PcmParams{}, 1.0);
+  d.apply(3.0_V, 1.0_ns);  // melt power, quench-fast
+  EXPECT_FALSE(d.is_lrs());
+  EXPECT_DOUBLE_EQ(d.state(), 0.0);
+}
+
+TEST(Pcm, UnipolarSwitchingIgnoresPolarity) {
+  // Unlike VCM/ECM, negative pulses do exactly what positive ones do.
+  PcmDevice set_neg(PcmParams{}, 0.0);
+  set_neg.apply(-1.5_V, 100.0_ns);
+  EXPECT_TRUE(set_neg.is_lrs());
+  PcmDevice reset_neg(PcmParams{}, 1.0);
+  reset_neg.apply(-3.0_V, 1.0_ns);
+  EXPECT_FALSE(reset_neg.is_lrs());
+}
+
+TEST(Pcm, ReadBiasDoesNotDisturb) {
+  PcmDevice lrs(PcmParams{}, 1.0);
+  PcmDevice hrs(PcmParams{}, 0.0);
+  for (int k = 0; k < 1000; ++k) {
+    lrs.apply(0.3_V, 1.0_us);
+    hrs.apply(0.3_V, 1.0_us);
+  }
+  EXPECT_DOUBLE_EQ(lrs.state(), 1.0);
+  EXPECT_DOUBLE_EQ(hrs.state(), 0.0);
+}
+
+TEST(Pcm, OvonicThresholdSnapsAmorphousConductive) {
+  PcmDevice d(PcmParams{}, 0.0);
+  const double g_low = d.effective_conductance(0.5_V).value();
+  const double g_high = d.effective_conductance(1.3_V).value();
+  EXPECT_GT(g_high / g_low, 50.0);
+  EXPECT_DOUBLE_EQ(g_high, d.params().g_on.value());
+  // Crystalline cells conduct the same below and above threshold.
+  PcmDevice c(PcmParams{}, 1.0);
+  EXPECT_NEAR(c.effective_conductance(0.5_V).value(),
+              c.effective_conductance(1.3_V).value(), 1e-9);
+}
+
+TEST(Pcm, AmorphousResistanceDriftsUpward) {
+  PcmDevice d(PcmParams{}, 0.0);
+  const double g_young = d.effective_conductance(0.1_V).value();
+  // Age the cell 1 s at read bias (sub-heating).
+  for (int k = 0; k < 100; ++k) d.apply(0.1_V, 10.0_ms);
+  const double g_old = d.effective_conductance(0.1_V).value();
+  EXPECT_LT(g_old, g_young);
+  // ν = 0.05 over 6 decades: factor (1e6)^0.05 ≈ 2.
+  EXPECT_NEAR(g_young / g_old, std::pow(1e6, 0.05), 0.1);
+  EXPECT_GT(d.amorphous_age().value(), 0.99);
+}
+
+TEST(Pcm, MeltRestartsDriftClock) {
+  PcmDevice d(PcmParams{}, 0.0);
+  for (int k = 0; k < 100; ++k) d.apply(0.1_V, 10.0_ms);  // age 1 s
+  EXPECT_GT(d.amorphous_age().value(), 0.99);
+  d.apply(3.0_V, 1.0_ns);  // re-melt
+  EXPECT_NEAR(d.amorphous_age().value(), 1e-6, 1e-12);
+}
+
+TEST(Pcm, SetSlowerThanReset) {
+  // The famous PCM asymmetry: crystallization is ~100× slower than
+  // melt-quench.
+  const PcmParams p;
+  EXPECT_GT(p.t_set.value() / p.t_reset.value(), 50.0);
+  PcmDevice d(PcmParams{}, 0.0);
+  d.apply(1.5_V, 10.0_ns);  // a RESET-length pulse cannot SET
+  EXPECT_FALSE(d.is_lrs());
+}
+
+TEST(Pcm, CloneAndValidation) {
+  PcmDevice d(PcmParams{}, 0.7);
+  auto c = d.clone();
+  d.set_state(0.0);
+  EXPECT_DOUBLE_EQ(c->state(), 0.7);
+  PcmParams bad;
+  bad.p_melt = Power(1e-6);  // below crystallize
+  EXPECT_THROW(PcmDevice{bad}, Error);
+  bad = PcmParams{};
+  bad.g_off = Conductance(0.0);
+  EXPECT_THROW(PcmDevice{bad}, Error);
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,114 @@
+#include "device/variability.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "device/presets.h"
+#include "device/vcm.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+std::unique_ptr<Device> fresh_vcm(double x = 0.0) {
+  return std::make_unique<VcmDevice>(presets::vcm_taox(), x);
+}
+
+TEST(Variability, NoParamsIsTransparent) {
+  VariableDevice d(fresh_vcm(1.0), VariabilityParams{}, Rng(1));
+  EXPECT_DOUBLE_EQ(d.gain(), 1.0);
+  VcmDevice ref(presets::vcm_taox(), 1.0);
+  EXPECT_DOUBLE_EQ(d.current(0.3_V).value(), ref.current(0.3_V).value());
+}
+
+TEST(Variability, D2dGainIsSeedDeterministic) {
+  VariabilityParams p;
+  p.sigma_d2d = 0.3;
+  VariableDevice a(fresh_vcm(), p, Rng(42));
+  VariableDevice b(fresh_vcm(), p, Rng(42));
+  VariableDevice c(fresh_vcm(), p, Rng(43));
+  EXPECT_DOUBLE_EQ(a.gain(), b.gain());
+  EXPECT_NE(a.gain(), c.gain());
+  EXPECT_NE(a.gain(), 1.0);
+  EXPECT_GT(a.gain(), 0.0);
+}
+
+TEST(Variability, C2cGainRedrawnOnSwitchEvent) {
+  VariabilityParams p;
+  p.sigma_c2c = 0.2;
+  VariableDevice d(fresh_vcm(0.0), p, Rng(7));
+  const double g0 = d.gain();
+  // Full SET: crosses the 0.5 threshold → one switching event.
+  d.apply(2.0_V, 200.0_ps);
+  EXPECT_NE(d.gain(), g0);
+  const double g1 = d.gain();
+  // Sub-threshold hold: no event, no redraw.
+  d.apply(0.1_V, 1.0_ns);
+  EXPECT_DOUBLE_EQ(d.gain(), g1);
+}
+
+TEST(Variability, EnduranceWearOutSticksDevice) {
+  VariabilityParams p;
+  p.endurance_cycles = 4;
+  p.fail_to_lrs = true;
+  VariableDevice d(fresh_vcm(0.0), p, Rng(3));
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    d.apply(2.0_V, 200.0_ps);   // SET
+    d.apply(-2.0_V, 200.0_ps);  // RESET
+  }
+  EXPECT_TRUE(d.failed());
+  EXPECT_DOUBLE_EQ(d.state(), 1.0);  // stuck at LRS
+  d.apply(-2.0_V, 1.0_ns);           // further writes do nothing
+  EXPECT_DOUBLE_EQ(d.state(), 1.0);
+  d.set_state(0.0);  // even direct set is refused after failure
+  EXPECT_DOUBLE_EQ(d.state(), 1.0);
+}
+
+TEST(Variability, FailToHrsOption) {
+  VariabilityParams p;
+  p.endurance_cycles = 1;
+  p.fail_to_lrs = false;
+  VariableDevice d(fresh_vcm(0.0), p, Rng(3));
+  d.apply(2.0_V, 200.0_ps);
+  EXPECT_TRUE(d.failed());
+  EXPECT_DOUBLE_EQ(d.state(), 0.0);
+}
+
+TEST(Variability, RetentionDriftsTowardMidAtZeroBias) {
+  VariabilityParams p;
+  p.retention_tau = 1.0_s;
+  VariableDevice d(fresh_vcm(1.0), p, Rng(5));
+  d.apply(Voltage(0.0), 2.0_s);
+  EXPECT_LT(d.state(), 1.0);
+  EXPECT_GT(d.state(), 0.5);
+  // Long idle: converges to the unreadable mid state.
+  d.apply(Voltage(0.0), 100.0_s);
+  EXPECT_NEAR(d.state(), 0.5, 1e-6);
+}
+
+TEST(Variability, RetentionDoesNotApplyUnderActiveBias) {
+  VariabilityParams p;
+  p.retention_tau = 1.0_s;
+  VariableDevice d(fresh_vcm(1.0), p, Rng(5));
+  d.apply(0.5_V, 2.0_s);  // read-level bias, sub-threshold but not ~0
+  EXPECT_DOUBLE_EQ(d.state(), 1.0);
+}
+
+TEST(Variability, CloneCopiesFailureAndGain) {
+  VariabilityParams p;
+  p.sigma_d2d = 0.25;
+  p.endurance_cycles = 1;
+  VariableDevice d(fresh_vcm(0.0), p, Rng(11));
+  d.apply(2.0_V, 200.0_ps);
+  ASSERT_TRUE(d.failed());
+  auto c = d.clone();
+  auto* vc = dynamic_cast<VariableDevice*>(c.get());
+  ASSERT_NE(vc, nullptr);
+  EXPECT_TRUE(vc->failed());
+  EXPECT_DOUBLE_EQ(vc->gain(), d.gain());
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,77 @@
+#include "eval/table2.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+
+namespace memcim {
+namespace {
+
+TEST(Table2, SixEntriesThreeMetricsTwoWorkloads) {
+  const Table2 table = make_table2(paper_table1());
+  ASSERT_EQ(table.entries.size(), 6u);
+  int dna = 0, math = 0;
+  for (const auto& e : table.entries) {
+    if (std::string(e.workload) == "DNA sequencing") ++dna;
+    if (std::string(e.workload) == "10^6 additions") ++math;
+  }
+  EXPECT_EQ(dna, 3);
+  EXPECT_EQ(math, 3);
+}
+
+TEST(Table2, CimWinsEveryEnergyMetric) {
+  const Table2 table = make_table2(paper_table1());
+  for (const auto& e : table.entries) {
+    if (std::string(e.metric).find("performance/area") != std::string::npos)
+      continue;  // area story is separate
+    EXPECT_GT(e.improvement(), 100.0)
+        << e.metric << " / " << e.workload
+        << ": CIM must win by orders of magnitude";
+  }
+}
+
+TEST(Table2, MathColumnTracksPaperValues) {
+  const Table2 table = make_table2(paper_table1());
+  for (const auto& e : table.entries) {
+    if (std::string(e.workload) != "10^6 additions") continue;
+    if (std::string(e.metric).find("energy-delay") != std::string::npos) {
+      EXPECT_NEAR(e.conventional, e.paper_conventional,
+                  e.paper_conventional * 0.01);
+      EXPECT_NEAR(e.cim, e.paper_cim, e.paper_cim * 0.001);
+    }
+    if (std::string(e.metric).find("efficiency") != std::string::npos) {
+      EXPECT_NEAR(e.conventional, e.paper_conventional,
+                  e.paper_conventional * 0.01);
+      EXPECT_NEAR(e.cim, e.paper_cim, e.paper_cim * 0.001);
+    }
+  }
+}
+
+TEST(Table2, ImprovementDirectionHandling) {
+  Table2Entry e;
+  e.conventional = 100.0;
+  e.cim = 1.0;
+  e.smaller_is_better = true;
+  EXPECT_DOUBLE_EQ(e.improvement(), 100.0);
+  e.smaller_is_better = false;
+  e.conventional = 1.0;
+  e.cim = 100.0;
+  EXPECT_DOUBLE_EQ(e.improvement(), 100.0);
+}
+
+TEST(Table2, RendersWithoutThrowingAndContainsHeadlineNumbers) {
+  const Table2 table = make_table2(paper_table1());
+  const std::string text = render_table2(table);
+  EXPECT_NE(text.find("energy-delay/op"), std::string::npos);
+  EXPECT_NE(text.find("1.5043e-18"), std::string::npos);  // paper column
+  EXPECT_NE(text.find("3.9063e+12"), std::string::npos);
+  const std::string audit = render_table2_audit(table);
+  EXPECT_NE(audit.find("conventional"), std::string::npos);
+  EXPECT_NE(audit.find("cim"), std::string::npos);
+  const std::string t1 = render_table1(paper_table1());
+  EXPECT_NE(t1.find("memristor write time"), std::string::npos);
+  EXPECT_NE(t1.find("CLA adder gates"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memcim

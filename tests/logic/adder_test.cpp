@@ -1,0 +1,90 @@
+#include "logic/adder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "logic/ideal_fabric.h"
+
+namespace memcim {
+namespace {
+
+TEST(Adder, FullAdderTruthTable) {
+  for (int in = 0; in < 8; ++in) {
+    const bool a = in & 1, b = in & 2, cin = in & 4;
+    IdealFabric f;
+    const Reg ra = f.alloc(), rb = f.alloc(), rc = f.alloc();
+    f.set(ra, a);
+    f.set(rb, b);
+    f.set(rc, cin);
+    f.reset_counters();
+    const FullAdderResult r = full_adder(f, ra, rb, rc);
+    const int total = int(a) + int(b) + int(cin);
+    EXPECT_EQ(f.read(r.sum), total % 2 == 1) << "inputs " << in;
+    EXPECT_EQ(f.read(r.carry), total >= 2) << "inputs " << in;
+    EXPECT_EQ(f.steps(), cost_full_adder().steps);
+  }
+}
+
+TEST(Adder, FullAdderCostSheet) {
+  // 2 XOR (13) + 2 AND (5) + OR (7) = 43 steps.
+  EXPECT_EQ(cost_full_adder().steps, 43u);
+  EXPECT_EQ(ripple_adder_steps(32), 1u + 43u * 32u);
+}
+
+TEST(Adder, ExhaustiveFourBit) {
+  for (std::uint64_t a = 0; a < 16; ++a)
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      IdealFabric f;
+      EXPECT_EQ(add_integers(f, a, b, 4), (a + b) & 0xFu)
+          << a << " + " << b;
+    }
+}
+
+TEST(Adder, CarryOutDetected) {
+  IdealFabric f;
+  std::vector<Reg> a, b;
+  for (int i = 0; i < 4; ++i) {
+    a.push_back(f.alloc());
+    b.push_back(f.alloc());
+    f.set(a.back(), true);   // a = 0b1111
+    f.set(b.back(), i == 0); // b = 0b0001
+  }
+  const RippleAdderResult r = ripple_adder(f, a, b);
+  EXPECT_TRUE(f.read(r.carry_out));
+  for (const Reg s : r.sum) EXPECT_FALSE(f.read(s));  // 15+1 = 16 ≡ 0
+}
+
+TEST(Adder, RandomThirtyTwoBit) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = static_cast<std::uint64_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int32_t>::max()));
+    const auto b = static_cast<std::uint64_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int32_t>::max()));
+    IdealFabric f;
+    EXPECT_EQ(add_integers(f, a, b, 32), (a + b) & 0xFFFFFFFFu);
+  }
+}
+
+TEST(Adder, StepsScaleLinearlyWithWidth) {
+  IdealFabric f4, f8;
+  (void)add_integers(f4, 1, 2, 4);
+  (void)add_integers(f8, 1, 2, 8);
+  // Subtract the 2·width input loads; the adds themselves must match
+  // the cost sheet exactly.
+  EXPECT_EQ(f4.steps() - 2 * 4, ripple_adder_steps(4));
+  EXPECT_EQ(f8.steps() - 2 * 8, ripple_adder_steps(8));
+}
+
+TEST(Adder, OperandValidation) {
+  IdealFabric f;
+  std::vector<Reg> a{f.alloc()};
+  std::vector<Reg> b;
+  EXPECT_THROW((void)ripple_adder(f, a, b), Error);
+  EXPECT_THROW((void)add_integers(f, 1, 2, 0), Error);
+  EXPECT_THROW((void)add_integers(f, 1, 2, 65), Error);
+}
+
+}  // namespace
+}  // namespace memcim

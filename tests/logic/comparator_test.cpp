@@ -1,0 +1,105 @@
+#include "logic/comparator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "logic/ideal_fabric.h"
+
+namespace memcim {
+namespace {
+
+bool run_paper_comparator(bool a1, bool a0, bool b1, bool b0) {
+  IdealFabric f;
+  const Reg ra1 = f.alloc(), ra0 = f.alloc(), rb1 = f.alloc(),
+            rb0 = f.alloc();
+  f.set(ra1, a1);
+  f.set(ra0, a0);
+  f.set(rb1, b1);
+  f.set(rb0, b0);
+  return f.read(paper_comparator(f, ra1, ra0, rb1, rb0));
+}
+
+bool run_equality_comparator(bool a1, bool a0, bool b1, bool b0) {
+  IdealFabric f;
+  const Reg ra1 = f.alloc(), ra0 = f.alloc(), rb1 = f.alloc(),
+            rb0 = f.alloc();
+  f.set(ra1, a1);
+  f.set(ra0, a0);
+  f.set(rb1, b1);
+  f.set(rb0, b0);
+  return f.read(equality_comparator(f, ra1, ra0, rb1, rb0));
+}
+
+TEST(Comparator, PaperCircuitTruthTable) {
+  // out = NAND(a1⊕b1, a0⊕b0): 0 exactly when both bit positions differ.
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b) {
+      const bool a1 = a & 2, a0 = a & 1, b1 = b & 2, b0 = b & 1;
+      const bool expect = !((a1 != b1) && (a0 != b0));
+      EXPECT_EQ(run_paper_comparator(a1, a0, b1, b0), expect)
+          << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(Comparator, EqualityCircuitTruthTable) {
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b) {
+      const bool a1 = a & 2, a0 = a & 1, b1 = b & 2, b0 = b & 1;
+      EXPECT_EQ(run_equality_comparator(a1, a0, b1, b0), a == b)
+          << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(Comparator, PaperCostSheetMatchesTable1) {
+  const ComparatorCost cost = comparator_cost();
+  EXPECT_EQ(cost.parallel_steps, 16u);  // 2 XOR in parallel (13) + NAND (3)
+  EXPECT_EQ(cost.devices, 13u);         // 2·5 (XOR) + 3 (NAND)
+  EXPECT_EQ(cost.serial_steps, 29u);    // 13 + 13 + 3 on one row
+}
+
+TEST(Comparator, SerialExecutionStepsMatchCostSheet) {
+  IdealFabric f;
+  const Reg a1 = f.alloc(), a0 = f.alloc(), b1 = f.alloc(), b0 = f.alloc();
+  f.set(a1, true);
+  f.set(a0, false);
+  f.set(b1, false);
+  f.set(b0, true);
+  f.reset_counters();
+  (void)paper_comparator(f, a1, a0, b1, b0);
+  EXPECT_EQ(f.steps(), comparator_cost().serial_steps);
+}
+
+TEST(Comparator, WordEqualityMatchesBitwiseCompare) {
+  const std::vector<bool> word_a{true, false, true, true, false};
+  for (int flip = -1; flip < 5; ++flip) {
+    std::vector<bool> word_b = word_a;
+    if (flip >= 0) word_b[static_cast<std::size_t>(flip)] = !word_b[static_cast<std::size_t>(flip)];
+    IdealFabric f;
+    const std::vector<Reg> ra = load_word(f, word_a);
+    const std::vector<Reg> rb = load_word(f, word_b);
+    const Reg eq = word_equality(f, ra, rb);
+    EXPECT_EQ(f.read(eq), flip < 0) << "flip=" << flip;
+  }
+}
+
+TEST(Comparator, WordEqualityValidatesOperands) {
+  IdealFabric f;
+  const std::vector<Reg> a = load_word(f, {true, false});
+  const std::vector<Reg> b = load_word(f, {true});
+  EXPECT_THROW((void)word_equality(f, a, b), Error);
+  const std::vector<Reg> empty;
+  EXPECT_THROW((void)word_equality(f, empty, empty), Error);
+}
+
+TEST(Comparator, LoadWordSetsEveryBit) {
+  IdealFabric f;
+  const std::vector<bool> bits{true, true, false, true};
+  const std::vector<Reg> regs = load_word(f, bits);
+  ASSERT_EQ(regs.size(), 4u);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    EXPECT_EQ(f.read(regs[i]), bits[i]);
+  EXPECT_EQ(f.writes(), 4u);
+}
+
+}  // namespace
+}  // namespace memcim

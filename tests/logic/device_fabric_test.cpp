@@ -1,0 +1,134 @@
+#include "logic/device_fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/presets.h"
+#include "logic/gates.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+DeviceFabricParams fabric_params() {
+  DeviceFabricParams p;
+  p.device = presets::vcm_taox_logic();
+  return p;
+}
+
+TEST(DeviceFabric, SetAndReadBack) {
+  DeviceFabric f(fabric_params());
+  const Reg a = f.alloc();
+  f.set(a, true);
+  EXPECT_TRUE(f.read(a));
+  EXPECT_GT(f.analog_state(a), 0.9);
+  f.set(a, false);
+  EXPECT_FALSE(f.read(a));
+  EXPECT_LT(f.analog_state(a), 0.1);
+}
+
+TEST(DeviceFabric, ImpTruthTableWithRealDevices) {
+  // The Figure 5(a) circuit must realize q ← p IMP q for all four
+  // input combinations with full digital margins.
+  for (bool p : {false, true})
+    for (bool q : {false, true}) {
+      DeviceFabric f(fabric_params());
+      const Reg rp = f.alloc();
+      const Reg rq = f.alloc();
+      f.set(rp, p);
+      f.set(rq, q);
+      f.imply(rp, rq);
+      EXPECT_EQ(f.read(rq), !p || q) << "p=" << p << " q=" << q;
+      EXPECT_EQ(f.read(rp), p) << "P must not be disturbed by V_COND";
+    }
+}
+
+TEST(DeviceFabric, SharedNodeVoltageRegimes) {
+  DeviceFabric f(fabric_params());
+  const Reg p = f.alloc();
+  const Reg q = f.alloc();
+  f.set(p, true);
+  f.set(q, false);
+  // P LRS pulls the node toward V_COND: Q's drive is squeezed.
+  const double vn_hold = f.imp_node_voltage(p, q).value();
+  EXPECT_GT(vn_hold, 0.3);
+  f.set(p, false);
+  // P HRS: node collapses toward ground, Q sees nearly V_SET.
+  const double vn_set = f.imp_node_voltage(p, q).value();
+  EXPECT_LT(vn_set, 0.15);
+}
+
+TEST(DeviceFabric, FalseSetCreepIsBounded) {
+  // The p=1, q=0 case must leave q near 0 even after repeated IMPs —
+  // the voltage-time margin of the Kvatinsky design rules.
+  DeviceFabric f(fabric_params());
+  const Reg p = f.alloc();
+  const Reg q = f.alloc();
+  f.set(p, true);
+  f.set(q, false);
+  for (int k = 0; k < 3; ++k) f.imply(p, q);
+  EXPECT_FALSE(f.read(q));
+  EXPECT_LT(f.analog_state(q), 0.3);
+}
+
+TEST(DeviceFabric, NandGateOnRealDevices) {
+  for (bool a : {false, true})
+    for (bool b : {false, true}) {
+      DeviceFabric f(fabric_params());
+      const Reg ra = f.alloc();
+      const Reg rb = f.alloc();
+      f.set(ra, a);
+      f.set(rb, b);
+      const Reg out = gate_nand(f, ra, rb);
+      EXPECT_EQ(f.read(out), !(a && b)) << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(DeviceFabric, NotAndOrGatesOnRealDevices) {
+  for (bool a : {false, true}) {
+    DeviceFabric f(fabric_params());
+    const Reg ra = f.alloc();
+    f.set(ra, a);
+    EXPECT_EQ(f.read(gate_not(f, ra)), !a);
+  }
+  for (bool a : {false, true})
+    for (bool b : {false, true}) {
+      DeviceFabric f(fabric_params());
+      const Reg ra = f.alloc();
+      const Reg rb = f.alloc();
+      f.set(ra, a);
+      f.set(rb, b);
+      EXPECT_EQ(f.read(gate_or(f, ra, rb)), a || b) << a << ',' << b;
+    }
+}
+
+TEST(DeviceFabric, CircuitEnergyIsPositiveAndGrows) {
+  DeviceFabric f(fabric_params());
+  const Reg a = f.alloc();
+  const Reg b = f.alloc();
+  f.set(a, true);
+  f.set(b, false);
+  const double e1 = f.circuit_energy().value();
+  EXPECT_GT(e1, 0.0);
+  f.imply(a, b);
+  EXPECT_GT(f.circuit_energy().value(), e1);
+}
+
+TEST(DeviceFabric, DesignRuleValidation) {
+  DeviceFabricParams p = fabric_params();
+  p.v_cond = 1.0_V;  // above the 0.8 V SET threshold
+  EXPECT_THROW(DeviceFabric{p}, Error);
+  p = fabric_params();
+  p.r_g = 1.0_ohm;  // below R_on
+  EXPECT_THROW(DeviceFabric{p}, Error);
+  p = fabric_params();
+  p.r_g = 1e9_ohm;  // above R_off
+  EXPECT_THROW(DeviceFabric{p}, Error);
+  p = fabric_params();
+  p.v_set = 0.5_V;  // below the SET threshold
+  EXPECT_THROW(DeviceFabric{p}, Error);
+}
+
+}  // namespace
+}  // namespace memcim

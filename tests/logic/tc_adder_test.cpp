@@ -1,0 +1,92 @@
+#include "logic/tc_adder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "device/presets.h"
+
+namespace memcim {
+namespace {
+
+TEST(TcAdder, PaperCostSheet) {
+  // Table 1: 34 devices (N+2, N=32), 133 steps (4N+5, N=32).
+  EXPECT_EQ(CrsTcAdder::devices(32), 34u);
+  EXPECT_EQ(CrsTcAdder::steps(32), 133u);
+}
+
+TEST(TcAdder, ExhaustiveFourBitWithBothCarries) {
+  for (std::uint64_t a = 0; a < 16; ++a)
+    for (std::uint64_t b = 0; b < 16; ++b)
+      for (bool cin : {false, true}) {
+        CrsTcAdder adder(4, presets::crs_cell());
+        const TcAdderResult r = adder.add(a, b, cin);
+        const std::uint64_t expect = a + b + (cin ? 1 : 0);
+        EXPECT_EQ(r.sum, expect & 0xFu) << a << '+' << b << '+' << cin;
+        EXPECT_EQ(r.carry_out, expect > 0xFu) << a << '+' << b << '+' << cin;
+      }
+}
+
+TEST(TcAdder, PulseCountIsExactlyFourNPlusFive) {
+  for (std::size_t width : {1u, 4u, 16u, 32u, 64u}) {
+    CrsTcAdder adder(width, presets::crs_cell());
+    const TcAdderResult r = adder.add(3, 5);
+    EXPECT_EQ(r.pulses, 4 * width + 5) << "width " << width;
+    // Schedule is constant-time: a different operand pair costs the same.
+    const TcAdderResult r2 = adder.add((1ull << width) - 1, 1);
+    EXPECT_EQ(r2.pulses, 4 * width + 5);
+  }
+}
+
+TEST(TcAdder, LatencyMatchesTable1For32Bit) {
+  CrsTcAdder adder(32, presets::crs_cell());
+  const TcAdderResult r = adder.add(123456, 654321);
+  // 133 steps × 200 ps = 26.6 ns (the paper's "16600 ps" is a typo for
+  // 133·200 ps; see DESIGN.md §5).
+  EXPECT_NEAR(r.latency.value(), 26.6e-9, 1e-12);
+}
+
+TEST(TcAdder, RandomWideAdditions) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 31));
+    const auto b = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 31));
+    CrsTcAdder adder(32, presets::crs_cell());
+    const TcAdderResult r = adder.add(a, b);
+    EXPECT_EQ(r.sum, (a + b) & 0xFFFFFFFFull);
+    EXPECT_EQ(r.carry_out, (a + b) > 0xFFFFFFFFull);
+  }
+}
+
+TEST(TcAdder, SumStaysResidentInCells) {
+  CrsTcAdder adder(8, presets::crs_cell());
+  (void)adder.add(100, 55);
+  EXPECT_EQ(adder.stored_sum(), 155u);
+  // Reading stored_sum is sense-side: issuing it twice changes nothing.
+  EXPECT_EQ(adder.stored_sum(), 155u);
+}
+
+TEST(TcAdder, EnergyCountsOnlySwitchingEvents) {
+  CrsTcAdder adder(8, presets::crs_cell());
+  const TcAdderResult r1 = adder.add(0, 0);
+  // 0 + 0: no sum cell ever sets, no carry forms; only the prologue /
+  // init writes that actually change state cost energy.
+  const TcAdderResult r2 = adder.add(255, 255);
+  EXPECT_GT(r2.energy.value(), r1.energy.value());
+  EXPECT_GT(r2.energy.value(), 0.0);
+}
+
+TEST(TcAdder, BackToBackAdditionsIndependent) {
+  CrsTcAdder adder(16, presets::crs_cell());
+  EXPECT_EQ(adder.add(1000, 2000).sum, 3000u);
+  EXPECT_EQ(adder.add(65535, 1).sum, 0u);
+  EXPECT_EQ(adder.add(0, 42).sum, 42u);
+}
+
+TEST(TcAdder, WidthValidation) {
+  EXPECT_THROW(CrsTcAdder(0, presets::crs_cell()), Error);
+  EXPECT_THROW(CrsTcAdder(65, presets::crs_cell()), Error);
+}
+
+}  // namespace
+}  // namespace memcim

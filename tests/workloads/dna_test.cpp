@@ -1,0 +1,129 @@
+#include "workloads/dna.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace memcim {
+namespace {
+
+TEST(Dna, NucleotideEncodingRoundTrip) {
+  for (char c : {'A', 'C', 'G', 'T'})
+    EXPECT_EQ(to_char(nucleotide_from_char(c)), c);
+  EXPECT_THROW((void)nucleotide_from_char('X'), Error);
+}
+
+TEST(Dna, GenomeGenerationIsSeededAndValid) {
+  Rng a(5), b(5), c(6);
+  const std::string g1 = generate_genome(1000, a);
+  const std::string g2 = generate_genome(1000, b);
+  const std::string g3 = generate_genome(1000, c);
+  EXPECT_EQ(g1, g2);
+  EXPECT_NE(g1, g3);
+  for (char ch : g1)
+    EXPECT_TRUE(ch == 'A' || ch == 'C' || ch == 'G' || ch == 'T');
+}
+
+TEST(Dna, ReadsSampleTheGenomeAtCoverage) {
+  Rng rng(11);
+  const std::string genome = generate_genome(10000, rng);
+  ReadSetParams params;
+  params.coverage = 10.0;
+  params.read_length = 100;
+  const auto reads = generate_reads(genome, params, rng);
+  EXPECT_EQ(reads.size(), 1000u);  // 10 · 10000 / 100
+  for (const auto& read : reads) {
+    EXPECT_EQ(read.bases.size(), 100u);
+    EXPECT_EQ(genome.substr(read.true_position, 100), read.bases);
+  }
+}
+
+TEST(Dna, ErrorRateInjectsSubstitutions) {
+  Rng rng(13);
+  const std::string genome = generate_genome(20000, rng);
+  ReadSetParams params;
+  params.coverage = 5.0;
+  params.read_length = 100;
+  params.error_rate = 0.05;
+  const auto reads = generate_reads(genome, params, rng);
+  std::size_t mismatches = 0, total = 0;
+  for (const auto& read : reads)
+    for (std::size_t i = 0; i < read.bases.size(); ++i) {
+      ++total;
+      if (read.bases[i] != genome[read.true_position + i]) ++mismatches;
+    }
+  // 5 % error rate, but ~1/4 of substitutions hit the same base.
+  const double observed = double(mismatches) / double(total);
+  EXPECT_GT(observed, 0.02);
+  EXPECT_LT(observed, 0.06);
+}
+
+TEST(Dna, SortedIndexFindsAllOccurrences) {
+  const std::string reference = "ACGTACGTAC";
+  SortedIndex index(reference, 4);
+  EXPECT_EQ(index.entries(), 7u);
+  auto hits = index.lookup("ACGT");
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 4}));
+  EXPECT_TRUE(index.lookup("TTTT").empty());
+  EXPECT_GT(index.character_comparisons(), 0u);
+}
+
+TEST(Dna, LookupCountsComparisons) {
+  Rng rng(17);
+  const std::string genome = generate_genome(4096, rng);
+  SortedIndex index(genome, 12);
+  const std::uint64_t before = index.character_comparisons();
+  (void)index.lookup(genome.substr(100, 12));
+  const std::uint64_t per_lookup = index.character_comparisons() - before;
+  // Binary search over ~4085 entries: ~12 probes, ≤ 12 chars each,
+  // plus the hit-enumeration probes.
+  EXPECT_GT(per_lookup, 12u);
+  EXPECT_LT(per_lookup, 400u);
+}
+
+TEST(Dna, MatchReadsFindsErrorFreeReads) {
+  Rng rng(19);
+  const std::string genome = generate_genome(8000, rng);
+  ReadSetParams params;
+  params.coverage = 2.0;
+  params.read_length = 64;
+  const auto reads = generate_reads(genome, params, rng);
+  const MatchStats stats = match_reads(genome, reads, 16);
+  EXPECT_EQ(stats.reads_total, reads.size());
+  EXPECT_EQ(stats.reads_matched, reads.size());  // no errors injected
+  EXPECT_GT(stats.character_comparisons, 0u);
+  EXPECT_EQ(stats.paper_comparisons(), 4 * stats.character_comparisons);
+}
+
+TEST(Dna, ErroredReadsReduceMatchRate) {
+  Rng rng(23);
+  const std::string genome = generate_genome(8000, rng);
+  ReadSetParams params;
+  params.coverage = 2.0;
+  params.read_length = 64;
+  params.error_rate = 0.10;  // errors likely within the leading k-mer
+  const auto reads = generate_reads(genome, params, rng);
+  const MatchStats stats = match_reads(genome, reads, 16);
+  EXPECT_LT(stats.reads_matched, stats.reads_total);
+}
+
+TEST(Dna, PaperCountsExact) {
+  const PaperDnaCounts counts = paper_dna_counts();
+  EXPECT_DOUBLE_EQ(counts.short_reads, 1.5e9);  // 50·3e9/100
+  EXPECT_DOUBLE_EQ(counts.comparisons, 6e9);
+}
+
+TEST(Dna, InputValidation) {
+  Rng rng(1);
+  EXPECT_THROW((void)generate_genome(0, rng), Error);
+  const std::string genome = generate_genome(100, rng);
+  ReadSetParams bad;
+  bad.read_length = 200;  // longer than the genome
+  EXPECT_THROW((void)generate_reads(genome, bad, rng), Error);
+  EXPECT_THROW(SortedIndex(genome, 0), Error);
+  EXPECT_THROW(SortedIndex(genome, 101), Error);
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,95 @@
+// The measured-hit-rate experiment: replay the sorted-index algorithm's
+// real address stream through the Table 1 cache and compare against the
+// paper's assumed 50 %.
+#include <gtest/gtest.h>
+
+#include "conv/cluster.h"
+#include "workloads/dna.h"
+
+namespace memcim {
+namespace {
+
+TEST(DnaTrace, LookupsRecordIndexAndReferenceAccesses) {
+  Rng rng(3);
+  const std::string genome = generate_genome(4096, rng);
+  SortedIndex index(genome, 12);
+  MemoryTrace trace;
+  index.attach_trace(&trace);
+  (void)index.lookup(genome.substr(777, 12));
+  ASSERT_FALSE(trace.empty());
+  bool saw_index = false, saw_reference = false, saw_pattern = false;
+  for (const MemoryAccess& a : trace.accesses()) {
+    if (a.address >= SortedIndex::kPatternBase)
+      saw_pattern = true;
+    else if (a.address >= SortedIndex::kReferenceBase)
+      saw_reference = true;
+    else if (a.address >= SortedIndex::kIndexBase)
+      saw_index = true;
+  }
+  EXPECT_TRUE(saw_index);
+  EXPECT_TRUE(saw_reference);
+  EXPECT_TRUE(saw_pattern);
+  // Detach stops recording.
+  index.attach_trace(nullptr);
+  const std::size_t before = trace.size();
+  (void)index.lookup(genome.substr(100, 12));
+  EXPECT_EQ(trace.size(), before);
+}
+
+struct StreamRates {
+  double all;
+  double index_only;
+  double reference_only;
+};
+
+StreamRates measure_streams(std::size_t genome_bytes, int queries,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  const std::string genome = generate_genome(genome_bytes, rng);
+  SortedIndex index(genome, 16);
+  MemoryTrace trace;
+  index.attach_trace(&trace);
+  for (int q = 0; q < queries; ++q) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(genome.size() - 16)));
+    (void)index.lookup(genome.substr(pos, 16));
+  }
+  MemoryTrace idx_only, ref_only;
+  for (const MemoryAccess& a : trace.accesses()) {
+    if (a.address < SortedIndex::kReferenceBase)
+      idx_only.record(a.address);
+    else if (a.address < SortedIndex::kPatternBase)
+      ref_only.record(a.address);
+  }
+  return {run_cluster({trace}, CacheConfig{}, {}).hit_rate(),
+          run_cluster({idx_only}, CacheConfig{}, {}).hit_rate(),
+          run_cluster({ref_only}, CacheConfig{}, {}).hit_rate()};
+}
+
+TEST(DnaTrace, SortedIndexDestroysIndexStreamLocality) {
+  // The paper: the sorted index "results in eliminating available data
+  // locality … causing huge number of cache misses".  Measured: the
+  // binary-search *index* stream (the pointer chase through the sorted
+  // positions) hits < 35 % on the Table 1 cache, while the reference
+  // bytes retain within-compare streaming locality.
+  const StreamRates r = measure_streams(128 << 10, 200, 17);
+  EXPECT_LT(r.index_only, 0.35);
+  EXPECT_GT(r.reference_only, 0.7);
+  EXPECT_GT(r.all, r.index_only);
+}
+
+TEST(DnaTrace, IndexStreamHitRateDegradesWithReferenceSize) {
+  // Bigger reference → bigger index → deeper, more scattered searches.
+  const StreamRates small = measure_streams(64 << 10, 120, 29);
+  const StreamRates large = measure_streams(512 << 10, 120, 29);
+  EXPECT_GT(small.index_only, large.index_only);
+  // The paper's 50 % assumption sits between our measured index-stream
+  // rate (~0.26-0.32) and the overall rate (~0.89): its pessimism is
+  // right for the pointer-chase component that dominates full-scale
+  // (3 GB reference → 24 GB index, far beyond any cache).
+  EXPECT_LT(large.index_only, 0.5);
+  EXPECT_GT(large.all, 0.5);
+}
+
+}  // namespace
+}  // namespace memcim
