@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_adders"
+  "../bench/bench_ablation_adders.pdb"
+  "CMakeFiles/bench_ablation_adders.dir/bench_ablation_adders.cpp.o"
+  "CMakeFiles/bench_ablation_adders.dir/bench_ablation_adders.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_parallelism"
+  "../bench/bench_ablation_parallelism.pdb"
+  "CMakeFiles/bench_ablation_parallelism.dir/bench_ablation_parallelism.cpp.o"
+  "CMakeFiles/bench_ablation_parallelism.dir/bench_ablation_parallelism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_vmm"
+  "../bench/bench_ablation_vmm.pdb"
+  "CMakeFiles/bench_ablation_vmm.dir/bench_ablation_vmm.cpp.o"
+  "CMakeFiles/bench_ablation_vmm.dir/bench_ablation_vmm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_taxonomy"
+  "../bench/bench_fig1_taxonomy.pdb"
+  "CMakeFiles/bench_fig1_taxonomy.dir/bench_fig1_taxonomy.cpp.o"
+  "CMakeFiles/bench_fig1_taxonomy.dir/bench_fig1_taxonomy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_comm_split"
+  "../bench/bench_fig2_comm_split.pdb"
+  "CMakeFiles/bench_fig2_comm_split.dir/bench_fig2_comm_split.cpp.o"
+  "CMakeFiles/bench_fig2_comm_split.dir/bench_fig2_comm_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_comm_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_junctions"
+  "../bench/bench_fig3_junctions.pdb"
+  "CMakeFiles/bench_fig3_junctions.dir/bench_fig3_junctions.cpp.o"
+  "CMakeFiles/bench_fig3_junctions.dir/bench_fig3_junctions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_junctions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_crs_iv"
+  "../bench/bench_fig4_crs_iv.pdb"
+  "CMakeFiles/bench_fig4_crs_iv.dir/bench_fig4_crs_iv.cpp.o"
+  "CMakeFiles/bench_fig4_crs_iv.dir/bench_fig4_crs_iv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_crs_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_imply"
+  "../bench/bench_fig5_imply.pdb"
+  "CMakeFiles/bench_fig5_imply.dir/bench_fig5_imply.cpp.o"
+  "CMakeFiles/bench_fig5_imply.dir/bench_fig5_imply.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_imply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_assumptions"
+  "../bench/bench_table1_assumptions.pdb"
+  "CMakeFiles/bench_table1_assumptions.dir/bench_table1_assumptions.cpp.o"
+  "CMakeFiles/bench_table1_assumptions.dir/bench_table1_assumptions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

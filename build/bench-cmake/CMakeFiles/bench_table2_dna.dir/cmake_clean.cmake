@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_dna"
+  "../bench/bench_table2_dna.pdb"
+  "CMakeFiles/bench_table2_dna.dir/bench_table2_dna.cpp.o"
+  "CMakeFiles/bench_table2_dna.dir/bench_table2_dna.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_math.cpp" "bench-cmake/CMakeFiles/bench_table2_math.dir/bench_table2_math.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_table2_math.dir/bench_table2_math.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/memcim_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/memcim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/memcim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/memcim_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crossbar/CMakeFiles/memcim_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memcim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/conv/CMakeFiles/memcim_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

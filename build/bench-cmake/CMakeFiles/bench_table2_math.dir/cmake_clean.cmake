@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_math"
+  "../bench/bench_table2_math.pdb"
+  "CMakeFiles/bench_table2_math.dir/bench_table2_math.cpp.o"
+  "CMakeFiles/bench_table2_math.dir/bench_table2_math.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

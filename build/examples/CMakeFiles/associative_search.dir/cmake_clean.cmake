@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/associative_search.dir/associative_search.cpp.o"
+  "CMakeFiles/associative_search.dir/associative_search.cpp.o.d"
+  "associative_search"
+  "associative_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/associative_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

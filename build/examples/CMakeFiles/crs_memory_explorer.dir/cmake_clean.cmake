@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crs_memory_explorer.dir/crs_memory_explorer.cpp.o"
+  "CMakeFiles/crs_memory_explorer.dir/crs_memory_explorer.cpp.o.d"
+  "crs_memory_explorer"
+  "crs_memory_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crs_memory_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_pipeline.dir/dna_pipeline.cpp.o"
+  "CMakeFiles/dna_pipeline.dir/dna_pipeline.cpp.o.d"
+  "dna_pipeline"
+  "dna_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

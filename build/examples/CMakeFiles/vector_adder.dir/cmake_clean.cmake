@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_adder.dir/vector_adder.cpp.o"
+  "CMakeFiles/vector_adder.dir/vector_adder.cpp.o.d"
+  "vector_adder"
+  "vector_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

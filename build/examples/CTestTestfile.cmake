@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;memcim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dna_pipeline "/root/repo/build/examples/dna_pipeline")
+set_tests_properties(example_dna_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;memcim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vector_adder "/root/repo/build/examples/vector_adder")
+set_tests_properties(example_vector_adder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;memcim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_crs_memory_explorer "/root/repo/build/examples/crs_memory_explorer")
+set_tests_properties(example_crs_memory_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;memcim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_associative_search "/root/repo/build/examples/associative_search")
+set_tests_properties(example_associative_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;memcim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_paper_report "/root/repo/build/examples/paper_report")
+set_tests_properties(example_paper_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;memcim_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cim_machine.cpp" "src/arch/CMakeFiles/memcim_arch.dir/cim_machine.cpp.o" "gcc" "src/arch/CMakeFiles/memcim_arch.dir/cim_machine.cpp.o.d"
+  "/root/repo/src/arch/cim_tile.cpp" "src/arch/CMakeFiles/memcim_arch.dir/cim_tile.cpp.o" "gcc" "src/arch/CMakeFiles/memcim_arch.dir/cim_tile.cpp.o.d"
+  "/root/repo/src/arch/cost_model.cpp" "src/arch/CMakeFiles/memcim_arch.dir/cost_model.cpp.o" "gcc" "src/arch/CMakeFiles/memcim_arch.dir/cost_model.cpp.o.d"
+  "/root/repo/src/arch/taxonomy.cpp" "src/arch/CMakeFiles/memcim_arch.dir/taxonomy.cpp.o" "gcc" "src/arch/CMakeFiles/memcim_arch.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/arch/tech_params.cpp" "src/arch/CMakeFiles/memcim_arch.dir/tech_params.cpp.o" "gcc" "src/arch/CMakeFiles/memcim_arch.dir/tech_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memcim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/crossbar/CMakeFiles/memcim_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/memcim_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcim_arch.dir/cim_machine.cpp.o"
+  "CMakeFiles/memcim_arch.dir/cim_machine.cpp.o.d"
+  "CMakeFiles/memcim_arch.dir/cim_tile.cpp.o"
+  "CMakeFiles/memcim_arch.dir/cim_tile.cpp.o.d"
+  "CMakeFiles/memcim_arch.dir/cost_model.cpp.o"
+  "CMakeFiles/memcim_arch.dir/cost_model.cpp.o.d"
+  "CMakeFiles/memcim_arch.dir/taxonomy.cpp.o"
+  "CMakeFiles/memcim_arch.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/memcim_arch.dir/tech_params.cpp.o"
+  "CMakeFiles/memcim_arch.dir/tech_params.cpp.o.d"
+  "libmemcim_arch.a"
+  "libmemcim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcim_common.dir/matrix.cpp.o"
+  "CMakeFiles/memcim_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/memcim_common.dir/rng.cpp.o"
+  "CMakeFiles/memcim_common.dir/rng.cpp.o.d"
+  "CMakeFiles/memcim_common.dir/sparse.cpp.o"
+  "CMakeFiles/memcim_common.dir/sparse.cpp.o.d"
+  "CMakeFiles/memcim_common.dir/table.cpp.o"
+  "CMakeFiles/memcim_common.dir/table.cpp.o.d"
+  "libmemcim_common.a"
+  "libmemcim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

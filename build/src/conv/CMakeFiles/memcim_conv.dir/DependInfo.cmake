@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conv/cache.cpp" "src/conv/CMakeFiles/memcim_conv.dir/cache.cpp.o" "gcc" "src/conv/CMakeFiles/memcim_conv.dir/cache.cpp.o.d"
+  "/root/repo/src/conv/cluster.cpp" "src/conv/CMakeFiles/memcim_conv.dir/cluster.cpp.o" "gcc" "src/conv/CMakeFiles/memcim_conv.dir/cluster.cpp.o.d"
+  "/root/repo/src/conv/memory_trace.cpp" "src/conv/CMakeFiles/memcim_conv.dir/memory_trace.cpp.o" "gcc" "src/conv/CMakeFiles/memcim_conv.dir/memory_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcim_conv.dir/cache.cpp.o"
+  "CMakeFiles/memcim_conv.dir/cache.cpp.o.d"
+  "CMakeFiles/memcim_conv.dir/cluster.cpp.o"
+  "CMakeFiles/memcim_conv.dir/cluster.cpp.o.d"
+  "CMakeFiles/memcim_conv.dir/memory_trace.cpp.o"
+  "CMakeFiles/memcim_conv.dir/memory_trace.cpp.o.d"
+  "libmemcim_conv.a"
+  "libmemcim_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcim_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crossbar/bias.cpp" "src/crossbar/CMakeFiles/memcim_crossbar.dir/bias.cpp.o" "gcc" "src/crossbar/CMakeFiles/memcim_crossbar.dir/bias.cpp.o.d"
+  "/root/repo/src/crossbar/crossbar.cpp" "src/crossbar/CMakeFiles/memcim_crossbar.dir/crossbar.cpp.o" "gcc" "src/crossbar/CMakeFiles/memcim_crossbar.dir/crossbar.cpp.o.d"
+  "/root/repo/src/crossbar/crs_memory.cpp" "src/crossbar/CMakeFiles/memcim_crossbar.dir/crs_memory.cpp.o" "gcc" "src/crossbar/CMakeFiles/memcim_crossbar.dir/crs_memory.cpp.o.d"
+  "/root/repo/src/crossbar/ecc_memory.cpp" "src/crossbar/CMakeFiles/memcim_crossbar.dir/ecc_memory.cpp.o" "gcc" "src/crossbar/CMakeFiles/memcim_crossbar.dir/ecc_memory.cpp.o.d"
+  "/root/repo/src/crossbar/readout.cpp" "src/crossbar/CMakeFiles/memcim_crossbar.dir/readout.cpp.o" "gcc" "src/crossbar/CMakeFiles/memcim_crossbar.dir/readout.cpp.o.d"
+  "/root/repo/src/crossbar/selector.cpp" "src/crossbar/CMakeFiles/memcim_crossbar.dir/selector.cpp.o" "gcc" "src/crossbar/CMakeFiles/memcim_crossbar.dir/selector.cpp.o.d"
+  "/root/repo/src/crossbar/vmm.cpp" "src/crossbar/CMakeFiles/memcim_crossbar.dir/vmm.cpp.o" "gcc" "src/crossbar/CMakeFiles/memcim_crossbar.dir/vmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memcim_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

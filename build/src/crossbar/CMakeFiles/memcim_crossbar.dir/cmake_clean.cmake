@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcim_crossbar.dir/bias.cpp.o"
+  "CMakeFiles/memcim_crossbar.dir/bias.cpp.o.d"
+  "CMakeFiles/memcim_crossbar.dir/crossbar.cpp.o"
+  "CMakeFiles/memcim_crossbar.dir/crossbar.cpp.o.d"
+  "CMakeFiles/memcim_crossbar.dir/crs_memory.cpp.o"
+  "CMakeFiles/memcim_crossbar.dir/crs_memory.cpp.o.d"
+  "CMakeFiles/memcim_crossbar.dir/ecc_memory.cpp.o"
+  "CMakeFiles/memcim_crossbar.dir/ecc_memory.cpp.o.d"
+  "CMakeFiles/memcim_crossbar.dir/readout.cpp.o"
+  "CMakeFiles/memcim_crossbar.dir/readout.cpp.o.d"
+  "CMakeFiles/memcim_crossbar.dir/selector.cpp.o"
+  "CMakeFiles/memcim_crossbar.dir/selector.cpp.o.d"
+  "CMakeFiles/memcim_crossbar.dir/vmm.cpp.o"
+  "CMakeFiles/memcim_crossbar.dir/vmm.cpp.o.d"
+  "libmemcim_crossbar.a"
+  "libmemcim_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcim_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemcim_crossbar.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/crs.cpp" "src/device/CMakeFiles/memcim_device.dir/crs.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/crs.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/memcim_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/ecm.cpp" "src/device/CMakeFiles/memcim_device.dir/ecm.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/ecm.cpp.o.d"
+  "/root/repo/src/device/fit.cpp" "src/device/CMakeFiles/memcim_device.dir/fit.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/fit.cpp.o.d"
+  "/root/repo/src/device/linear_ion_drift.cpp" "src/device/CMakeFiles/memcim_device.dir/linear_ion_drift.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/linear_ion_drift.cpp.o.d"
+  "/root/repo/src/device/pcm.cpp" "src/device/CMakeFiles/memcim_device.dir/pcm.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/pcm.cpp.o.d"
+  "/root/repo/src/device/presets.cpp" "src/device/CMakeFiles/memcim_device.dir/presets.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/presets.cpp.o.d"
+  "/root/repo/src/device/variability.cpp" "src/device/CMakeFiles/memcim_device.dir/variability.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/variability.cpp.o.d"
+  "/root/repo/src/device/vcm.cpp" "src/device/CMakeFiles/memcim_device.dir/vcm.cpp.o" "gcc" "src/device/CMakeFiles/memcim_device.dir/vcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcim_device.dir/crs.cpp.o"
+  "CMakeFiles/memcim_device.dir/crs.cpp.o.d"
+  "CMakeFiles/memcim_device.dir/device.cpp.o"
+  "CMakeFiles/memcim_device.dir/device.cpp.o.d"
+  "CMakeFiles/memcim_device.dir/ecm.cpp.o"
+  "CMakeFiles/memcim_device.dir/ecm.cpp.o.d"
+  "CMakeFiles/memcim_device.dir/fit.cpp.o"
+  "CMakeFiles/memcim_device.dir/fit.cpp.o.d"
+  "CMakeFiles/memcim_device.dir/linear_ion_drift.cpp.o"
+  "CMakeFiles/memcim_device.dir/linear_ion_drift.cpp.o.d"
+  "CMakeFiles/memcim_device.dir/pcm.cpp.o"
+  "CMakeFiles/memcim_device.dir/pcm.cpp.o.d"
+  "CMakeFiles/memcim_device.dir/presets.cpp.o"
+  "CMakeFiles/memcim_device.dir/presets.cpp.o.d"
+  "CMakeFiles/memcim_device.dir/variability.cpp.o"
+  "CMakeFiles/memcim_device.dir/variability.cpp.o.d"
+  "CMakeFiles/memcim_device.dir/vcm.cpp.o"
+  "CMakeFiles/memcim_device.dir/vcm.cpp.o.d"
+  "libmemcim_device.a"
+  "libmemcim_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcim_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

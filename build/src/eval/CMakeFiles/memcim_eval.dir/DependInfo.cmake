@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/memcim_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/memcim_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/table2.cpp" "src/eval/CMakeFiles/memcim_eval.dir/table2.cpp.o" "gcc" "src/eval/CMakeFiles/memcim_eval.dir/table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/memcim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/memcim_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crossbar/CMakeFiles/memcim_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memcim_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

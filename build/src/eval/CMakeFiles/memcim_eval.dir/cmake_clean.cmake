@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcim_eval.dir/report.cpp.o"
+  "CMakeFiles/memcim_eval.dir/report.cpp.o.d"
+  "CMakeFiles/memcim_eval.dir/table2.cpp.o"
+  "CMakeFiles/memcim_eval.dir/table2.cpp.o.d"
+  "libmemcim_eval.a"
+  "libmemcim_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcim_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

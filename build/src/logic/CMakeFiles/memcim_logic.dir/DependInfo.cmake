@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/adder.cpp" "src/logic/CMakeFiles/memcim_logic.dir/adder.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/adder.cpp.o.d"
+  "/root/repo/src/logic/cam.cpp" "src/logic/CMakeFiles/memcim_logic.dir/cam.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/cam.cpp.o.d"
+  "/root/repo/src/logic/comparator.cpp" "src/logic/CMakeFiles/memcim_logic.dir/comparator.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/comparator.cpp.o.d"
+  "/root/repo/src/logic/crs_fabric.cpp" "src/logic/CMakeFiles/memcim_logic.dir/crs_fabric.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/crs_fabric.cpp.o.d"
+  "/root/repo/src/logic/device_fabric.cpp" "src/logic/CMakeFiles/memcim_logic.dir/device_fabric.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/device_fabric.cpp.o.d"
+  "/root/repo/src/logic/fabric.cpp" "src/logic/CMakeFiles/memcim_logic.dir/fabric.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/fabric.cpp.o.d"
+  "/root/repo/src/logic/gates.cpp" "src/logic/CMakeFiles/memcim_logic.dir/gates.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/gates.cpp.o.d"
+  "/root/repo/src/logic/interconnect.cpp" "src/logic/CMakeFiles/memcim_logic.dir/interconnect.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/interconnect.cpp.o.d"
+  "/root/repo/src/logic/lut.cpp" "src/logic/CMakeFiles/memcim_logic.dir/lut.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/lut.cpp.o.d"
+  "/root/repo/src/logic/program.cpp" "src/logic/CMakeFiles/memcim_logic.dir/program.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/program.cpp.o.d"
+  "/root/repo/src/logic/tc_adder.cpp" "src/logic/CMakeFiles/memcim_logic.dir/tc_adder.cpp.o" "gcc" "src/logic/CMakeFiles/memcim_logic.dir/tc_adder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memcim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/crossbar/CMakeFiles/memcim_crossbar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcim_logic.dir/adder.cpp.o"
+  "CMakeFiles/memcim_logic.dir/adder.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/cam.cpp.o"
+  "CMakeFiles/memcim_logic.dir/cam.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/comparator.cpp.o"
+  "CMakeFiles/memcim_logic.dir/comparator.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/crs_fabric.cpp.o"
+  "CMakeFiles/memcim_logic.dir/crs_fabric.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/device_fabric.cpp.o"
+  "CMakeFiles/memcim_logic.dir/device_fabric.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/fabric.cpp.o"
+  "CMakeFiles/memcim_logic.dir/fabric.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/gates.cpp.o"
+  "CMakeFiles/memcim_logic.dir/gates.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/interconnect.cpp.o"
+  "CMakeFiles/memcim_logic.dir/interconnect.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/lut.cpp.o"
+  "CMakeFiles/memcim_logic.dir/lut.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/program.cpp.o"
+  "CMakeFiles/memcim_logic.dir/program.cpp.o.d"
+  "CMakeFiles/memcim_logic.dir/tc_adder.cpp.o"
+  "CMakeFiles/memcim_logic.dir/tc_adder.cpp.o.d"
+  "libmemcim_logic.a"
+  "libmemcim_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcim_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcim_workloads.dir/dna.cpp.o"
+  "CMakeFiles/memcim_workloads.dir/dna.cpp.o.d"
+  "CMakeFiles/memcim_workloads.dir/parallel_add.cpp.o"
+  "CMakeFiles/memcim_workloads.dir/parallel_add.cpp.o.d"
+  "libmemcim_workloads.a"
+  "libmemcim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

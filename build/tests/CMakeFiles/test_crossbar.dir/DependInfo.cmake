@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crossbar/bias_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/bias_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/bias_test.cpp.o.d"
+  "/root/repo/tests/crossbar/crossbar_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/crossbar_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/crossbar_test.cpp.o.d"
+  "/root/repo/tests/crossbar/crs_memory_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/crs_memory_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/crs_memory_test.cpp.o.d"
+  "/root/repo/tests/crossbar/ecc_memory_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/ecc_memory_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/ecc_memory_test.cpp.o.d"
+  "/root/repo/tests/crossbar/multistage_read_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/multistage_read_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/multistage_read_test.cpp.o.d"
+  "/root/repo/tests/crossbar/program_verify_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/program_verify_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/program_verify_test.cpp.o.d"
+  "/root/repo/tests/crossbar/readout_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/readout_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/readout_test.cpp.o.d"
+  "/root/repo/tests/crossbar/selector_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/selector_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/selector_test.cpp.o.d"
+  "/root/repo/tests/crossbar/vmm_test.cpp" "tests/CMakeFiles/test_crossbar.dir/crossbar/vmm_test.cpp.o" "gcc" "tests/CMakeFiles/test_crossbar.dir/crossbar/vmm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crossbar/CMakeFiles/memcim_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memcim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

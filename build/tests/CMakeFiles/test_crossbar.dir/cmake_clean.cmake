@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar.dir/crossbar/bias_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/bias_test.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/crossbar/crossbar_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/crossbar_test.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/crossbar/crs_memory_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/crs_memory_test.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/crossbar/ecc_memory_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/ecc_memory_test.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/crossbar/multistage_read_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/multistage_read_test.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/crossbar/program_verify_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/program_verify_test.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/crossbar/readout_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/readout_test.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/crossbar/selector_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/selector_test.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/crossbar/vmm_test.cpp.o"
+  "CMakeFiles/test_crossbar.dir/crossbar/vmm_test.cpp.o.d"
+  "test_crossbar"
+  "test_crossbar.pdb"
+  "test_crossbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/device/crs_test.cpp" "tests/CMakeFiles/test_device.dir/device/crs_test.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/crs_test.cpp.o.d"
+  "/root/repo/tests/device/ecm_test.cpp" "tests/CMakeFiles/test_device.dir/device/ecm_test.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/ecm_test.cpp.o.d"
+  "/root/repo/tests/device/fit_test.cpp" "tests/CMakeFiles/test_device.dir/device/fit_test.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/fit_test.cpp.o.d"
+  "/root/repo/tests/device/linear_ion_drift_test.cpp" "tests/CMakeFiles/test_device.dir/device/linear_ion_drift_test.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/linear_ion_drift_test.cpp.o.d"
+  "/root/repo/tests/device/pcm_test.cpp" "tests/CMakeFiles/test_device.dir/device/pcm_test.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/pcm_test.cpp.o.d"
+  "/root/repo/tests/device/variability_test.cpp" "tests/CMakeFiles/test_device.dir/device/variability_test.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/variability_test.cpp.o.d"
+  "/root/repo/tests/device/vcm_test.cpp" "tests/CMakeFiles/test_device.dir/device/vcm_test.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/vcm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/memcim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

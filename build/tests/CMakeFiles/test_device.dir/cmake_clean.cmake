@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/device/crs_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/crs_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/ecm_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/ecm_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/fit_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/fit_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/linear_ion_drift_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/linear_ion_drift_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/pcm_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/pcm_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/variability_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/variability_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/vcm_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/vcm_test.cpp.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logic/adder_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/adder_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/adder_test.cpp.o.d"
+  "/root/repo/tests/logic/cam_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/cam_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/cam_test.cpp.o.d"
+  "/root/repo/tests/logic/comparator_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/comparator_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/comparator_test.cpp.o.d"
+  "/root/repo/tests/logic/cross_fabric_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/cross_fabric_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/cross_fabric_test.cpp.o.d"
+  "/root/repo/tests/logic/crs_fabric_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/crs_fabric_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/crs_fabric_test.cpp.o.d"
+  "/root/repo/tests/logic/device_fabric_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/device_fabric_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/device_fabric_test.cpp.o.d"
+  "/root/repo/tests/logic/gates_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/gates_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/gates_test.cpp.o.d"
+  "/root/repo/tests/logic/interconnect_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/interconnect_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/interconnect_test.cpp.o.d"
+  "/root/repo/tests/logic/lut_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/lut_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/lut_test.cpp.o.d"
+  "/root/repo/tests/logic/program_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/program_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/program_test.cpp.o.d"
+  "/root/repo/tests/logic/random_program_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/random_program_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/random_program_test.cpp.o.d"
+  "/root/repo/tests/logic/tc_adder_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/tc_adder_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/tc_adder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/memcim_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crossbar/CMakeFiles/memcim_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memcim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memcim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic.dir/logic/adder_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/adder_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/cam_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/cam_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/comparator_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/comparator_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/cross_fabric_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/cross_fabric_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/crs_fabric_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/crs_fabric_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/device_fabric_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/device_fabric_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/gates_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/gates_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/interconnect_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/interconnect_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/lut_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/lut_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/program_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/program_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/random_program_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/random_program_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/tc_adder_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/tc_adder_test.cpp.o.d"
+  "test_logic"
+  "test_logic.pdb"
+  "test_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

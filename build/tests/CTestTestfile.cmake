@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_crossbar[1]_include.cmake")
+include("/root/repo/build/tests/test_logic[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_conv[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
