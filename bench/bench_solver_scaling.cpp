@@ -1,11 +1,19 @@
 // Ablation: crossbar network-solver scaling — dense LU vs CG backends
-// (lumped model) and lumped vs distributed fidelity.  This is the
-// infrastructure bench: it bounds the array sizes every other
-// experiment can afford.
+// (lumped model), lumped vs distributed fidelity, and the solver
+// overhaul (symbolic-once assembly + warm start + thread pool) against
+// the pre-overhaul baseline.  This is the infrastructure bench: it
+// bounds the array sizes every other experiment can afford.
+//
+// Besides the interactive tables it writes BENCH_solver.json (in the
+// working directory) so the perf trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "crossbar/crossbar.h"
 #include "device/presets.h"
@@ -24,10 +32,36 @@ CrossbarConfig config(std::size_t n, NetworkModel model) {
   return cfg;
 }
 
+VcmDevice nonlinear_proto() {
+  VcmParams p = presets::vcm_taox();
+  p.nonlinearity = 3.0;
+  return VcmDevice(p, 1.0);
+}
+
+/// Wall-clock of one invocation of `fn`, milliseconds.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Best-of-`reps` wall-clock of `fn`, milliseconds.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const double t = time_ms(fn);
+    if (i == 0 || t < best) best = t;
+  }
+  return best;
+}
+
 void print_fidelity() {
   TextTable t({"N", "model", "unknowns", "sense current", "iterations"});
   const VcmDevice proto(presets::vcm_taox(), 1.0);
-  for (std::size_t n : {8u, 16u, 32u}) {
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
     for (NetworkModel m :
          {NetworkModel::kLumpedLines, NetworkModel::kDistributed}) {
       CrossbarConfig cfg = config(n, m);
@@ -50,6 +84,138 @@ void print_fidelity() {
                "segment (see the crossbar tests).\n\n";
 }
 
+struct OverhaulNumbers {
+  double baseline_single_ms = 0.0;
+  double overhaul_single_ms = 0.0;
+  double baseline_train_ms = 0.0;
+  double overhaul_train_ms = 0.0;
+  std::size_t train_solves = 8;
+  double single_speedup = 0.0;
+  double train_speedup = 0.0;
+};
+
+/// Head-to-head: pre-overhaul solver (per-sweep triplet assembly, cold
+/// CG starts) vs the overhauled one (symbolic-once + numeric refresh,
+/// warm start) on a nonlinear 128×128 lumped solve — the acceptance
+/// workload.  The train variant repeats the solve the way program/
+/// verify and transient loops do, where cross-solve warm start pays.
+OverhaulNumbers measure_overhaul(std::size_t n) {
+  OverhaulNumbers out;
+  CrossbarConfig baseline_cfg = config(n, NetworkModel::kLumpedLines);
+  baseline_cfg.reuse_structure = false;
+  baseline_cfg.warm_start = false;
+  CrossbarConfig overhaul_cfg = config(n, NetworkModel::kLumpedLines);
+  const LineBias bias = access_bias(n, n, 0, 0, 1.0_V, BiasScheme::kFloating);
+
+  {
+    CrossbarArray array(baseline_cfg, nonlinear_proto());
+    out.baseline_single_ms =
+        best_of(3, [&] { benchmark::DoNotOptimize(array.solve(bias)); });
+    out.baseline_train_ms = time_ms([&] {
+      for (std::size_t i = 0; i < out.train_solves; ++i)
+        benchmark::DoNotOptimize(array.solve(bias));
+    });
+  }
+  {
+    CrossbarArray array(overhaul_cfg, nonlinear_proto());
+    // Single solve on a fresh array (no cross-solve warm start yet):
+    // isolates structure reuse + in-solve CG warm starting.
+    out.overhaul_single_ms =
+        time_ms([&] { benchmark::DoNotOptimize(array.solve(bias)); });
+    out.overhaul_train_ms = time_ms([&] {
+      for (std::size_t i = 0; i < out.train_solves; ++i)
+        benchmark::DoNotOptimize(array.solve(bias));
+    });
+  }
+  out.single_speedup = out.baseline_single_ms / out.overhaul_single_ms;
+  out.train_speedup = out.baseline_train_ms / out.overhaul_train_ms;
+  return out;
+}
+
+struct DistributedNumbers {
+  std::size_t n = 0;
+  std::size_t nodes = 0;
+  double solve_ms = 0.0;
+  bool converged = false;
+  std::size_t sweeps = 0;
+  double sense_current = 0.0;
+};
+
+/// Large-array distributed solves through the CG backend — sizes that
+/// were impossible under the old 64×64 dense-LU cap.
+DistributedNumbers measure_distributed(std::size_t n) {
+  DistributedNumbers out;
+  out.n = n;
+  out.nodes = 2 * n * n;
+  CrossbarConfig cfg = config(n, NetworkModel::kDistributed);
+  cfg.wire_segment = 2.0_ohm;
+  const VcmDevice proto(presets::vcm_taox(), 1.0);
+  CrossbarArray array(cfg, proto);
+  const LineBias bias = access_bias(n, n, 0, 0, 1.0_V, BiasScheme::kVHalf);
+  CrossbarSolution sol;
+  out.solve_ms = time_ms([&] { sol = array.solve(bias); });
+  out.converged = sol.converged;
+  out.sweeps = sol.nonlinear_iterations;
+  out.sense_current = -sol.col_terminal_current[0];
+  return out;
+}
+
+void write_json(const OverhaulNumbers& o,
+                const std::vector<DistributedNumbers>& dist) {
+  std::ofstream js("BENCH_solver.json");
+  js << "{\n"
+     << "  \"bench\": \"solver_scaling\",\n"
+     << "  \"threads\": " << parallel_threads() << ",\n"
+     << "  \"nonlinear_128_lumped\": {\n"
+     << "    \"baseline_single_solve_ms\": " << o.baseline_single_ms << ",\n"
+     << "    \"overhaul_single_solve_ms\": " << o.overhaul_single_ms << ",\n"
+     << "    \"single_solve_speedup\": " << o.single_speedup << ",\n"
+     << "    \"train_solves\": " << o.train_solves << ",\n"
+     << "    \"baseline_train_ms\": " << o.baseline_train_ms << ",\n"
+     << "    \"overhaul_train_ms\": " << o.overhaul_train_ms << ",\n"
+     << "    \"train_speedup\": " << o.train_speedup << "\n"
+     << "  },\n"
+     << "  \"distributed_cg\": [\n";
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    const auto& d = dist[i];
+    js << "    {\"n\": " << d.n << ", \"nodes\": " << d.nodes
+       << ", \"solve_ms\": " << d.solve_ms
+       << ", \"converged\": " << (d.converged ? "true" : "false")
+       << ", \"sweeps\": " << d.sweeps
+       << ", \"sense_current_A\": " << d.sense_current << "}"
+       << (i + 1 < dist.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
+  std::cout << "Wrote BENCH_solver.json\n";
+}
+
+void print_overhaul() {
+  std::cout << "--- Solver overhaul: nonlinear 128x128 lumped solve ---\n";
+  const OverhaulNumbers o = measure_overhaul(128);
+  TextTable t({"scenario", "baseline", "overhaul", "speedup"});
+  t.add_row({"single solve", si_string(o.baseline_single_ms * 1e-3, "s"),
+             si_string(o.overhaul_single_ms * 1e-3, "s"),
+             fixed_string(o.single_speedup, 2) + "x"});
+  t.add_row({"train of " + std::to_string(o.train_solves),
+             si_string(o.baseline_train_ms * 1e-3, "s"),
+             si_string(o.overhaul_train_ms * 1e-3, "s"),
+             fixed_string(o.train_speedup, 2) + "x"});
+  std::cout << t.to_text() << '\n';
+
+  std::cout << "--- Distributed model through the CG backend ---\n";
+  std::vector<DistributedNumbers> dist;
+  for (std::size_t n : {64u, 128u, 256u}) dist.push_back(measure_distributed(n));
+  TextTable d({"N", "nodes", "solve", "sweeps", "converged", "sense current"});
+  for (const auto& x : dist)
+    d.add_row({std::to_string(x.n), std::to_string(x.nodes),
+               si_string(x.solve_ms * 1e-3, "s"), std::to_string(x.sweeps),
+               x.converged ? "yes" : "no", si_string(x.sense_current, "A")});
+  std::cout << d.to_text() << '\n';
+
+  write_json(o, dist);
+  std::cout << '\n';
+}
+
 void BM_LumpedSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const VcmDevice proto(presets::vcm_taox(), 1.0);
@@ -67,23 +233,36 @@ void BM_DistributedSolve(benchmark::State& state) {
   const LineBias bias = access_bias(n, n, 0, 0, 1.0_V, BiasScheme::kFloating);
   for (auto _ : state) benchmark::DoNotOptimize(array.solve(bias));
 }
-BENCHMARK(BM_DistributedSolve)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_DistributedSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_NonlinearSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  VcmParams p = presets::vcm_taox();
-  p.nonlinearity = 3.0;
-  CrossbarArray array(config(n, NetworkModel::kLumpedLines), VcmDevice(p, 1.0));
+  CrossbarArray array(config(n, NetworkModel::kLumpedLines),
+                      nonlinear_proto());
   const LineBias bias = access_bias(n, n, 0, 0, 1.0_V, BiasScheme::kFloating);
   for (auto _ : state) benchmark::DoNotOptimize(array.solve(bias));
 }
-BENCHMARK(BM_NonlinearSolve)->Arg(16)->Arg(64);
+BENCHMARK(BM_NonlinearSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_NonlinearSolveBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CrossbarConfig cfg = config(n, NetworkModel::kLumpedLines);
+  cfg.reuse_structure = false;
+  cfg.warm_start = false;
+  CrossbarArray array(cfg, nonlinear_proto());
+  const LineBias bias = access_bias(n, n, 0, 0, 1.0_V, BiasScheme::kFloating);
+  for (auto _ : state) benchmark::DoNotOptimize(array.solve(bias));
+}
+BENCHMARK(BM_NonlinearSolveBaseline)->Arg(16)->Arg(64)->Arg(128);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::cout << "=== Ablation: network solver scaling & fidelity ===\n\n";
+  std::cout << "=== Ablation: network solver scaling & fidelity ===\n"
+            << "thread pool: " << parallel_threads()
+            << " workers (override with MEMCIM_THREADS)\n\n";
   print_fidelity();
+  print_overhaul();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

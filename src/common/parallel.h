@@ -1,0 +1,47 @@
+// Minimal reusable thread pool with a chunked parallel_for.
+//
+// Design constraints (see docs/SOLVER.md):
+//  * Determinism — parallel_for partitions [begin, end) into fixed
+//    contiguous chunks; which worker executes a chunk never affects the
+//    result as long as chunks write disjoint data.  Reductions are the
+//    caller's job (accumulate per chunk, combine in chunk order).
+//  * No nested parallelism — a parallel_for issued from inside a worker
+//    runs serially on that worker, so solver code can use parallel_for
+//    freely without deadlock when workloads fan out above it.
+//  * Cheap fallback — with one worker (or a range below the grain) the
+//    call degenerates to a plain loop; small problems pay nothing.
+//
+// The pool size defaults to std::thread::hardware_concurrency() and can
+// be overridden by the MEMCIM_THREADS environment variable (read once,
+// at first use) or at runtime via set_parallel_threads() (tests use
+// this to prove 1-vs-N bitwise identity).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace memcim {
+
+/// A chunk of a parallel_for range: callers receive [begin, end).
+using ChunkFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Number of workers the global pool currently runs (>= 1).
+[[nodiscard]] std::size_t parallel_threads();
+
+/// Resize the global pool.  n = 0 restores the default (MEMCIM_THREADS
+/// env override, else hardware concurrency).  Existing workers are
+/// joined; safe to call between parallel regions only.
+void set_parallel_threads(std::size_t n);
+
+/// Run fn over [begin, end) split into contiguous chunks of at least
+/// `grain` indices, using the global pool.  The calling thread
+/// participates.  Serial when the pool has one worker, when the range
+/// is below 2·grain, or when called from inside another parallel_for.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         std::size_t grain, const ChunkFn& fn);
+
+/// Per-index convenience wrapper over parallel_for_chunks.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace memcim

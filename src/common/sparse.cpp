@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace memcim {
 
 SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
@@ -17,10 +19,12 @@ void SparseMatrix::add(std::size_t r, std::size_t c, double value) {
 }
 
 void SparseMatrix::finalize() {
-  std::sort(triplets_.begin(), triplets_.end(),
-            [](const Triplet& a, const Triplet& b) {
-              return a.r != b.r ? a.r < b.r : a.c < b.c;
-            });
+  // stable_sort keeps duplicates in insertion order, so their summation
+  // order (and hence the rounded value) is reproducible.
+  std::stable_sort(triplets_.begin(), triplets_.end(),
+                   [](const Triplet& a, const Triplet& b) {
+                     return a.r != b.r ? a.r < b.r : a.c < b.c;
+                   });
   row_ptr_.assign(rows_ + 1, 0);
   col_idx_.clear();
   values_.clear();
@@ -50,16 +54,72 @@ std::size_t SparseMatrix::nonzeros() const {
   return values_.size();
 }
 
+void SparseMatrix::begin_update() {
+  MEMCIM_CHECK_MSG(finalized_, "begin_update() requires finalize()");
+  std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+void SparseMatrix::begin_update(const std::vector<double>& base) {
+  MEMCIM_CHECK_MSG(finalized_, "begin_update() requires finalize()");
+  MEMCIM_CHECK_MSG(base.size() == values_.size(),
+                   "begin_update() base size mismatch");
+  values_ = base;
+}
+
+std::size_t SparseMatrix::slot(std::size_t r, std::size_t c) const {
+  MEMCIM_CHECK_MSG(finalized_, "slot() requires finalize()");
+  MEMCIM_CHECK_MSG(r < rows_ && c < cols_,
+                   "slot out of range: (" << r << ',' << c << ')');
+  const auto first = col_idx_.begin() +
+                     static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto last = col_idx_.begin() +
+                    static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  MEMCIM_CHECK_MSG(it != last && *it == c,
+                   "slot(): (" << r << ',' << c
+                               << ") is not a structural nonzero");
+  return static_cast<std::size_t>(it - col_idx_.begin());
+}
+
+void SparseMatrix::set(std::size_t r, std::size_t c, double value) {
+  values_[slot(r, c)] = value;
+}
+
+void SparseMatrix::add_to(std::size_t r, std::size_t c, double value) {
+  values_[slot(r, c)] += value;
+}
+
+void SparseMatrix::set_slot(std::size_t s, double value) {
+  MEMCIM_CHECK_MSG(finalized_ && s < values_.size(), "set_slot out of range");
+  values_[s] = value;
+}
+
+void SparseMatrix::add_slot(std::size_t s, double value) {
+  MEMCIM_CHECK_MSG(finalized_ && s < values_.size(), "add_slot out of range");
+  values_[s] += value;
+}
+
+const std::vector<double>& SparseMatrix::values() const {
+  MEMCIM_CHECK(finalized_);
+  return values_;
+}
+
 std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {
   MEMCIM_CHECK_MSG(finalized_, "multiply() on a non-finalized SparseMatrix");
   MEMCIM_CHECK_MSG(x.size() == cols_, "sparse matvec size mismatch");
   std::vector<double> y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      acc += values_[k] * x[col_idx_[k]];
-    y[r] = acc;
-  }
+  // Row blocks are independent; the k-loop order inside each row is
+  // fixed, so any thread count produces bitwise-identical y.
+  parallel_for_chunks(0, rows_, 2048,
+                      [this, &x, &y](std::size_t lo, std::size_t hi) {
+                        for (std::size_t r = lo; r < hi; ++r) {
+                          double acc = 0.0;
+                          for (std::size_t k = row_ptr_[r];
+                               k < row_ptr_[r + 1]; ++k)
+                            acc += values_[k] * x[col_idx_[k]];
+                          y[r] = acc;
+                        }
+                      });
   return y;
 }
 
@@ -95,6 +155,8 @@ CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
                             const CgOptions& options) {
   MEMCIM_CHECK_MSG(a.rows() == a.cols(), "CG requires a square matrix");
   MEMCIM_CHECK_MSG(b.size() == a.rows(), "CG rhs size mismatch");
+  MEMCIM_CHECK_MSG(options.x0.empty() || options.x0.size() == b.size(),
+                   "CG warm-start size mismatch");
   const std::size_t n = a.rows();
   const std::size_t max_iter =
       options.max_iterations > 0 ? options.max_iterations : 10 * n;
@@ -104,14 +166,26 @@ CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
   for (double& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
 
   CgResult result;
-  result.x.assign(n, 0.0);
-  std::vector<double> r = b;  // r = b - A·0
   const double b_norm = norm2(b);
-  if (b_norm == 0.0) {
+  std::vector<double> r;
+  if (options.x0.empty()) {
+    result.x.assign(n, 0.0);
+    r = b;  // r = b - A·0
+  } else {
+    result.x = options.x0;
+    r = a.multiply(result.x);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  }
+  if (b_norm == 0.0 && options.x0.empty()) {
     result.converged = true;
     return result;
   }
-  const double target = options.tolerance * b_norm;
+  const double target = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+  result.residual_norm = norm2(r);
+  if (result.residual_norm <= target) {
+    result.converged = true;  // warm start already solves the system
+    return result;
+  }
 
   std::vector<double> z(n), p(n), ap;
   for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];

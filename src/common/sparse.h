@@ -4,6 +4,12 @@
 // Crossbar nodal conductance matrices are symmetric positive definite
 // (every node has a conductive path to a driven terminal), which makes
 // CG the natural large-array backend; dense LU remains the reference.
+//
+// Nonlinear solves re-stamp the same nodal pattern every sweep, so the
+// matrix supports a symbolic-once / numeric-refresh protocol: assemble
+// and finalize() once, then per sweep call begin_update() and rewrite
+// values in place — by coordinate (set()/add_to()) or, hot-path, by
+// slot index resolved once with slot().  No re-sort, no reallocation.
 #pragma once
 
 #include <cstddef>
@@ -24,7 +30,9 @@ class SparseMatrix {
   void add(std::size_t r, std::size_t c, double value);
 
   /// Finalize triplets into CSR form.  Must be called before multiply();
-  /// further add() calls require a new finalize().
+  /// further add() calls require a new finalize().  Duplicates are
+  /// summed in insertion order (stable), so repeat assemblies of the
+  /// same stamp sequence are bitwise reproducible.
   void finalize();
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
@@ -32,7 +40,37 @@ class SparseMatrix {
   [[nodiscard]] bool finalized() const { return finalized_; }
   [[nodiscard]] std::size_t nonzeros() const;
 
-  /// y = A·x (requires finalize()).
+  // --- Numeric refresh (structure reuse) ----------------------------------
+  // All of these require finalize() to have been called; the sparsity
+  // pattern is frozen and only the stored values change.
+
+  /// Reset every stored value to zero, keeping the CSR structure.
+  void begin_update();
+
+  /// Reset stored values to `base` (e.g. the constant stamps of a nodal
+  /// matrix, captured once via values()).  Size must equal nonzeros().
+  void begin_update(const std::vector<double>& base);
+
+  /// Overwrite the value at structural nonzero (r, c).  Throws if the
+  /// coordinate is not part of the pattern.
+  void set(std::size_t r, std::size_t c, double value);
+
+  /// Accumulate into the value at structural nonzero (r, c).
+  void add_to(std::size_t r, std::size_t c, double value);
+
+  /// Index of structural nonzero (r, c) into values(); resolve once,
+  /// then refresh with set_slot()/add_slot() at O(1).
+  [[nodiscard]] std::size_t slot(std::size_t r, std::size_t c) const;
+
+  void set_slot(std::size_t s, double value);
+  void add_slot(std::size_t s, double value);
+
+  /// CSR value array (requires finalize()); index with slot().
+  [[nodiscard]] const std::vector<double>& values() const;
+
+  /// y = A·x (requires finalize()).  Row blocks are evaluated on the
+  /// global thread pool; per-row accumulation order is fixed, so the
+  /// result is bitwise identical at any thread count.
   [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
 
   /// Diagonal of the matrix (requires finalize()).
@@ -65,8 +103,12 @@ struct CgResult {
 
 /// Options for conjugate_gradient().
 struct CgOptions {
-  double tolerance = 1e-10;     ///< relative to ‖b‖₂.
+  double tolerance = 1e-10;        ///< relative to ‖b‖₂.
   std::size_t max_iterations = 0;  ///< 0 → 10·n.
+  /// Warm-start guess (empty → zeros).  Nonlinear sweeps and transient
+  /// steps converge in a handful of iterations when seeded with the
+  /// previous solution.
+  std::vector<double> x0;
 };
 
 /// Jacobi-preconditioned CG on a finalized SPD matrix.

@@ -1,11 +1,13 @@
 #include "crossbar/crossbar.h"
 
 #include <algorithm>
-#include <limits>
+#include <array>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "common/matrix.h"
+#include "common/parallel.h"
 #include "common/sparse.h"
 
 namespace memcim {
@@ -19,6 +21,26 @@ constexpr double kGFloor = 1e-15;
 /// Ideal drivers are stamped as a very stiff source resistance so the
 /// distributed formulation can keep every node as an unknown.
 constexpr double kIdealDriverOhms = 1e-3;
+
+/// Junctions per parallel_for chunk when evaluating device conductance
+/// or current (virtual call + possible sinh per junction).
+constexpr std::size_t kDeviceGrain = 512;
+
+/// Slot quadruple of one junction's nodal stamps; kNoSlot marks stamps
+/// that do not exist (an endpoint is pinned).
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+struct JunctionSlots {
+  std::size_t rr = kNoSlot;  ///< (row diag, row diag)
+  std::size_t cc = kNoSlot;  ///< (col diag, col diag)
+  std::size_t rc = kNoSlot;  ///< (row, col) off-diagonal
+  std::size_t cr = kNoSlot;  ///< (col, row) off-diagonal
+};
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
 
 }  // namespace
 
@@ -38,6 +60,7 @@ CrossbarArray::CrossbarArray(const CrossbarConfig& config,
   MEMCIM_CHECK(config_.wire_segment.value() > 0.0);
   MEMCIM_CHECK(config_.driver.value() >= 0.0);
   MEMCIM_CHECK(config_.damping > 0.0 && config_.damping <= 1.0);
+  MEMCIM_CHECK(config_.cg_tolerance > 0.0);
   devices_.reserve(config_.rows * config_.cols);
   for (std::size_t i = 0; i < config_.rows * config_.cols; ++i)
     devices_.push_back(prototype.clone());
@@ -78,8 +101,11 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
   const double g_drv =
       ideal_drivers ? 0.0 : 1.0 / config_.driver.value();
 
-  // Line voltage estimate; driven lines start at their source value.
+  // Line voltage estimate; floating lines warm-start from the previous
+  // solve (a transient step's network barely moves between pulses),
+  // driven lines start at their source value.
   std::vector<double> v(lines, 0.0);
+  if (config_.warm_start && warm_lumped_.size() == lines) v = warm_lumped_;
   std::vector<bool> driven(lines, false);
   std::vector<double> src(lines, 0.0);
   for (std::size_t r = 0; r < m; ++r)
@@ -112,6 +138,64 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
   sol.col_terminal_current.assign(n, 0.0);
 
   std::vector<double> g(m * n, 0.0);
+
+  // The nodal sparsity pattern is fixed by the array topology for the
+  // lifetime of this solve: assemble the CSR structure once (junction
+  // stamps structural with value 0, constant driver stamps with their
+  // value), then refresh only the junction chord conductances on every
+  // sweep through pre-resolved slot indices.  No triplet sort per sweep.
+  SparseMatrix a(n_unknown, n_unknown);
+  std::vector<double> base_values;       // constant stamps (drivers)
+  std::vector<JunctionSlots> jslots;     // per junction, row-major
+  bool structure_ready = false;
+  const auto build_structure = [&] {
+    a = SparseMatrix(n_unknown, n_unknown);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::ptrdiff_t ur = unknown_of[r];
+        const std::ptrdiff_t uc = unknown_of[m + c];
+        if (ur >= 0) a.add(static_cast<std::size_t>(ur),
+                           static_cast<std::size_t>(ur), 0.0);
+        if (uc >= 0) a.add(static_cast<std::size_t>(uc),
+                           static_cast<std::size_t>(uc), 0.0);
+        if (ur >= 0 && uc >= 0) {
+          a.add(static_cast<std::size_t>(ur), static_cast<std::size_t>(uc),
+                0.0);
+          a.add(static_cast<std::size_t>(uc), static_cast<std::size_t>(ur),
+                0.0);
+        }
+      }
+    // Non-ideal drivers tie their line to the source (constant stamps).
+    if (!ideal_drivers)
+      for (std::size_t l = 0; l < lines; ++l)
+        if (driven[l]) {
+          const auto u = static_cast<std::size_t>(unknown_of[l]);
+          a.add(u, u, g_drv);
+        }
+    a.finalize();
+    base_values = a.values();
+    jslots.assign(m * n, JunctionSlots{});
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::ptrdiff_t ur = unknown_of[r];
+        const std::ptrdiff_t uc = unknown_of[m + c];
+        JunctionSlots& s = jslots[r * n + c];
+        if (ur >= 0)
+          s.rr = a.slot(static_cast<std::size_t>(ur),
+                        static_cast<std::size_t>(ur));
+        if (uc >= 0)
+          s.cc = a.slot(static_cast<std::size_t>(uc),
+                        static_cast<std::size_t>(uc));
+        if (ur >= 0 && uc >= 0) {
+          s.rc = a.slot(static_cast<std::size_t>(ur),
+                        static_cast<std::size_t>(uc));
+          s.cr = a.slot(static_cast<std::size_t>(uc),
+                        static_cast<std::size_t>(ur));
+        }
+      }
+    structure_ready = config_.reuse_structure;
+  };
+
   // Damping is adapted: stiff junction nonlinearities (sinh selectors)
   // make the plain fixed point oscillate, so whenever the update grows
   // we halve the step.
@@ -120,51 +204,56 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
   for (std::size_t sweep = 0; sweep < config_.max_nonlinear_iterations;
        ++sweep) {
     // Chord conductance of every junction at the present estimate.
-    for (std::size_t r = 0; r < m; ++r)
-      for (std::size_t c = 0; c < n; ++c) {
-        const Voltage vd(v[r] - v[m + c]);
-        g[r * n + c] = std::max(
-            kGFloor, devices_[r * n + c]->conductance(vd).value());
-      }
+    parallel_for_chunks(
+        0, m * n, kDeviceGrain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            const Voltage vd(v[j / n] - v[m + j % n]);
+            g[j] = std::max(kGFloor, devices_[j]->conductance(vd).value());
+          }
+        });
 
     if (n_unknown > 0) {
-      SparseMatrix a(n_unknown, n_unknown);
+      if (!structure_ready)
+        build_structure();
+      else
+        a.begin_update(base_values);
+      // Numeric refresh: serial on purpose — diagonal slots are shared
+      // across junctions of a line, so this accumulation must stay in a
+      // fixed order for bitwise reproducibility.
       std::vector<double> rhs(n_unknown, 0.0);
       for (std::size_t r = 0; r < m; ++r)
         for (std::size_t c = 0; c < n; ++c) {
           const double grc = g[r * n + c];
-          const std::ptrdiff_t ur = unknown_of[r];
-          const std::ptrdiff_t uc = unknown_of[m + c];
-          if (ur >= 0) a.add(static_cast<std::size_t>(ur),
-                             static_cast<std::size_t>(ur), grc);
-          if (uc >= 0) a.add(static_cast<std::size_t>(uc),
-                             static_cast<std::size_t>(uc), grc);
-          if (ur >= 0 && uc >= 0) {
-            a.add(static_cast<std::size_t>(ur), static_cast<std::size_t>(uc),
-                  -grc);
-            a.add(static_cast<std::size_t>(uc), static_cast<std::size_t>(ur),
-                  -grc);
-          } else if (ur >= 0) {
-            rhs[static_cast<std::size_t>(ur)] += grc * v[m + c];
-          } else if (uc >= 0) {
-            rhs[static_cast<std::size_t>(uc)] += grc * v[r];
+          const JunctionSlots& s = jslots[r * n + c];
+          if (s.rr != kNoSlot) a.add_slot(s.rr, grc);
+          if (s.cc != kNoSlot) a.add_slot(s.cc, grc);
+          if (s.rc != kNoSlot) {
+            a.add_slot(s.rc, -grc);
+            a.add_slot(s.cr, -grc);
+          } else if (s.rr != kNoSlot && s.cc == kNoSlot) {
+            rhs[static_cast<std::size_t>(unknown_of[r])] += grc * v[m + c];
+          } else if (s.cc != kNoSlot && s.rr == kNoSlot) {
+            rhs[static_cast<std::size_t>(unknown_of[m + c])] += grc * v[r];
           }
         }
-      // Non-ideal drivers tie their line to the source.
       if (!ideal_drivers)
         for (std::size_t l = 0; l < lines; ++l)
-          if (driven[l]) {
-            const auto u = static_cast<std::size_t>(unknown_of[l]);
-            a.add(u, u, g_drv);
-            rhs[u] += g_drv * src[l];
-          }
-      a.finalize();
+          if (driven[l])
+            rhs[static_cast<std::size_t>(unknown_of[l])] += g_drv * src[l];
 
       std::vector<double> x;
-      if (n_unknown <= 200) {
+      if (n_unknown <= config_.dense_solver_max_unknowns) {
         x = solve_dense(a.to_dense(), rhs);
       } else {
-        auto cg = conjugate_gradient(a, rhs, {.tolerance = 1e-12});
+        CgOptions opts;
+        opts.tolerance = config_.cg_tolerance;
+        if (config_.warm_start) {
+          opts.x0.resize(n_unknown);
+          for (std::size_t l = 0; l < lines; ++l)
+            if (unknown_of[l] >= 0)
+              opts.x0[static_cast<std::size_t>(unknown_of[l])] = v[l];
+        }
+        auto cg = conjugate_gradient(a, rhs, opts);
         MEMCIM_CHECK_MSG(cg.converged || cg.residual_norm < 1e-9,
                          "crossbar CG failed to converge");
         x = std::move(cg.x);
@@ -196,17 +285,19 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
     }
   }
   if (!sol.converged && n_unknown == 0) sol.converged = true;
+  warm_lumped_ = v;
 
   for (std::size_t r = 0; r < m; ++r) sol.row_voltage[r] = v[r];
   for (std::size_t c = 0; c < n; ++c) sol.col_voltage[c] = v[m + c];
 
-  for (std::size_t r = 0; r < m; ++r)
-    for (std::size_t c = 0; c < n; ++c) {
-      const double vd = v[r] - v[m + c];
-      sol.device_voltage[r * n + c] = vd;
-      sol.device_current[r * n + c] =
-          devices_[r * n + c]->current(Voltage(vd)).value();
-    }
+  parallel_for_chunks(
+      0, m * n, kDeviceGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          const double vd = v[j / n] - v[m + j % n];
+          sol.device_voltage[j] = vd;
+          sol.device_current[j] = devices_[j]->current(Voltage(vd)).value();
+        }
+      });
   // Terminal currents.
   for (std::size_t r = 0; r < m; ++r) {
     if (!driven[r]) continue;
@@ -238,8 +329,8 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
 // ---------------------------------------------------------------------------
 CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
   const std::size_t m = rows(), n = cols();
-  MEMCIM_CHECK_MSG(m * n <= 64 * 64,
-                   "distributed model is intended for arrays up to 64x64; "
+  MEMCIM_CHECK_MSG(m * n <= 256 * 256,
+                   "distributed model is intended for arrays up to 256x256; "
                    "use kLumpedLines beyond that");
   const std::size_t n_nodes = 2 * m * n;
   const auto row_node = [n](std::size_t r, std::size_t c) { return r * n + c; };
@@ -252,15 +343,21 @@ CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
                                   : kIdealDriverOhms);
 
   std::vector<double> v(n_nodes, 0.0);
-  // Seed driven lines so the first chord-conductance pass is sensible.
-  for (std::size_t r = 0; r < m; ++r)
-    if (bias.rows[r])
-      for (std::size_t c = 0; c < n; ++c)
-        v[row_node(r, c)] = bias.rows[r]->value();
-  for (std::size_t c = 0; c < n; ++c)
-    if (bias.cols[c])
-      for (std::size_t r = 0; r < m; ++r)
-        v[col_node(r, c)] = bias.cols[c]->value();
+  if (config_.warm_start && warm_distributed_.size() == n_nodes) {
+    // Previous transient step's node voltages: strictly better than the
+    // flat line seeding below.
+    v = warm_distributed_;
+  } else {
+    // Seed driven lines so the first chord-conductance pass is sensible.
+    for (std::size_t r = 0; r < m; ++r)
+      if (bias.rows[r])
+        for (std::size_t c = 0; c < n; ++c)
+          v[row_node(r, c)] = bias.rows[r]->value();
+    for (std::size_t c = 0; c < n; ++c)
+      if (bias.cols[c])
+        for (std::size_t r = 0; r < m; ++r)
+          v[col_node(r, c)] = bias.cols[c]->value();
+  }
 
   CrossbarSolution sol;
   sol.row_voltage.resize(m);
@@ -270,50 +367,106 @@ CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
   sol.row_terminal_current.assign(m, 0.0);
   sol.col_terminal_current.assign(n, 0.0);
 
-  double lambda_adaptive = config_.damping;
-  double prev_max_dv = std::numeric_limits<double>::infinity();
-  for (std::size_t sweep = 0; sweep < config_.max_nonlinear_iterations;
-       ++sweep) {
-    SparseMatrix a(n_nodes, n_nodes);
-    std::vector<double> rhs(n_nodes, 0.0);
-    auto stamp = [&](std::size_t i, std::size_t j, double gc) {
-      a.add(i, i, gc);
-      a.add(j, j, gc);
-      a.add(i, j, -gc);
-      a.add(j, i, -gc);
-    };
+  // Symbolic-once assembly: wire-segment and driver stamps are constant
+  // for the whole solve, junction stamps are refreshed per sweep.
+  SparseMatrix a(n_nodes, n_nodes);
+  std::vector<double> base_values;
+  std::vector<JunctionSlots> jslots;
+  bool structure_ready = false;
+  const auto stamp_structural = [&a](std::size_t i, std::size_t j, double gc) {
+    a.add(i, i, gc);
+    a.add(j, j, gc);
+    a.add(i, j, -gc);
+    a.add(j, i, -gc);
+  };
+  const auto build_structure = [&] {
+    a = SparseMatrix(n_nodes, n_nodes);
     // Wire segments along rows (driver at column 0) and columns (driver
-    // at row 0).
+    // at row 0) — constant values.
     for (std::size_t r = 0; r < m; ++r)
       for (std::size_t c = 0; c + 1 < n; ++c)
-        stamp(row_node(r, c), row_node(r, c + 1), g_wire);
+        stamp_structural(row_node(r, c), row_node(r, c + 1), g_wire);
     for (std::size_t c = 0; c < n; ++c)
       for (std::size_t r = 0; r + 1 < m; ++r)
-        stamp(col_node(r, c), col_node(r + 1, c), g_wire);
-    // Junction devices.
+        stamp_structural(col_node(r, c), col_node(r + 1, c), g_wire);
+    // Junction devices — structural only, refreshed numerically.
     for (std::size_t r = 0; r < m; ++r)
-      for (std::size_t c = 0; c < n; ++c) {
-        const Voltage vd(v[row_node(r, c)] - v[col_node(r, c)]);
-        const double gc = std::max(
-            kGFloor, devices_[r * n + c]->conductance(vd).value());
-        stamp(row_node(r, c), col_node(r, c), gc);
-      }
-    // Drivers.
+      for (std::size_t c = 0; c < n; ++c)
+        stamp_structural(row_node(r, c), col_node(r, c), 0.0);
+    // Drivers — constant values.
     for (std::size_t r = 0; r < m; ++r)
       if (bias.rows[r]) {
         const std::size_t node = row_node(r, 0);
         a.add(node, node, g_drv);
-        rhs[node] += g_drv * bias.rows[r]->value();
       }
     for (std::size_t c = 0; c < n; ++c)
       if (bias.cols[c]) {
         const std::size_t node = col_node(0, c);
         a.add(node, node, g_drv);
-        rhs[node] += g_drv * bias.cols[c]->value();
       }
     a.finalize();
+    base_values = a.values();
+    jslots.assign(m * n, JunctionSlots{});
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t rn = row_node(r, c), cn = col_node(r, c);
+        JunctionSlots& s = jslots[r * n + c];
+        s.rr = a.slot(rn, rn);
+        s.cc = a.slot(cn, cn);
+        s.rc = a.slot(rn, cn);
+        s.cr = a.slot(cn, rn);
+      }
+    structure_ready = config_.reuse_structure;
+  };
 
-    const std::vector<double> x = solve_dense(a.to_dense(), rhs);
+  // Driver injection is constant across sweeps.
+  std::vector<double> rhs(n_nodes, 0.0);
+  for (std::size_t r = 0; r < m; ++r)
+    if (bias.rows[r]) rhs[row_node(r, 0)] += g_drv * bias.rows[r]->value();
+  for (std::size_t c = 0; c < n; ++c)
+    if (bias.cols[c]) rhs[col_node(0, c)] += g_drv * bias.cols[c]->value();
+  const double rhs_norm = norm2(rhs);
+
+  double lambda_adaptive = config_.damping;
+  double prev_max_dv = std::numeric_limits<double>::infinity();
+  std::vector<double> gj(m * n, 0.0);
+  for (std::size_t sweep = 0; sweep < config_.max_nonlinear_iterations;
+       ++sweep) {
+    parallel_for_chunks(
+        0, m * n, kDeviceGrain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            const std::size_t r = j / n, c = j % n;
+            const Voltage vd(v[row_node(r, c)] - v[col_node(r, c)]);
+            gj[j] = std::max(kGFloor, devices_[j]->conductance(vd).value());
+          }
+        });
+    if (!structure_ready)
+      build_structure();
+    else
+      a.begin_update(base_values);
+    for (std::size_t j = 0; j < m * n; ++j) {
+      const JunctionSlots& s = jslots[j];
+      const double gc = gj[j];
+      a.add_slot(s.rr, gc);
+      a.add_slot(s.cc, gc);
+      a.add_slot(s.rc, -gc);
+      a.add_slot(s.cr, -gc);
+    }
+
+    std::vector<double> x;
+    if (n_nodes <= config_.dense_solver_max_unknowns) {
+      x = solve_dense(a.to_dense(), rhs);
+    } else {
+      CgOptions opts;
+      opts.tolerance = config_.cg_tolerance;
+      if (config_.warm_start) opts.x0 = v;
+      auto cg = conjugate_gradient(a, rhs, opts);
+      MEMCIM_CHECK_MSG(cg.converged ||
+                           cg.residual_norm <= 1e-6 * rhs_norm,
+                       "distributed crossbar CG failed to converge");
+      x = std::move(cg.x);
+    }
+
     const double lambda = sweep == 0 ? 1.0 : lambda_adaptive;
     double max_dv = 0.0;
     for (std::size_t i = 0; i < n_nodes; ++i) {
@@ -330,16 +483,19 @@ CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
       lambda_adaptive = std::max(0.05, 0.5 * lambda_adaptive);
     prev_max_dv = max_dv;
   }
+  warm_distributed_ = v;
 
   for (std::size_t r = 0; r < m; ++r) sol.row_voltage[r] = v[row_node(r, 0)];
   for (std::size_t c = 0; c < n; ++c) sol.col_voltage[c] = v[col_node(0, c)];
-  for (std::size_t r = 0; r < m; ++r)
-    for (std::size_t c = 0; c < n; ++c) {
-      const double vd = v[row_node(r, c)] - v[col_node(r, c)];
-      sol.device_voltage[r * n + c] = vd;
-      sol.device_current[r * n + c] =
-          devices_[r * n + c]->current(Voltage(vd)).value();
-    }
+  parallel_for_chunks(
+      0, m * n, kDeviceGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          const std::size_t r = j / n, c = j % n;
+          const double vd = v[row_node(r, c)] - v[col_node(r, c)];
+          sol.device_voltage[j] = vd;
+          sol.device_current[j] = devices_[j]->current(Voltage(vd)).value();
+        }
+      });
   for (std::size_t r = 0; r < m; ++r)
     if (bias.rows[r])
       sol.row_terminal_current[r] =
@@ -353,10 +509,15 @@ CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
 
 CrossbarSolution CrossbarArray::apply_pulse(const LineBias& bias, Time dt) {
   CrossbarSolution sol = solve(bias);
-  const std::size_t n = cols();
-  for (std::size_t r = 0; r < rows(); ++r)
-    for (std::size_t c = 0; c < n; ++c)
-      devices_[r * n + c]->apply(Voltage(sol.device_voltage[r * n + c]), dt);
+  const std::size_t count = rows() * cols();
+  // Device state advancement is embarrassingly parallel: each junction
+  // integrates its own state under its solved voltage.
+  parallel_for_chunks(0, count, kDeviceGrain,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t j = lo; j < hi; ++j)
+                          devices_[j]->apply(Voltage(sol.device_voltage[j]),
+                                             dt);
+                      });
   return sol;
 }
 

@@ -47,6 +47,19 @@ struct CrossbarConfig {
   std::size_t max_nonlinear_iterations = 120;
   double nonlinear_tolerance = 1e-6;  ///< max |ΔV| between sweeps, volts
   double damping = 0.7;               ///< new = λ·solved + (1−λ)·old
+  /// Linear-backend crossover: systems with at most this many unknowns
+  /// go to dense LU, larger ones to Jacobi-preconditioned CG.  Applies
+  /// to both network models.
+  std::size_t dense_solver_max_unknowns = 200;
+  /// CG convergence target, relative to ‖rhs‖₂.
+  double cg_tolerance = 1e-12;
+  /// Assemble the nodal CSR structure once per solve and refresh only
+  /// junction conductances on later sweeps.  Off = re-assemble every
+  /// sweep (the pre-overhaul behavior, kept for benchmarking).
+  bool reuse_structure = true;
+  /// Seed each solve's node voltages (and each sweep's CG) from the
+  /// previous solution.  Off = cold-start every time.
+  bool warm_start = true;
 };
 
 /// Solution of one bias pattern.
@@ -109,6 +122,15 @@ class CrossbarArray {
 
   CrossbarConfig config_;
   std::vector<std::unique_ptr<Device>> devices_;  // row-major
+
+  /// Warm-start caches: node voltages of the previous solve, reused as
+  /// the next solve's initial guess (and the CG seed) when
+  /// config_.warm_start is on.  Mutable bookkeeping only — the solution
+  /// a solve converges to is unchanged; concurrent solve() calls on the
+  /// *same* array are not supported (distinct arrays are fine, which is
+  /// what the workload fan-out uses).
+  mutable std::vector<double> warm_lumped_;       // rows()+cols() entries
+  mutable std::vector<double> warm_distributed_;  // 2·rows()·cols() entries
 };
 
 }  // namespace memcim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace memcim {
 
@@ -72,12 +73,14 @@ SortedIndex::SortedIndex(const std::string& reference, std::size_t k)
             });
 }
 
-int SortedIndex::compare_at(std::size_t pos, const std::string& pattern) {
+int SortedIndex::compare_at(std::size_t pos, const std::string& pattern,
+                            std::uint64_t& comparisons,
+                            MemoryTrace* trace) const {
   for (std::size_t i = 0; i < k_; ++i) {
-    ++comparisons_;
-    if (trace_ != nullptr) {
-      trace_->record(kReferenceBase + pos + i);
-      trace_->record(kPatternBase + i);
+    ++comparisons;
+    if (trace != nullptr) {
+      trace->record(kReferenceBase + pos + i);
+      trace->record(kPatternBase + i);
     }
     if (reference_[pos + i] != pattern[i])
       return reference_[pos + i] < pattern[i] ? -1 : 1;
@@ -86,21 +89,35 @@ int SortedIndex::compare_at(std::size_t pos, const std::string& pattern) {
 }
 
 std::vector<std::size_t> SortedIndex::lookup(const std::string& pattern) {
+  std::uint64_t comparisons = 0;
+  std::vector<std::size_t> hits = lookup_impl(pattern, comparisons, trace_);
+  comparisons_ += comparisons;
+  return hits;
+}
+
+std::vector<std::size_t> SortedIndex::lookup_counted(
+    const std::string& pattern, std::uint64_t& comparisons) const {
+  return lookup_impl(pattern, comparisons, nullptr);
+}
+
+std::vector<std::size_t> SortedIndex::lookup_impl(const std::string& pattern,
+                                                  std::uint64_t& comparisons,
+                                                  MemoryTrace* trace) const {
   MEMCIM_CHECK_MSG(pattern.size() >= k_, "pattern shorter than k");
   // Binary search for the leftmost k-mer >= pattern.
   std::size_t lo = 0, hi = positions_.size();
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (trace_ != nullptr) trace_->record(kIndexBase + 8 * mid);
-    if (compare_at(positions_[mid], pattern) < 0)
+    if (trace != nullptr) trace->record(kIndexBase + 8 * mid);
+    if (compare_at(positions_[mid], pattern, comparisons, trace) < 0)
       lo = mid + 1;
     else
       hi = mid;
   }
   std::vector<std::size_t> hits;
   while (lo < positions_.size()) {
-    if (trace_ != nullptr) trace_->record(kIndexBase + 8 * lo);
-    if (compare_at(positions_[lo], pattern) != 0) break;
+    if (trace != nullptr) trace->record(kIndexBase + 8 * lo);
+    if (compare_at(positions_[lo], pattern, comparisons, trace) != 0) break;
     hits.push_back(positions_[lo]);
     ++lo;
   }
@@ -112,28 +129,35 @@ MatchStats match_reads(const std::string& reference,
   SortedIndex index(reference, k);
   MatchStats stats;
   stats.reads_total = reads.size();
-  std::uint64_t verify_comparisons = 0;
-  for (const ShortRead& read : reads) {
-    const std::vector<std::size_t> candidates = index.lookup(read.bases);
-    bool matched = false;
+  // Tile-level fan-out: each read is an independent CAM query against
+  // the shared (read-only) index.  Per-read flags/counters are reduced
+  // in read order afterwards, so totals are thread-count invariant.
+  std::vector<std::uint8_t> matched(reads.size(), 0);
+  std::vector<std::uint64_t> comparisons(reads.size(), 0);
+  parallel_for(0, reads.size(), 16, [&](std::size_t i) {
+    const ShortRead& read = reads[i];
+    const std::vector<std::size_t> candidates =
+        index.lookup_counted(read.bases, comparisons[i]);
     for (const std::size_t pos : candidates) {
       if (pos + read.bases.size() > reference.size()) continue;
       bool equal = true;
-      for (std::size_t i = k; i < read.bases.size(); ++i) {
-        ++verify_comparisons;
-        if (reference[pos + i] != read.bases[i]) {
+      for (std::size_t j = k; j < read.bases.size(); ++j) {
+        ++comparisons[i];
+        if (reference[pos + j] != read.bases[j]) {
           equal = false;
           break;
         }
       }
       if (equal) {
-        matched = true;
+        matched[i] = 1;
         break;
       }
     }
-    if (matched) ++stats.reads_matched;
+  });
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    stats.reads_matched += matched[i];
+    stats.character_comparisons += comparisons[i];
   }
-  stats.character_comparisons = index.character_comparisons() + verify_comparisons;
   return stats;
 }
 
@@ -145,35 +169,37 @@ MatchStats match_reads_tolerant(const std::string& reference,
   SortedIndex index(reference, k);
   MatchStats stats;
   stats.reads_total = reads.size();
-  std::uint64_t verify_comparisons = 0;
-  for (const ShortRead& read : reads) {
-    bool matched = false;
-    for (std::size_t s = 0; s < seeds && !matched; ++s) {
+  std::vector<std::uint8_t> matched(reads.size(), 0);
+  std::vector<std::uint64_t> comparisons(reads.size(), 0);
+  parallel_for(0, reads.size(), 16, [&](std::size_t i) {
+    const ShortRead& read = reads[i];
+    for (std::size_t s = 0; s < seeds && !matched[i]; ++s) {
       const std::size_t offset = s * k;
       if (offset + k > read.bases.size()) break;
       const std::vector<std::size_t> candidates =
-          index.lookup(read.bases.substr(offset, k));
+          index.lookup_counted(read.bases.substr(offset, k), comparisons[i]);
       for (const std::size_t seed_pos : candidates) {
         if (seed_pos < offset) continue;
         const std::size_t start = seed_pos - offset;
         if (start + read.bases.size() > reference.size()) continue;
         std::size_t mismatches = 0;
-        for (std::size_t i = 0; i < read.bases.size(); ++i) {
-          ++verify_comparisons;
-          if (reference[start + i] != read.bases[i] &&
+        for (std::size_t j = 0; j < read.bases.size(); ++j) {
+          ++comparisons[i];
+          if (reference[start + j] != read.bases[j] &&
               ++mismatches > max_mismatches)
             break;
         }
         if (mismatches <= max_mismatches) {
-          matched = true;
+          matched[i] = 1;
           break;
         }
       }
     }
-    if (matched) ++stats.reads_matched;
+  });
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    stats.reads_matched += matched[i];
+    stats.character_comparisons += comparisons[i];
   }
-  stats.character_comparisons =
-      index.character_comparisons() + verify_comparisons;
   return stats;
 }
 

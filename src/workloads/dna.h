@@ -62,6 +62,13 @@ class SortedIndex {
   /// characters used).  Comparison counting accumulates.
   [[nodiscard]] std::vector<std::size_t> lookup(const std::string& pattern);
 
+  /// Thread-safe lookup: identical search, but character comparisons
+  /// accumulate into `comparisons` instead of the shared member counter
+  /// and no trace is recorded.  Lets the read-matching pipelines fan
+  /// reads out across the thread pool against one shared index.
+  [[nodiscard]] std::vector<std::size_t> lookup_counted(
+      const std::string& pattern, std::uint64_t& comparisons) const;
+
   /// Character comparisons performed by all lookups so far.
   [[nodiscard]] std::uint64_t character_comparisons() const {
     return comparisons_;
@@ -79,8 +86,16 @@ class SortedIndex {
 
  private:
   /// Three-way compare of the k-mer at `pos` with pattern, counting
-  /// character comparisons.
-  [[nodiscard]] int compare_at(std::size_t pos, const std::string& pattern);
+  /// character comparisons into `comparisons` and recording accesses to
+  /// `trace` when non-null.
+  [[nodiscard]] int compare_at(std::size_t pos, const std::string& pattern,
+                               std::uint64_t& comparisons,
+                               MemoryTrace* trace) const;
+
+  /// Shared search used by both lookup flavors.
+  [[nodiscard]] std::vector<std::size_t> lookup_impl(
+      const std::string& pattern, std::uint64_t& comparisons,
+      MemoryTrace* trace) const;
 
   const std::string& reference_;
   std::size_t k_;

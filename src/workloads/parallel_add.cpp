@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "logic/tc_adder.h"
 
 namespace memcim {
@@ -21,28 +22,43 @@ ParallelAddResult run_parallel_add(const ParallelAddParams& params,
   const std::uint64_t max_operand =
       (std::uint64_t{1} << params.width) - 1;
 
+  // Draw every operand up front, in operation order, so the RNG stream
+  // (and therefore the result) is independent of how the batch fan-out
+  // below is scheduled.
+  std::vector<std::uint64_t> op_a(params.operations), op_b(params.operations);
+  for (std::size_t op = 0; op < params.operations; ++op) {
+    op_a[op] = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_operand)));
+    op_b[op] = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_operand)));
+  }
+
   ParallelAddResult result;
-  result.sums.reserve(params.operations);
+  result.sums.assign(params.operations, 0);
+  std::vector<TcAdderResult> batch_results(params.adders);
   const std::size_t batches =
       (params.operations + params.adders - 1) / params.adders;
   Time batch_latency{0.0};
   for (std::size_t batch = 0; batch < batches; ++batch) {
-    Time worst_in_batch{0.0};
     const std::size_t begin = batch * params.adders;
     const std::size_t end =
         std::min(begin + params.adders, params.operations);
+    // Tile-level fan-out: each farm slot is an independent physical
+    // adder, so the ops of one batch run concurrently — exactly the
+    // in-array parallelism the paper's Table 1 budget assumes.
+    parallel_for(begin, end, 8, [&](std::size_t op) {
+      batch_results[op - begin] = farm[op - begin].add(op_a[op], op_b[op]);
+    });
+    // Reduce in operation order: totals are identical at any thread
+    // count.
+    Time worst_in_batch{0.0};
     for (std::size_t op = begin; op < end; ++op) {
-      const auto a = static_cast<std::uint64_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(max_operand)));
-      const auto b = static_cast<std::uint64_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(max_operand)));
-      CrsTcAdder& adder = farm[op - begin];
-      const TcAdderResult r = adder.add(a, b);
-      result.sums.push_back(r.sum);
+      const TcAdderResult& r = batch_results[op - begin];
+      result.sums[op] = r.sum;
       result.total_pulses += r.pulses;
       result.total_energy += r.energy;
       worst_in_batch = std::max(worst_in_batch, r.latency);
-      if (r.sum != ((a + b) & max_operand)) ++result.mismatches;
+      if (r.sum != ((op_a[op] + op_b[op]) & max_operand)) ++result.mismatches;
     }
     batch_latency += worst_in_batch;
   }

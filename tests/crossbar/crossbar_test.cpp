@@ -190,9 +190,9 @@ TEST(Crossbar, ConfigValidation) {
   EXPECT_THROW(CrossbarArray(cfg, lrs_proto()), Error);
   cfg = lumped(2);
   cfg.model = NetworkModel::kDistributed;
-  cfg.rows = cfg.cols = 128;  // distributed capped at 64×64
+  cfg.rows = cfg.cols = 512;  // distributed capped at 256×256
   CrossbarArray big(cfg, lrs_proto());
-  LineBias bias = access_bias(128, 128, 0, 0, 1.0_V, BiasScheme::kGrounded);
+  LineBias bias = access_bias(512, 512, 0, 0, 1.0_V, BiasScheme::kGrounded);
   EXPECT_THROW((void)big.solve(bias), Error);
 }
 

@@ -1,0 +1,235 @@
+// Backend-selection, structure-reuse, warm-start and threading tests
+// for the crossbar network solver overhaul.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/parallel.h"
+#include "crossbar/crossbar.h"
+#include "device/presets.h"
+#include "device/vcm.h"
+
+namespace memcim {
+namespace {
+
+using namespace memcim::literals;
+
+struct PoolGuard {
+  ~PoolGuard() { set_parallel_threads(0); }
+};
+
+VcmDevice lrs_proto() { return VcmDevice(presets::vcm_taox(), 1.0); }
+
+VcmDevice nonlinear_proto() {
+  VcmParams p = presets::vcm_taox();
+  p.nonlinearity = 3.0;
+  return VcmDevice(p, 1.0);
+}
+
+CrossbarConfig base_config(std::size_t n, NetworkModel model) {
+  CrossbarConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.model = model;
+  return cfg;
+}
+
+void expect_solutions_bitwise_equal(const CrossbarSolution& a,
+                                    const CrossbarSolution& b) {
+  ASSERT_EQ(a.device_voltage.size(), b.device_voltage.size());
+  EXPECT_EQ(a.nonlinear_iterations, b.nonlinear_iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  for (std::size_t i = 0; i < a.device_voltage.size(); ++i) {
+    EXPECT_EQ(a.device_voltage[i], b.device_voltage[i]) << "device v " << i;
+    EXPECT_EQ(a.device_current[i], b.device_current[i]) << "device i " << i;
+  }
+  for (std::size_t r = 0; r < a.row_voltage.size(); ++r) {
+    EXPECT_EQ(a.row_voltage[r], b.row_voltage[r]);
+    EXPECT_EQ(a.row_terminal_current[r], b.row_terminal_current[r]);
+  }
+  for (std::size_t c = 0; c < a.col_voltage.size(); ++c) {
+    EXPECT_EQ(a.col_voltage[c], b.col_voltage[c]);
+    EXPECT_EQ(a.col_terminal_current[c], b.col_terminal_current[c]);
+  }
+}
+
+// --- Backend crossover ------------------------------------------------------
+
+TEST(SolverBackend, DistributedCgAgreesWithDenseLu) {
+  const std::size_t n = 8;  // 128 nodes
+  CrossbarConfig dense_cfg = base_config(n, NetworkModel::kDistributed);
+  dense_cfg.wire_segment = 200.0_ohm;
+  dense_cfg.dense_solver_max_unknowns = 100000;  // force dense LU
+  CrossbarConfig cg_cfg = dense_cfg;
+  cg_cfg.dense_solver_max_unknowns = 0;  // force CG
+  CrossbarArray a(dense_cfg, lrs_proto());
+  CrossbarArray b(cg_cfg, lrs_proto());
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      a.store_bit(r, c, (r * n + c) % 3 == 0);
+      b.store_bit(r, c, (r * n + c) % 3 == 0);
+    }
+  const LineBias bias = access_bias(n, n, 2, 3, 1.0_V, BiasScheme::kVHalf);
+  const auto sa = a.solve(bias);
+  const auto sb = b.solve(bias);
+  ASSERT_TRUE(sa.converged);
+  ASSERT_TRUE(sb.converged);
+  for (std::size_t i = 0; i < n * n; ++i)
+    EXPECT_NEAR(sa.device_voltage[i], sb.device_voltage[i], 1e-7);
+  for (std::size_t c = 0; c < n; ++c)
+    EXPECT_NEAR(sa.col_terminal_current[c], sb.col_terminal_current[c],
+                1e-9 + std::abs(sa.col_terminal_current[c]) * 1e-5);
+}
+
+TEST(SolverBackend, LumpedCrossoverIsConfigDriven) {
+  // 16×16 floating bias → 30 unknowns; force them through CG and
+  // through dense LU and require agreement.
+  const std::size_t n = 16;
+  CrossbarConfig dense_cfg = base_config(n, NetworkModel::kLumpedLines);
+  dense_cfg.dense_solver_max_unknowns = 100000;
+  CrossbarConfig cg_cfg = dense_cfg;
+  cg_cfg.dense_solver_max_unknowns = 0;
+  CrossbarArray a(dense_cfg, lrs_proto());
+  CrossbarArray b(cg_cfg, lrs_proto());
+  const LineBias bias = access_bias(n, n, 0, 0, 1.0_V, BiasScheme::kFloating);
+  const auto sa = a.solve(bias);
+  const auto sb = b.solve(bias);
+  ASSERT_TRUE(sa.converged && sb.converged);
+  for (std::size_t i = 0; i < n * n; ++i)
+    EXPECT_NEAR(sa.device_voltage[i], sb.device_voltage[i], 1e-7);
+}
+
+// --- Structure reuse & warm start ------------------------------------------
+
+TEST(SolverBackend, StructureReuseMatchesFreshAssemblyBitwise) {
+  for (NetworkModel model :
+       {NetworkModel::kLumpedLines, NetworkModel::kDistributed}) {
+    const std::size_t n = 8;
+    CrossbarConfig reuse_cfg = base_config(n, model);
+    reuse_cfg.warm_start = false;
+    reuse_cfg.reuse_structure = true;
+    CrossbarConfig fresh_cfg = reuse_cfg;
+    fresh_cfg.reuse_structure = false;
+    CrossbarArray a(reuse_cfg, nonlinear_proto());
+    CrossbarArray b(fresh_cfg, nonlinear_proto());
+    const LineBias bias =
+        access_bias(n, n, 1, 2, 1.0_V, BiasScheme::kFloating);
+    expect_solutions_bitwise_equal(a.solve(bias), b.solve(bias));
+  }
+}
+
+TEST(SolverBackend, WarmStartConvergesToTheSameSolution) {
+  const std::size_t n = 12;
+  CrossbarConfig warm_cfg = base_config(n, NetworkModel::kLumpedLines);
+  warm_cfg.warm_start = true;
+  CrossbarConfig cold_cfg = warm_cfg;
+  cold_cfg.warm_start = false;
+  CrossbarArray warm(warm_cfg, nonlinear_proto());
+  CrossbarArray cold(cold_cfg, nonlinear_proto());
+  // A sequence of different bias patterns: warm-start reuses the
+  // previous solve's line voltages, the answer must not drift.
+  for (std::size_t step = 0; step < 4; ++step) {
+    const LineBias bias = access_bias(n, n, step % n, (step * 3) % n, 1.0_V,
+                                      BiasScheme::kFloating);
+    const auto sw = warm.solve(bias);
+    const auto sc = cold.solve(bias);
+    ASSERT_TRUE(sw.converged);
+    ASSERT_TRUE(sc.converged);
+    for (std::size_t i = 0; i < n * n; ++i)
+      EXPECT_NEAR(sw.device_voltage[i], sc.device_voltage[i], 1e-4)
+          << "step " << step << " device " << i;
+  }
+}
+
+TEST(SolverBackend, WarmStartCutsTransientSweeps) {
+  // Identical pulse applied twice: the second solve starts at the
+  // first's fixed point and must converge in no more sweeps.
+  const std::size_t n = 8;
+  CrossbarConfig cfg = base_config(n, NetworkModel::kLumpedLines);
+  CrossbarArray xbar(cfg, nonlinear_proto());
+  const LineBias bias = access_bias(n, n, 0, 0, 0.2_V, BiasScheme::kFloating);
+  const auto first = xbar.solve(bias);
+  const auto second = xbar.solve(bias);
+  ASSERT_TRUE(first.converged && second.converged);
+  EXPECT_LE(second.nonlinear_iterations, first.nonlinear_iterations);
+}
+
+// --- Lifted distributed cap -------------------------------------------------
+
+TEST(SolverBackend, Distributed128MatchesLumpedWithIdealWires) {
+  // Previously impossible: the distributed model was capped at 64×64.
+  const std::size_t n = 128;
+  CrossbarConfig lump_cfg = base_config(n, NetworkModel::kLumpedLines);
+  CrossbarConfig dist_cfg = base_config(n, NetworkModel::kDistributed);
+  dist_cfg.wire_segment = Resistance(1e-6);  // essentially ideal wires
+  CrossbarArray a(lump_cfg, lrs_proto());
+  CrossbarArray b(dist_cfg, lrs_proto());
+  a.store_bit(3, 5, false);
+  b.store_bit(3, 5, false);
+  const LineBias bias = access_bias(n, n, 0, 0, 1.0_V, BiasScheme::kVHalf);
+  const auto sa = a.solve(bias);
+  const auto sb = b.solve(bias);
+  ASSERT_TRUE(sa.converged);
+  ASSERT_TRUE(sb.converged);
+  // Sense current through the selected column must agree to ~1 %.
+  EXPECT_NEAR(-sa.col_terminal_current[0], -sb.col_terminal_current[0],
+              std::abs(sa.col_terminal_current[0]) * 0.01);
+  // Spot-check junction voltages across the array.
+  for (std::size_t i : {std::size_t{0}, std::size_t{3 * n + 5},
+                        std::size_t{n * n - 1}})
+    EXPECT_NEAR(sa.device_voltage[i], sb.device_voltage[i], 1e-3);
+}
+
+// --- Determinism across thread counts ---------------------------------------
+
+TEST(SolverBackend, SolveIsBitwiseIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  for (NetworkModel model :
+       {NetworkModel::kLumpedLines, NetworkModel::kDistributed}) {
+    const std::size_t n = 16;
+    const CrossbarConfig cfg = base_config(n, model);
+    const LineBias bias =
+        access_bias(n, n, 1, 1, 1.0_V, BiasScheme::kFloating);
+
+    set_parallel_threads(1);
+    CrossbarArray serial_array(cfg, nonlinear_proto());
+    const auto serial_sol = serial_array.solve(bias);
+
+    set_parallel_threads(4);
+    CrossbarArray threaded_array(cfg, nonlinear_proto());
+    const auto threaded_sol = threaded_array.solve(bias);
+
+    expect_solutions_bitwise_equal(serial_sol, threaded_sol);
+  }
+}
+
+TEST(SolverBackend, PulseTrainIsBitwiseIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const std::size_t n = 8;
+  const CrossbarConfig cfg = base_config(n, NetworkModel::kLumpedLines);
+  const VcmParams p = presets::vcm_taox();
+
+  const auto run_train = [&](std::size_t threads) {
+    set_parallel_threads(threads);
+    CrossbarArray xbar(cfg, VcmDevice(p, 0.0));
+    for (std::size_t step = 0; step < 3; ++step) {
+      const LineBias bias = access_bias(n, n, step, step, p.v_write,
+                                        BiasScheme::kVHalf);
+      (void)xbar.apply_pulse(bias, p.t_switch);
+    }
+    std::vector<double> states;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        states.push_back(xbar.device(r, c).state());
+    return states;
+  };
+
+  const auto s1 = run_train(1);
+  const auto s4 = run_train(4);
+  ASSERT_EQ(s1.size(), s4.size());
+  for (std::size_t i = 0; i < s1.size(); ++i)
+    EXPECT_EQ(s1[i], s4[i]) << "device " << i;
+}
+
+}  // namespace
+}  // namespace memcim
