@@ -32,7 +32,7 @@ TrialResult run_trial(double p_bit_flip, std::size_t rows, int rounds,
     truth[r] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
     ecc.write_byte(r, truth[r]);
     for (std::size_t b = 0; b < 8; ++b)
-      raw.write(r, b, (truth[r] >> b) & 1u);
+      raw.write(r, b, ((truth[r] >> b) & 1) != 0);
   }
 
   std::uint64_t raw_errors = 0, ecc_errors = 0, reads = 0;
@@ -61,7 +61,7 @@ TrialResult run_trial(double p_bit_flip, std::size_t rows, int rounds,
       if (v != truth[r]) {
         ++raw_errors;
         for (std::size_t b = 0; b < 8; ++b)
-          raw.write(r, b, (truth[r] >> b) & 1u);
+          raw.write(r, b, ((truth[r] >> b) & 1) != 0);
       }
     }
   }

@@ -1,0 +1,138 @@
+// Reliability campaign bench: sweep per-site fault rates across every
+// CIM structure (SECDED bank, IMPLY adders, TC adder, CAM search,
+// crossbar readout, and the two paper workloads) through the
+// golden-model differential harness of src/fault/.
+//
+// Besides the interactive tables it writes BENCH_faults.json (in the
+// working directory) and *checks the subsystem's acceptance criteria
+// inline* — the process exits non-zero when ECC misses a single- or
+// double-bit fault or any rate-0 row diverges, so CI catches silent
+// regressions of the fault plumbing itself.
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/table.h"
+#include "fault/campaign.h"
+
+namespace {
+
+using namespace memcim;
+
+void print_sweep(const std::vector<CampaignTally>& sweep) {
+  TextTable t({"target", "rate", "trials", "clean", "corrected", "detected",
+               "silent", "armed"});
+  for (const CampaignTally& row : sweep)
+    t.add_row({row.target, fixed_string(row.rate, 3),
+               std::to_string(row.diff.trials), std::to_string(row.diff.clean),
+               std::to_string(row.diff.corrected),
+               std::to_string(row.diff.detected),
+               std::to_string(row.diff.silent),
+               std::to_string(row.armed_faults)});
+  std::cout << t.to_text() << '\n';
+}
+
+void print_silent_fractions(const std::vector<CampaignTally>& sweep) {
+  // Pivot: silent-corruption fraction per target as the rate grows —
+  // the headline reliability curve (ECC's row stays at 0 long after
+  // the unprotected structures start corrupting silently).
+  std::map<std::string, std::vector<std::pair<double, double>>> by_target;
+  for (const CampaignTally& row : sweep)
+    by_target[row.target].emplace_back(row.rate, row.diff.silent_fraction());
+  std::cout << "--- silent-corruption fraction by fault rate ---\n";
+  TextTable t({"target", "rate", "silent fraction"});
+  for (const auto& [target, points] : by_target)
+    for (const auto& [rate, fraction] : points)
+      t.add_row({target, fixed_string(rate, 3), fixed_string(fraction, 4)});
+  std::cout << t.to_text() << '\n';
+}
+
+/// The subsystem's acceptance criteria, enforced at bench time.
+int check_acceptance(const std::vector<CampaignTally>& sweep) {
+  int failures = 0;
+  for (const CampaignTally& row : sweep) {
+    if (row.rate == 0.0 &&
+        (row.diff.silent != 0 || row.diff.clean != row.diff.trials)) {
+      std::cerr << "ACCEPTANCE FAIL: rate-0 row diverged for " << row.target
+                << " (" << row.diff.silent << " silent of " << row.diff.trials
+                << " trials)\n";
+      ++failures;
+    }
+    if (row.single_bit_corrected != row.single_bit_injected) {
+      std::cerr << "ACCEPTANCE FAIL: ECC corrected "
+                << row.single_bit_corrected << " of "
+                << row.single_bit_injected << " single-bit faults at rate "
+                << row.rate << "\n";
+      ++failures;
+    }
+    if (row.double_bit_detected != row.double_bit_injected) {
+      std::cerr << "ACCEPTANCE FAIL: ECC flagged " << row.double_bit_detected
+                << " of " << row.double_bit_injected
+                << " double-bit faults at rate " << row.rate << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+void BM_EccCampaign(benchmark::State& state) {
+  CampaignConfig config;
+  config.ecc_words = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_ecc_campaign(config, 0.01));
+}
+BENCHMARK(BM_EccCampaign)->Arg(128)->Arg(512);
+
+void BM_ImplyAdderCampaign(benchmark::State& state) {
+  CampaignConfig config;
+  config.adder_trials = 16;
+  const bool crs = state.range(0) != 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_imply_adder_campaign(config, 0.01, crs));
+}
+BENCHMARK(BM_ImplyAdderCampaign)->Arg(0)->Arg(1);
+
+void BM_DnaCampaign(benchmark::State& state) {
+  CampaignConfig config;
+  config.dna_bases = 160;
+  config.dna_reads = 16;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_dna_campaign(config, 0.01));
+}
+BENCHMARK(BM_DnaCampaign);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Fault-injection reliability campaign ===\n"
+            << "thread pool: " << parallel_threads()
+            << " workers (override with MEMCIM_THREADS)\n\n";
+
+  const CampaignConfig config;
+  const std::vector<CampaignTally> sweep = run_full_campaign(config);
+  print_sweep(sweep);
+  print_silent_fractions(sweep);
+
+  {
+    std::ofstream js("BENCH_faults.json");
+    js << campaign_json(config, sweep);
+  }
+  std::cout << "Wrote BENCH_faults.json\n\n";
+
+  const int failures = check_acceptance(sweep);
+  if (failures > 0) {
+    std::cerr << failures << " acceptance violation(s)\n";
+    return 1;
+  }
+  std::cout << "Acceptance: rate-0 rows clean, ECC corrected all "
+            << "single-bit and flagged all double-bit faults.\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

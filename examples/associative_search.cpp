@@ -35,7 +35,7 @@ int main() {
 
   auto key_bits = [](std::uint16_t v) {
     std::vector<bool> bits(16);
-    for (std::size_t i = 0; i < 16; ++i) bits[i] = (v >> i) & 1u;
+    for (std::size_t i = 0; i < 16; ++i) bits[i] = ((v >> i) & 1) != 0;
     return bits;
   };
 

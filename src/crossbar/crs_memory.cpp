@@ -21,6 +21,8 @@ const CrsCell& CrsMemory::cell(std::size_t r, std::size_t c) const {
   return cells_[r * cols_ + c];
 }
 
+CrsCell& CrsMemory::cell_mut(std::size_t r, std::size_t c) { return at(r, c); }
+
 void CrsMemory::write(std::size_t r, std::size_t c, bool bit) {
   at(r, c).write(bit);
   ++writes_;

@@ -37,6 +37,10 @@ class CrsMemory {
 
   [[nodiscard]] const CrsCell& cell(std::size_t r, std::size_t c) const;
 
+  /// Mutable cell access for fault injection (src/fault/): pin a cell
+  /// stuck via CrsCell::force_stuck() or corrupt its state directly.
+  [[nodiscard]] CrsCell& cell_mut(std::size_t r, std::size_t c);
+
   // -- transaction statistics -----------------------------------------------
   [[nodiscard]] std::uint64_t reads() const { return reads_; }
   [[nodiscard]] std::uint64_t writes() const { return writes_; }

@@ -25,7 +25,7 @@ bool parity_of_group(const std::array<bool, kEccCodewordBits>& cw,
 std::array<bool, kEccCodewordBits> ecc_encode(std::uint8_t data) {
   std::array<bool, kEccCodewordBits> cw{};
   for (std::size_t i = 0; i < 8; ++i)
-    cw[kDataPositions[i]] = (data >> i) & 1u;
+    cw[kDataPositions[i]] = ((data >> i) & 1) != 0;
   // Hamming parities: each parity bit makes its mask-group even.
   for (std::size_t mask : {1u, 2u, 4u, 8u})
     cw[mask] = parity_of_group(cw, mask);
@@ -99,6 +99,13 @@ void EccCrsMemory::inject_error(std::size_t row, std::size_t bit) {
   MEMCIM_CHECK_MSG(bit < kEccCodewordBits, "bit index out of codeword");
   const bool current = memory_.read(row, bit);
   memory_.write(row, bit, !current);
+}
+
+void EccCrsMemory::inject_stuck(std::size_t row, std::size_t bit,
+                                bool stuck_one) {
+  MEMCIM_CHECK_MSG(bit < kEccCodewordBits, "bit index out of codeword");
+  memory_.cell_mut(row, bit).force_stuck(stuck_one ? CrsState::kOne
+                                                   : CrsState::kZero);
 }
 
 }  // namespace memcim

@@ -44,6 +44,11 @@ class EccCrsMemory {
   /// Fault injection: flip the stored bit at codeword position `bit`.
   void inject_error(std::size_t row, std::size_t bit);
 
+  /// Fault injection: pin the cell at codeword position `bit` stuck at
+  /// logic `stuck_one`.  Unlike inject_error the fault is permanent —
+  /// the read-path scrub cannot repair it.
+  void inject_stuck(std::size_t row, std::size_t bit, bool stuck_one);
+
   [[nodiscard]] std::uint64_t corrected_errors() const { return corrected_; }
   [[nodiscard]] std::uint64_t uncorrectable_errors() const {
     return uncorrectable_;

@@ -157,7 +157,15 @@ CrsCell::CrsCell(const CrsCellParams& params, CrsState initial)
                    "v_read must lie in (v_th1, v_th2)");
 }
 
+void CrsCell::force_stuck(CrsState pinned) {
+  stuck_ = pinned;
+  state_ = pinned;
+}
+
+void CrsCell::clear_stuck() { stuck_.reset(); }
+
 void CrsCell::transition_to(CrsState next) {
+  if (stuck_) return;  // a stuck device absorbs the pulse unchanged
   if (next != state_) {
     state_ = next;
     energy_ += params_.e_per_switch;

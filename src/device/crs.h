@@ -21,6 +21,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "device/device.h"
@@ -134,6 +135,16 @@ class CrsCell {
   /// the complete memory-read transaction of Section IV.B.
   [[nodiscard]] CrsReadResult read_with_writeback();
 
+  /// Fault injection: pin the cell to `pinned` — every later pulse is
+  /// absorbed without a state change (a stuck/failed device).  Pulses
+  /// are still counted (the controller keeps issuing them); switching
+  /// energy stops accruing because nothing switches.
+  void force_stuck(CrsState pinned);
+  /// Release a previously injected stuck fault; the cell keeps the
+  /// pinned state but responds to pulses again.
+  void clear_stuck();
+  [[nodiscard]] bool stuck() const { return stuck_.has_value(); }
+
   /// Cumulative energy of all state changes.
   [[nodiscard]] Energy energy() const { return energy_; }
   /// Number of state transitions (endurance proxy).
@@ -146,6 +157,7 @@ class CrsCell {
 
   CrsCellParams params_;
   CrsState state_;
+  std::optional<CrsState> stuck_;
   Energy energy_{0.0};
   std::uint64_t transitions_ = 0;
   std::uint64_t pulses_ = 0;

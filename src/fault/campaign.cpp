@@ -1,0 +1,442 @@
+#include "fault/campaign.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "crossbar/readout.h"
+#include "device/presets.h"
+#include "device/vcm.h"
+#include "fault/crossbar_faults.h"
+#include "fault/fabric_faults.h"
+#include "logic/adder.h"
+#include "logic/cam.h"
+#include "logic/crs_fabric.h"
+#include "logic/ideal_fabric.h"
+#include "logic/tc_adder.h"
+#include "workloads/dna.h"
+#include "workloads/parallel_add.h"
+
+namespace memcim {
+
+namespace {
+
+/// splitmix64 finalizer (same construction as fault_model.cpp).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Independent stream per (campaign seed, target, rate[, trial]).
+std::uint64_t derive(std::uint64_t seed, std::uint64_t tag, double rate,
+                     std::uint64_t trial = 0) {
+  return mix(seed ^ mix(tag) ^ mix(static_cast<std::uint64_t>(rate * 1e9)) ^
+             mix(trial + 0x51ull));
+}
+
+/// The standard stuck-at mix: half the armed sites pin to LRS, half to
+/// HRS (each drawn independently at rate/2).
+std::vector<FaultSpec> stuck_specs(double rate) {
+  return {{FaultKind::kStuckAtLrs, rate / 2.0, 1.0, 0.0},
+          {FaultKind::kStuckAtHrs, rate / 2.0, 1.0, 0.0}};
+}
+
+/// Stuck-ats plus the transient classes, for fabric-register targets.
+std::vector<FaultSpec> fabric_specs(double rate) {
+  std::vector<FaultSpec> specs = stuck_specs(rate);
+  specs.push_back({FaultKind::kWriteFail, rate, 0.5, 0.0});
+  specs.push_back({FaultKind::kReadDisturb, rate, 0.5, 0.0});
+  return specs;
+}
+
+std::uint64_t random_operand(Rng& rng, std::size_t bits) {
+  const std::uint64_t max = (std::uint64_t{1} << bits) - 1;
+  return static_cast<std::uint64_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max)));
+}
+
+/// 2-bit LSB-first encoding of a k-mer for CAM storage.
+std::vector<bool> encode_kmer(const std::string& kmer) {
+  std::vector<bool> bits;
+  bits.reserve(2 * kmer.size());
+  for (const char c : kmer) {
+    const auto code = static_cast<std::uint8_t>(nucleotide_from_char(c));
+    bits.push_back((code & 1u) != 0);
+    bits.push_back((code & 2u) != 0);
+  }
+  return bits;
+}
+
+}  // namespace
+
+CampaignTally run_ecc_campaign(const CampaignConfig& config, double rate) {
+  CampaignTally tally;
+  tally.target = "ecc_memory";
+  tally.rate = rate;
+
+  FaultPlan plan = FaultPlan::draw(config.ecc_words * kEccCodewordBits,
+                                   derive(config.seed, 0xECC, rate),
+                                   stuck_specs(rate));
+  tally.armed_faults = plan.armed_count();
+
+  EccCrsMemory memory(config.ecc_words, presets::crs_cell());
+  Rng data_rng(derive(config.seed, 0xECCDA7A, rate));
+  std::vector<std::uint8_t> written(config.ecc_words);
+  for (std::size_t w = 0; w < config.ecc_words; ++w) {
+    written[w] = static_cast<std::uint8_t>(data_rng.uniform_int(0, 255));
+    memory.write_byte(w, written[w]);
+  }
+
+  (void)apply_fault_plan(memory, plan);
+
+  // Effective flips per word: a stuck cell corrupts only where the
+  // stored codeword bit disagrees with the pinned value.
+  std::vector<std::size_t> flips(config.ecc_words, 0);
+  for (std::size_t w = 0; w < config.ecc_words; ++w) {
+    const auto codeword = ecc_encode(written[w]);
+    for (std::size_t bit = 0; bit < kEccCodewordBits; ++bit) {
+      const auto stuck = plan.stuck_bit(w * kEccCodewordBits + bit);
+      if (stuck && *stuck != codeword[bit]) ++flips[w];
+    }
+  }
+
+  for (std::size_t w = 0; w < config.ecc_words; ++w) {
+    const EccDecodeResult r = memory.read_byte(w);
+    const bool data_ok = r.data == written[w];
+    DiffOutcome outcome = DiffOutcome::kSilent;
+    switch (flips[w]) {
+      case 0:
+        outcome = data_ok && !r.uncorrectable ? DiffOutcome::kClean
+                                              : DiffOutcome::kSilent;
+        break;
+      case 1:
+        ++tally.single_bit_injected;
+        if (r.corrected && data_ok && !r.uncorrectable) {
+          ++tally.single_bit_corrected;
+          outcome = DiffOutcome::kCorrected;
+        } else {
+          outcome =
+              r.uncorrectable ? DiffOutcome::kDetected : DiffOutcome::kSilent;
+        }
+        break;
+      case 2:
+        ++tally.double_bit_injected;
+        if (r.uncorrectable) {
+          ++tally.double_bit_detected;
+          outcome = DiffOutcome::kDetected;
+        } else {
+          outcome = data_ok ? DiffOutcome::kClean : DiffOutcome::kSilent;
+        }
+        break;
+      default:  // ≥ 3 flips: beyond SECDED, anything can happen
+        if (r.uncorrectable)
+          outcome = DiffOutcome::kDetected;
+        else
+          outcome = data_ok ? DiffOutcome::kClean : DiffOutcome::kSilent;
+        break;
+    }
+    tally.diff.add(outcome);
+  }
+  return tally;
+}
+
+CampaignTally run_imply_adder_campaign(const CampaignConfig& config,
+                                       double rate, bool crs_backend) {
+  CampaignTally tally;
+  tally.target = crs_backend ? "imply_adder_crs" : "imply_adder_ideal";
+  tally.rate = rate;
+  const std::uint64_t tag = crs_backend ? 0xADD2ull : 0xADD1ull;
+
+  // Size the register population from one golden run.
+  const std::size_t population = [&] {
+    IdealFabric probe;
+    (void)add_integers(probe, 0, 0, config.adder_bits);
+    return probe.size();
+  }();
+
+  const std::uint64_t mask = (std::uint64_t{1} << config.adder_bits) - 1;
+  Rng operand_rng(derive(config.seed, tag, rate));
+  for (std::size_t trial = 0; trial < config.adder_trials; ++trial) {
+    FaultPlan plan = FaultPlan::draw(
+        population, derive(config.seed, tag, rate, trial), fabric_specs(rate));
+    tally.armed_faults += plan.armed_count();
+    FabricFaultInjector injector(std::move(plan));
+
+    const std::uint64_t a = random_operand(operand_rng, config.adder_bits);
+    const std::uint64_t b = random_operand(operand_rng, config.adder_bits);
+    std::uint64_t got = 0;
+    if (crs_backend) {
+      CrsFabric fabric(presets::crs_cell());
+      fabric.attach_faults(&injector);
+      got = add_integers(fabric, a, b, config.adder_bits);
+    } else {
+      IdealFabric fabric;
+      fabric.attach_faults(&injector);
+      got = add_integers(fabric, a, b, config.adder_bits);
+    }
+    tally.diff.add(got == ((a + b) & mask) ? DiffOutcome::kClean
+                                           : DiffOutcome::kSilent);
+  }
+  return tally;
+}
+
+CampaignTally run_tc_adder_campaign(const CampaignConfig& config,
+                                    double rate) {
+  CampaignTally tally;
+  tally.target = "tc_adder";
+  tally.rate = rate;
+
+  const std::uint64_t mask = (std::uint64_t{1} << config.adder_bits) - 1;
+  Rng operand_rng(derive(config.seed, 0x7CADD, rate));
+  for (std::size_t trial = 0; trial < config.adder_trials; ++trial) {
+    CrsTcAdder adder(config.adder_bits, presets::crs_cell());
+    FaultPlan plan =
+        FaultPlan::draw(adder.fault_sites(),
+                        derive(config.seed, 0x7CADD, rate, trial),
+                        stuck_specs(rate));
+    tally.armed_faults += plan.armed_count();
+    std::vector<CrsTcAdder> farm;
+    farm.push_back(std::move(adder));
+    (void)apply_fault_plan(farm, plan);
+
+    const std::uint64_t a = random_operand(operand_rng, config.adder_bits);
+    const std::uint64_t b = random_operand(operand_rng, config.adder_bits);
+    const TcAdderResult r = farm.front().add(a, b);
+    const bool sum_ok = r.sum == ((a + b) & mask);
+    const bool carry_ok = r.carry_out == (((a + b) >> config.adder_bits) != 0);
+    tally.diff.add(sum_ok && carry_ok ? DiffOutcome::kClean
+                                      : DiffOutcome::kSilent);
+  }
+  return tally;
+}
+
+CampaignTally run_cam_campaign(const CampaignConfig& config, double rate) {
+  CampaignTally tally;
+  tally.target = "cam_search";
+  tally.rate = rate;
+
+  CamConfig cam_config;
+  cam_config.rows = config.cam_rows;
+  cam_config.word_bits = config.cam_bits;
+  cam_config.cell = presets::crs_cell();
+  CrsCam cam(cam_config);
+
+  Rng rng(derive(config.seed, 0xCA3, rate));
+  std::vector<std::vector<bool>> golden(config.cam_rows);
+  for (std::size_t row = 0; row < config.cam_rows; ++row) {
+    golden[row].resize(config.cam_bits);
+    for (std::size_t bit = 0; bit < config.cam_bits; ++bit)
+      golden[row][bit] = rng.bernoulli(0.5);
+    cam.write_row(row, golden[row]);
+  }
+
+  FaultPlan plan = FaultPlan::draw(config.cam_rows * config.cam_bits,
+                                   derive(config.seed, 0xCA3F, rate),
+                                   stuck_specs(rate));
+  tally.armed_faults = plan.armed_count();
+  (void)apply_fault_plan(cam, plan);
+
+  for (std::size_t s = 0; s < config.cam_searches; ++s) {
+    // Alternate guaranteed-hit keys with random probes.
+    std::vector<bool> key;
+    if (s % 2 == 0) {
+      key = golden[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(config.cam_rows - 1)))];
+    } else {
+      key.resize(config.cam_bits);
+      for (std::size_t bit = 0; bit < config.cam_bits; ++bit)
+        key[bit] = rng.bernoulli(0.5);
+    }
+    std::vector<std::size_t> expected;
+    for (std::size_t row = 0; row < config.cam_rows; ++row)
+      if (golden[row] == key) expected.push_back(row);
+    const CamSearchResult got = cam.search(key);
+    tally.diff.add(got.matching_rows == expected ? DiffOutcome::kClean
+                                                 : DiffOutcome::kSilent);
+  }
+  return tally;
+}
+
+CampaignTally run_readout_campaign(const CampaignConfig& config, double rate) {
+  CampaignTally tally;
+  tally.target = "crossbar_readout";
+  tally.rate = rate;
+
+  const std::size_t n = config.readout_size;
+  CrossbarConfig xbar_config;
+  xbar_config.rows = n;
+  xbar_config.cols = n;
+  xbar_config.model = NetworkModel::kLumpedLines;
+  const VcmDevice proto(presets::vcm_taox(), 0.0);
+  CrossbarArray array(xbar_config, proto);
+
+  ReadConfig read_config;
+  read_config.scheme = BiasScheme::kGrounded;
+  const ReadMeasurement reference =
+      measure_read_margin(array, 0, 0, read_config);
+
+  Rng rng(derive(config.seed, 0x2EAD, rate));
+  std::vector<bool> intended(n * n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      intended[r * n + c] = rng.bernoulli(0.5);
+      array.store_bit(r, c, intended[r * n + c]);
+    }
+
+  std::vector<FaultSpec> specs = stuck_specs(rate);
+  specs.push_back({FaultKind::kDrift, rate, 1.0, 0.6});
+  FaultPlan plan =
+      FaultPlan::draw(n * n, derive(config.seed, 0x2EADF, rate), specs);
+  tally.armed_faults = plan.armed_count();
+  (void)apply_fault_plan(array, plan);
+
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      const bool sensed = read_bit(array, r, c, read_config, reference);
+      tally.diff.add(sensed == intended[r * n + c] ? DiffOutcome::kClean
+                                                   : DiffOutcome::kSilent);
+    }
+  return tally;
+}
+
+CampaignTally run_dna_campaign(const CampaignConfig& config, double rate) {
+  CampaignTally tally;
+  tally.target = "dna_workload";
+  tally.rate = rate;
+
+  MEMCIM_CHECK_MSG(config.dna_bases > config.dna_k,
+                   "genome shorter than the k-mer");
+  Rng rng(derive(config.seed, 0xD7A, rate));
+  const std::string genome = generate_genome(config.dna_bases, rng);
+  const std::size_t windows = config.dna_bases - config.dna_k + 1;
+
+  // The CIM side of the pipeline: every reference k-mer resident in
+  // one CAM row, each read resolved by one parallel search.
+  CamConfig cam_config;
+  cam_config.rows = windows;
+  cam_config.word_bits = 2 * config.dna_k;
+  cam_config.cell = presets::crs_cell();
+  CrsCam cam(cam_config);
+  for (std::size_t pos = 0; pos < windows; ++pos)
+    cam.write_row(pos, encode_kmer(genome.substr(pos, config.dna_k)));
+
+  FaultPlan plan = FaultPlan::draw(windows * cam_config.word_bits,
+                                   derive(config.seed, 0xD7AF, rate),
+                                   stuck_specs(rate));
+  tally.armed_faults = plan.armed_count();
+  (void)apply_fault_plan(cam, plan);
+
+  for (std::size_t i = 0; i < config.dna_reads; ++i) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(windows - 1)));
+    const std::string read = genome.substr(pos, config.dna_k);
+    // Golden model: exact string scan over the clean reference.
+    std::vector<std::size_t> expected;
+    for (std::size_t w = 0; w < windows; ++w)
+      if (genome.compare(w, config.dna_k, read) == 0) expected.push_back(w);
+    const CamSearchResult got = cam.search(encode_kmer(read));
+    tally.diff.add(got.matching_rows == expected ? DiffOutcome::kClean
+                                                 : DiffOutcome::kSilent);
+  }
+  return tally;
+}
+
+CampaignTally run_parallel_add_campaign(const CampaignConfig& config,
+                                        double rate) {
+  CampaignTally tally;
+  tally.target = "parallel_add_workload";
+  tally.rate = rate;
+
+  ParallelAddParams params;
+  params.operations = config.add_ops;
+  params.width = config.add_width;
+  params.adders = config.add_adders;
+
+  FaultPlan plan = FaultPlan::draw(config.add_adders * (config.add_width + 2),
+                                   derive(config.seed, 0xFA23, rate),
+                                   stuck_specs(rate));
+  tally.armed_faults = plan.armed_count();
+  params.farm_hook = [&plan](std::vector<CrsTcAdder>& farm) {
+    (void)apply_fault_plan(farm, plan);
+  };
+
+  Rng rng(derive(config.seed, 0xFA23DA7A, rate));
+  const ParallelAddResult result =
+      run_parallel_add(params, presets::crs_cell(), rng);
+  // run_parallel_add golden-checks every sum against native addition;
+  // mismatches are exactly the silent corruptions of the faulty farm.
+  for (std::uint64_t op = 0; op < result.sums.size(); ++op)
+    tally.diff.add(op < result.mismatches ? DiffOutcome::kSilent
+                                          : DiffOutcome::kClean);
+  return tally;
+}
+
+std::vector<CampaignTally> run_full_campaign(const CampaignConfig& config) {
+  std::vector<CampaignTally> sweep;
+  for (const double rate : config.rates) sweep.push_back(run_ecc_campaign(config, rate));
+  for (const double rate : config.rates)
+    sweep.push_back(run_imply_adder_campaign(config, rate, false));
+  for (const double rate : config.rates)
+    sweep.push_back(run_imply_adder_campaign(config, rate, true));
+  for (const double rate : config.rates)
+    sweep.push_back(run_tc_adder_campaign(config, rate));
+  for (const double rate : config.rates) sweep.push_back(run_cam_campaign(config, rate));
+  for (const double rate : config.rates)
+    sweep.push_back(run_readout_campaign(config, rate));
+  for (const double rate : config.rates) sweep.push_back(run_dna_campaign(config, rate));
+  for (const double rate : config.rates)
+    sweep.push_back(run_parallel_add_campaign(config, rate));
+  return sweep;
+}
+
+std::string campaign_json(const CampaignConfig& config,
+                          const std::vector<CampaignTally>& sweep) {
+  std::uint64_t zero_rate_silent = 0;
+  std::uint64_t single_injected = 0, single_corrected = 0;
+  std::uint64_t double_injected = 0, double_detected = 0;
+  for (const CampaignTally& t : sweep) {
+    if (t.rate == 0.0) zero_rate_silent += t.diff.silent;
+    single_injected += t.single_bit_injected;
+    single_corrected += t.single_bit_corrected;
+    double_injected += t.double_bit_injected;
+    double_detected += t.double_bit_detected;
+  }
+
+  std::ostringstream js;
+  js << "{\n  \"bench\": \"fault_campaign\",\n"
+     << "  \"seed\": " << config.seed << ",\n  \"rates\": [";
+  for (std::size_t i = 0; i < config.rates.size(); ++i)
+    js << (i > 0 ? ", " : "") << config.rates[i];
+  js << "],\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const CampaignTally& t = sweep[i];
+    js << "    {\"target\": \"" << t.target << "\", \"rate\": " << t.rate
+       << ", \"trials\": " << t.diff.trials << ", \"clean\": " << t.diff.clean
+       << ", \"corrected\": " << t.diff.corrected
+       << ", \"detected\": " << t.diff.detected
+       << ", \"silent\": " << t.diff.silent
+       << ", \"armed_faults\": " << t.armed_faults;
+    if (t.target == "ecc_memory")
+      js << ", \"single_bit\": {\"injected\": " << t.single_bit_injected
+         << ", \"corrected\": " << t.single_bit_corrected
+         << "}, \"double_bit\": {\"injected\": " << t.double_bit_injected
+         << ", \"detected\": " << t.double_bit_detected << "}";
+    js << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n  \"acceptance\": {\n"
+     << "    \"zero_rate_silent\": " << zero_rate_silent << ",\n"
+     << "    \"ecc_single_bit\": {\"injected\": " << single_injected
+     << ", \"corrected\": " << single_corrected << "},\n"
+     << "    \"ecc_double_bit\": {\"injected\": " << double_injected
+     << ", \"detected\": " << double_detected << "},\n"
+     << "    \"pass\": "
+     << ((zero_rate_silent == 0 && single_injected == single_corrected &&
+          double_injected == double_detected)
+             ? "true"
+             : "false")
+     << "\n  }\n}\n";
+  return js.str();
+}
+
+}  // namespace memcim

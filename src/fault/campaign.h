@@ -1,0 +1,81 @@
+// Reliability campaigns: sweep fault rates across every CIM structure
+// the paper's evaluation leans on — the SECDED memory bank, the IMPLY
+// ripple adder (ideal and CRS fabrics), the CRS TC-adder, the CAM
+// search array, the crossbar readout path, and the two end-to-end
+// workloads (DNA read matching on a k-mer CAM, the parallel-add
+// farm).  Every campaign is a golden-model differential: the same
+// trial runs on a fault-free golden model and on the faulty structure,
+// and each trial lands in exactly one DiffOutcome bucket.  The fault
+// rate 0.0 row doubles as the plumbing self-test: it must be 100%
+// clean on every target, at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "fault/golden.h"
+
+namespace memcim {
+
+struct CampaignConfig {
+  std::uint64_t seed = 0xFA177ull;
+  /// Per-site arming rates swept per target (0.0 = golden self-test).
+  std::vector<double> rates{0.0, 0.001, 0.003, 0.01, 0.03};
+
+  std::size_t ecc_words = 384;       ///< SECDED bank rows per rate
+  std::size_t adder_trials = 72;     ///< additions per fabric per rate
+  std::size_t adder_bits = 8;        ///< IMPLY / TC adder operand width
+  std::size_t cam_rows = 48;         ///< CAM words per rate
+  std::size_t cam_bits = 24;         ///< CAM word width
+  std::size_t cam_searches = 96;     ///< searches per rate
+  std::size_t readout_size = 8;      ///< crossbar readout array (N×N)
+  std::size_t dna_bases = 320;       ///< synthetic genome length
+  std::size_t dna_k = 12;            ///< k-mer width (2 bits/base in CAM)
+  std::size_t dna_reads = 64;        ///< reads matched per rate
+  std::size_t add_ops = 128;         ///< parallel-add batch size
+  std::size_t add_width = 16;        ///< parallel-add operand width
+  std::size_t add_adders = 16;       ///< parallel-add farm size
+};
+
+/// One (target, rate) cell of the campaign sweep.
+struct CampaignTally {
+  std::string target;
+  double rate = 0.0;
+  DiffTally diff;
+  std::uint64_t armed_faults = 0;  ///< faults the plan actually armed
+
+  // ECC-only detail: the acceptance criteria of the subsystem.
+  std::uint64_t single_bit_injected = 0;
+  std::uint64_t single_bit_corrected = 0;
+  std::uint64_t double_bit_injected = 0;
+  std::uint64_t double_bit_detected = 0;
+};
+
+// -- per-target campaigns (one rate each) -----------------------------------
+[[nodiscard]] CampaignTally run_ecc_campaign(const CampaignConfig& config,
+                                             double rate);
+[[nodiscard]] CampaignTally run_imply_adder_campaign(
+    const CampaignConfig& config, double rate, bool crs_backend);
+[[nodiscard]] CampaignTally run_tc_adder_campaign(const CampaignConfig& config,
+                                                  double rate);
+[[nodiscard]] CampaignTally run_cam_campaign(const CampaignConfig& config,
+                                             double rate);
+[[nodiscard]] CampaignTally run_readout_campaign(const CampaignConfig& config,
+                                                 double rate);
+[[nodiscard]] CampaignTally run_dna_campaign(const CampaignConfig& config,
+                                             double rate);
+[[nodiscard]] CampaignTally run_parallel_add_campaign(
+    const CampaignConfig& config, double rate);
+
+/// The full sweep: every target × every configured rate, in a fixed
+/// deterministic order (targets outer, rates inner).
+[[nodiscard]] std::vector<CampaignTally> run_full_campaign(
+    const CampaignConfig& config);
+
+/// Serialize a sweep as the BENCH_faults.json document.
+[[nodiscard]] std::string campaign_json(const CampaignConfig& config,
+                                        const std::vector<CampaignTally>& sweep);
+
+}  // namespace memcim

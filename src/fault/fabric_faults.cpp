@@ -1,0 +1,26 @@
+#include "fault/fabric_faults.h"
+
+#include <utility>
+
+namespace memcim {
+
+FabricFaultInjector::FabricFaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)) {}
+
+std::optional<bool> FabricFaultInjector::stuck_value(Reg r) const {
+  return plan_.stuck_bit(r);
+}
+
+bool FabricFaultInjector::write_fails(Reg r) {
+  const bool fails = plan_.write_fails(r);
+  if (fails) ++vetoed_writes_;
+  return fails;
+}
+
+bool FabricFaultInjector::disturb_read(Reg r, bool sensed) {
+  if (!plan_.read_disturbed(r)) return sensed;
+  ++disturbed_reads_;
+  return !sensed;
+}
+
+}  // namespace memcim

@@ -1,0 +1,38 @@
+// FaultPlan-driven implementation of the FabricFaultHooks interface:
+// attach one of these to any Fabric (ideal, device-level, CRS) and the
+// plan's stuck-at / write-fail / read-disturb faults act on the
+// fabric's registers (site index = register index; registers beyond
+// the plan population are fault-free).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_model.h"
+#include "logic/fabric.h"
+
+namespace memcim {
+
+class FabricFaultInjector final : public FabricFaultHooks {
+ public:
+  explicit FabricFaultInjector(FaultPlan plan);
+
+  [[nodiscard]] std::optional<bool> stuck_value(Reg r) const override;
+  [[nodiscard]] bool write_fails(Reg r) override;
+  [[nodiscard]] bool disturb_read(Reg r, bool sensed) override;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] FaultPlan& plan() { return plan_; }
+
+  // -- event tallies --------------------------------------------------------
+  [[nodiscard]] std::uint64_t vetoed_writes() const { return vetoed_writes_; }
+  [[nodiscard]] std::uint64_t disturbed_reads() const {
+    return disturbed_reads_;
+  }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t vetoed_writes_ = 0;
+  std::uint64_t disturbed_reads_ = 0;
+};
+
+}  // namespace memcim

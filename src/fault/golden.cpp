@@ -1,0 +1,83 @@
+#include "fault/golden.h"
+
+#include "common/error.h"
+
+namespace memcim {
+
+const char* to_string(DiffOutcome o) {
+  switch (o) {
+    case DiffOutcome::kClean: return "clean";
+    case DiffOutcome::kCorrected: return "corrected";
+    case DiffOutcome::kDetected: return "detected";
+    case DiffOutcome::kSilent: return "silent";
+  }
+  return "?";
+}
+
+void DiffTally::add(DiffOutcome outcome) {
+  ++trials;
+  switch (outcome) {
+    case DiffOutcome::kClean: ++clean; break;
+    case DiffOutcome::kCorrected: ++corrected; break;
+    case DiffOutcome::kDetected: ++detected; break;
+    case DiffOutcome::kSilent: ++silent; break;
+  }
+}
+
+void DiffTally::merge(const DiffTally& other) {
+  trials += other.trials;
+  clean += other.clean;
+  corrected += other.corrected;
+  detected += other.detected;
+  silent += other.silent;
+}
+
+std::vector<bool> run_program_prefix(const CimProgram& program, Fabric& fabric,
+                                     const std::vector<bool>& inputs,
+                                     std::size_t length) {
+  MEMCIM_CHECK_MSG(length <= program.length(), "prefix exceeds program");
+  MEMCIM_CHECK_MSG(inputs.size() == program.inputs, "input arity mismatch");
+  MEMCIM_CHECK_MSG(program.registers > 0, "program has no registers");
+  const Reg base = fabric.alloc();
+  for (std::size_t i = 1; i < program.registers; ++i) (void)fabric.alloc();
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    fabric.set(base + i, inputs[i]);
+  for (std::size_t i = 0; i < length; ++i) {
+    const CimInstruction& inst = program.instructions[i];
+    switch (inst.op) {
+      case CimOp::kSetFalse: fabric.set(base + inst.a, false); break;
+      case CimOp::kSetTrue: fabric.set(base + inst.a, true); break;
+      case CimOp::kImply: fabric.imply(base + inst.a, base + inst.b); break;
+    }
+  }
+  std::vector<bool> state(program.registers);
+  for (std::size_t i = 0; i < program.registers; ++i)
+    state[i] = fabric.read(base + i);
+  return state;
+}
+
+std::optional<std::size_t> minimal_failing_prefix(
+    const CimProgram& program, const std::vector<bool>& inputs,
+    const FabricFactory& make_reference, const FabricFactory& make_subject) {
+  for (std::size_t length = 0; length <= program.length(); ++length) {
+    const auto ref_fabric = make_reference();
+    const auto sub_fabric = make_subject();
+    MEMCIM_CHECK_MSG(ref_fabric && sub_fabric, "fabric factory returned null");
+    const std::vector<bool> ref =
+        run_program_prefix(program, *ref_fabric, inputs, length);
+    const std::vector<bool> sub =
+        run_program_prefix(program, *sub_fabric, inputs, length);
+    if (ref != sub) return length;
+  }
+  return std::nullopt;
+}
+
+DiffOutcome diff_program_run(const CimProgram& program,
+                             const std::vector<bool>& inputs,
+                             Fabric& reference, Fabric& subject) {
+  const bool expect = run_program(program, reference, inputs);
+  const bool got = run_program(program, subject, inputs);
+  return expect == got ? DiffOutcome::kClean : DiffOutcome::kSilent;
+}
+
+}  // namespace memcim

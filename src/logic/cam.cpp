@@ -91,6 +91,12 @@ CamSearchResult CrsCam::search(const std::vector<bool>& key) {
   return result;
 }
 
+void CrsCam::inject_stuck(std::size_t row, std::size_t bit, bool stuck_one) {
+  MEMCIM_CHECK_MSG(bit < config_.word_bits, "CAM bit out of range");
+  at(row).value[bit].force_stuck(stuck_one ? CrsState::kOne
+                                           : CrsState::kZero);
+}
+
 std::optional<std::size_t> CrsCam::search_first(const std::vector<bool>& key) {
   const CamSearchResult result = search(key);
   if (result.matching_rows.empty()) return std::nullopt;

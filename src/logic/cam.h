@@ -63,6 +63,11 @@ class CrsCam {
   [[nodiscard]] std::optional<std::size_t> search_first(
       const std::vector<bool>& key);
 
+  /// Fault injection: pin the value cell at (row, bit) stuck at logic
+  /// `stuck_one`; later rewrites of the row cannot move it, so searches
+  /// run against the corrupted stored word.
+  void inject_stuck(std::size_t row, std::size_t bit, bool stuck_one);
+
   // -- lifetime statistics ---------------------------------------------------
   [[nodiscard]] std::uint64_t searches() const { return searches_; }
   [[nodiscard]] Energy total_energy() const { return total_energy_; }

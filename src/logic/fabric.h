@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
 #include "common/units.h"
 
@@ -31,6 +32,25 @@ namespace memcim {
 
 /// Register index within a fabric.
 using Reg = std::size_t;
+
+/// Fault-injection hooks consulted by every fabric micro-op (see
+/// src/fault/ for the FaultPlan-driven implementation).  The interface
+/// lives here so any backend gains fault support without the logic
+/// layer depending on the fault subsystem:
+///
+///   * stuck_value — a permanently pinned register (stuck-at-LRS reads
+///     logic 1, stuck-at-HRS logic 0); writes land but do not stick.
+///   * write_fails — a transient write failure: the pulse is issued
+///     (cost accrues) but the register keeps its old value.
+///   * disturb_read — a transient sensing upset: the returned bit may
+///     be flipped; the stored state is untouched.
+class FabricFaultHooks {
+ public:
+  virtual ~FabricFaultHooks() = default;
+  [[nodiscard]] virtual std::optional<bool> stuck_value(Reg r) const = 0;
+  [[nodiscard]] virtual bool write_fails(Reg r) = 0;
+  [[nodiscard]] virtual bool disturb_read(Reg r, bool sensed) = 0;
+};
 
 /// Latency/energy quanta of one micro-op (Table 1 of the paper).
 struct LogicCostModel {
@@ -57,6 +77,21 @@ class Fabric {
   /// Unconditional write: set_step_cost() steps, 1 device write.
   void set(Reg r, bool value) {
     check(r);
+    if (faults_ != nullptr) {
+      if (const auto s = faults_->stuck_value(r)) {
+        // The pulse lands on a pinned device: cost accrues, state does
+        // not move off the stuck value.
+        pin(r, *s);
+        steps_ += set_step_cost();
+        ++writes_;
+        return;
+      }
+      if (faults_->write_fails(r)) {
+        steps_ += set_step_cost();
+        ++writes_;
+        return;
+      }
+    }
     do_set(r, value);
     steps_ += set_step_cost();
     ++writes_;
@@ -67,6 +102,21 @@ class Fabric {
   void imply(Reg p, Reg q) {
     check(p);
     check(q);
+    if (faults_ != nullptr) {
+      // The backend computes from its stored state of p, so a stuck p
+      // must be physically pinned before the op executes.
+      if (const auto sp = faults_->stuck_value(p)) pin(p, *sp);
+      if (const auto sq = faults_->stuck_value(q)) {
+        pin(q, *sq);
+      } else if (faults_->write_fails(q)) {
+        // conditional SET pulse dropped: q keeps its old value
+      } else {
+        do_imply(p, q);
+      }
+      steps_ += imply_step_cost();
+      ++writes_;
+      return;
+    }
     do_imply(p, q);
     steps_ += imply_step_cost();
     ++writes_;
@@ -76,8 +126,18 @@ class Fabric {
   /// readout happens on the sense amps, not the array).
   [[nodiscard]] bool read(Reg r) const {
     check(r);
-    return do_read(r);
+    bool value = do_read(r);
+    if (faults_ != nullptr) {
+      if (const auto s = faults_->stuck_value(r)) value = *s;
+      value = faults_->disturb_read(r, value);
+    }
+    return value;
   }
+
+  /// Install (or remove, with nullptr) fault hooks.  Ownership stays
+  /// with the caller; the hooks must outlive the fabric's use.
+  void attach_faults(FabricFaultHooks* hooks) { faults_ = hooks; }
+  [[nodiscard]] FabricFaultHooks* faults() const { return faults_; }
 
   // -- cost books -----------------------------------------------------------
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
@@ -109,10 +169,17 @@ class Fabric {
  private:
   void check(Reg r) const;
 
+  /// Align the backend's stored state of a stuck register with its
+  /// pinned value (cost-free modelling fixup, only when they differ).
+  void pin(Reg r, bool value) {
+    if (do_read(r) != value) do_set(r, value);
+  }
+
   LogicCostModel cost_;
   std::size_t size_ = 0;
   std::uint64_t steps_ = 0;
   std::uint64_t writes_ = 0;
+  FabricFaultHooks* faults_ = nullptr;
 };
 
 }  // namespace memcim

@@ -76,6 +76,17 @@ TcAdderResult CrsTcAdder::add(std::uint64_t a, std::uint64_t b, bool carry_in) {
   return result;
 }
 
+void CrsTcAdder::inject_stuck(std::size_t site, bool stuck_one) {
+  MEMCIM_CHECK_MSG(site < fault_sites(), "fault site out of range");
+  const CrsState pinned = stuck_one ? CrsState::kOne : CrsState::kZero;
+  if (site < width_)
+    sum_cells_[site].force_stuck(pinned);
+  else if (site == width_)
+    carry_cell_.force_stuck(pinned);
+  else
+    scratch_cell_.force_stuck(pinned);
+}
+
 std::uint64_t CrsTcAdder::stored_sum() const {
   std::uint64_t value = 0;
   for (std::size_t i = 0; i < width_; ++i)

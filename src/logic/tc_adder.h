@@ -56,6 +56,15 @@ class CrsTcAdder {
   /// pulses issued).
   [[nodiscard]] std::uint64_t stored_sum() const;
 
+  /// Fault-site indexing for inject_stuck(): sites 0..width-1 are the
+  /// sum cells, site width the carry cell, site width+1 the scratch
+  /// cell — devices(width) sites in total.
+  [[nodiscard]] std::size_t fault_sites() const { return width_ + 2; }
+
+  /// Fault injection: pin the cell at `site` stuck at logic
+  /// `stuck_one`; every subsequent add runs through the broken device.
+  void inject_stuck(std::size_t site, bool stuck_one);
+
   /// Paper cost sheet.
   [[nodiscard]] static constexpr std::size_t devices(std::size_t n) {
     return n + 2;

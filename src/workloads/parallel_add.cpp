@@ -18,6 +18,7 @@ ParallelAddResult run_parallel_add(const ParallelAddParams& params,
   farm.reserve(params.adders);
   for (std::size_t i = 0; i < params.adders; ++i)
     farm.emplace_back(params.width, cell);
+  if (params.farm_hook) params.farm_hook(farm);
 
   const std::uint64_t max_operand =
       (std::uint64_t{1} << params.width) - 1;

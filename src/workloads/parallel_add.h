@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "device/crs.h"
+#include "logic/tc_adder.h"
 
 namespace memcim {
 
@@ -19,6 +21,10 @@ struct ParallelAddParams {
   std::size_t operations = 1024;  ///< batch size (paper: 10^6)
   std::size_t width = 32;         ///< operand width in bits
   std::size_t adders = 256;       ///< physical adder farm size
+  /// Called once on the freshly built farm before any addition runs —
+  /// the fault-campaign hook (src/fault/) pins stuck cells here.  The
+  /// indirection keeps workloads independent of the fault subsystem.
+  std::function<void(std::vector<CrsTcAdder>&)> farm_hook;
 };
 
 struct ParallelAddResult {

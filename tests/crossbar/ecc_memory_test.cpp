@@ -53,6 +53,41 @@ TEST(Ecc, DoubleBitErrorsAreDetected) {
   }
 }
 
+TEST(Ecc, EverySingleBitErrorIsCorrectedAllBytes) {
+  // Exhaustive over the whole code: 256 bytes × 13 positions.
+  for (int v = 0; v < 256; ++v) {
+    const auto clean = ecc_encode(static_cast<std::uint8_t>(v));
+    for (std::size_t bit = 0; bit < kEccCodewordBits; ++bit) {
+      auto corrupted = clean;
+      corrupted[bit] = !corrupted[bit];
+      const EccDecodeResult r = ecc_decode(corrupted);
+      ASSERT_EQ(r.data, v) << "byte " << v << " bit " << bit;
+      ASSERT_TRUE(r.corrected) << "byte " << v << " bit " << bit;
+      ASSERT_FALSE(r.uncorrectable) << "byte " << v << " bit " << bit;
+    }
+  }
+}
+
+TEST(Ecc, EveryDoubleBitErrorIsDetectedAllBytes) {
+  // Exhaustive SECDED acceptance: 256 bytes × C(13,2) = 78 pairs, every
+  // one must raise the uncorrectable flag and never report a (silently
+  // wrong) correction.
+  for (int v = 0; v < 256; ++v) {
+    const auto clean = ecc_encode(static_cast<std::uint8_t>(v));
+    for (std::size_t b1 = 0; b1 < kEccCodewordBits; ++b1)
+      for (std::size_t b2 = b1 + 1; b2 < kEccCodewordBits; ++b2) {
+        auto corrupted = clean;
+        corrupted[b1] = !corrupted[b1];
+        corrupted[b2] = !corrupted[b2];
+        const EccDecodeResult r = ecc_decode(corrupted);
+        ASSERT_TRUE(r.uncorrectable)
+            << "byte " << v << " bits " << b1 << "," << b2;
+        ASSERT_FALSE(r.corrected)
+            << "byte " << v << " bits " << b1 << "," << b2;
+      }
+  }
+}
+
 TEST(Ecc, TripleErrorsNeverCrashAndNeverDecodeSilently) {
   // ≥3-bit errors are beyond SECDED: some alias to a (wrong) single-bit
   // correction, some to invalid syndromes (13–15) — the decoder must
@@ -121,6 +156,36 @@ TEST(EccMemory, ScrubbingPreventsErrorAccumulation) {
     EXPECT_FALSE(r.uncorrectable);
   }
   EXPECT_EQ(mem.corrected_errors(), 10u);
+}
+
+TEST(EccMemory, StuckCellPairStaysUncorrectableAcrossReads) {
+  // Permanent double faults (stuck cells, not transient flips): the
+  // scrub path writes back but cannot move the pinned devices, so the
+  // word must flag uncorrectable on every read — never silently decode.
+  EccCrsMemory mem(1, presets::crs_cell());
+  const std::uint8_t value = 0x42;  // bits 3 and 9 store 0 → pin to 1
+  mem.write_byte(0, value);
+  mem.inject_stuck(0, 3, true);
+  mem.inject_stuck(0, 9, true);
+  for (int round = 0; round < 3; ++round) {
+    const auto r = mem.read_byte(0);
+    EXPECT_TRUE(r.uncorrectable) << "round " << round;
+    EXPECT_FALSE(r.corrected) << "round " << round;
+  }
+  EXPECT_EQ(mem.uncorrectable_errors(), 3u);
+}
+
+TEST(EccMemory, SingleStuckCellIsCorrectedOnEveryRead) {
+  EccCrsMemory mem(1, presets::crs_cell());
+  const std::uint8_t value = 0x42;
+  mem.write_byte(0, value);
+  mem.inject_stuck(0, 3, true);  // data bit 0 stored 0, pinned to 1
+  for (int round = 0; round < 3; ++round) {
+    const auto r = mem.read_byte(0);
+    EXPECT_EQ(r.data, value) << "round " << round;
+    EXPECT_TRUE(r.corrected) << "round " << round;
+    EXPECT_FALSE(r.uncorrectable) << "round " << round;
+  }
 }
 
 TEST(EccMemory, Validation) {

@@ -1,0 +1,138 @@
+// Campaign-level acceptance: the rate-0 rows are 100% clean, ECC
+// corrects every single-bit fault and flags every double-bit fault,
+// and the whole sweep is reproducible bit-for-bit — across runs and
+// across thread counts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "fault/campaign.h"
+
+namespace memcim {
+namespace {
+
+/// A scaled-down sweep the full suite can afford to run repeatedly.
+CampaignConfig small_config() {
+  CampaignConfig config;
+  config.seed = 0x5EED;
+  config.rates = {0.0, 0.02};
+  config.ecc_words = 64;
+  config.adder_trials = 12;
+  config.adder_bits = 6;
+  config.cam_rows = 16;
+  config.cam_bits = 12;
+  config.cam_searches = 24;
+  config.readout_size = 4;
+  config.dna_bases = 96;
+  config.dna_k = 8;
+  config.dna_reads = 16;
+  config.add_ops = 32;
+  config.add_width = 8;
+  config.add_adders = 8;
+  return config;
+}
+
+bool same_tally(const CampaignTally& a, const CampaignTally& b) {
+  return a.target == b.target && a.rate == b.rate &&
+         a.diff.trials == b.diff.trials && a.diff.clean == b.diff.clean &&
+         a.diff.corrected == b.diff.corrected &&
+         a.diff.detected == b.diff.detected &&
+         a.diff.silent == b.diff.silent &&
+         a.armed_faults == b.armed_faults &&
+         a.single_bit_injected == b.single_bit_injected &&
+         a.single_bit_corrected == b.single_bit_corrected &&
+         a.double_bit_injected == b.double_bit_injected &&
+         a.double_bit_detected == b.double_bit_detected;
+}
+
+TEST(FaultCampaign, ZeroRateRowsAreAllClean) {
+  const auto sweep = run_full_campaign(small_config());
+  std::size_t zero_rows = 0;
+  for (const CampaignTally& t : sweep) {
+    if (t.rate != 0.0) continue;
+    ++zero_rows;
+    EXPECT_EQ(t.armed_faults, 0u) << t.target;
+    EXPECT_EQ(t.diff.silent, 0u) << t.target;
+    EXPECT_EQ(t.diff.detected, 0u) << t.target;
+    EXPECT_EQ(t.diff.corrected, 0u) << t.target;
+    EXPECT_EQ(t.diff.clean, t.diff.trials) << t.target;
+    EXPECT_GT(t.diff.trials, 0u) << t.target;
+  }
+  EXPECT_EQ(zero_rows, 8u);  // every target contributes a golden row
+}
+
+TEST(FaultCampaign, EccCorrectsAllSinglesAndFlagsAllDoubles) {
+  CampaignConfig config = small_config();
+  config.ecc_words = 512;
+  std::uint64_t singles = 0, doubles = 0;
+  // 0.2 per-site arming makes multi-bit words common: mean effective
+  // flips per 13-bit word ≈ 1.3.
+  for (const double rate : {0.05, 0.1, 0.2}) {
+    const CampaignTally t = run_ecc_campaign(config, rate);
+    EXPECT_EQ(t.single_bit_corrected, t.single_bit_injected) << rate;
+    EXPECT_EQ(t.double_bit_detected, t.double_bit_injected) << rate;
+    singles += t.single_bit_injected;
+    doubles += t.double_bit_injected;
+  }
+  // The sweep must actually have exercised both classes.
+  EXPECT_GT(singles, 50u);
+  EXPECT_GT(doubles, 10u);
+}
+
+TEST(FaultCampaign, FaultsActuallyBite) {
+  // At a heavy rate the sweep must produce divergences — otherwise the
+  // injection plumbing is a no-op and the zero-rate test proves nothing.
+  CampaignConfig config = small_config();
+  config.rates = {0.2};
+  const auto sweep = run_full_campaign(config);
+  std::uint64_t armed = 0, non_clean = 0;
+  for (const CampaignTally& t : sweep) {
+    armed += t.armed_faults;
+    non_clean += t.diff.silent + t.diff.detected + t.diff.corrected;
+  }
+  EXPECT_GT(armed, 0u);
+  EXPECT_GT(non_clean, 0u);
+}
+
+TEST(FaultCampaign, SweepIsReproducibleAcrossRuns) {
+  const CampaignConfig config = small_config();
+  const auto a = run_full_campaign(config);
+  const auto b = run_full_campaign(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(same_tally(a[i], b[i])) << a[i].target << " @ " << a[i].rate;
+}
+
+TEST(FaultCampaign, SweepIsIndependentOfThreadCount) {
+  const CampaignConfig config = small_config();
+  const std::size_t before = parallel_threads();
+  set_parallel_threads(1);
+  const auto serial = run_full_campaign(config);
+  set_parallel_threads(4);
+  const auto threaded = run_full_campaign(config);
+  set_parallel_threads(before);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_TRUE(same_tally(serial[i], threaded[i]))
+        << serial[i].target << " @ " << serial[i].rate;
+}
+
+TEST(FaultCampaign, JsonReportsAcceptanceVerdict) {
+  const CampaignConfig config = small_config();
+  const auto sweep = run_full_campaign(config);
+  const std::string js = campaign_json(config, sweep);
+  EXPECT_NE(js.find("\"bench\": \"fault_campaign\""), std::string::npos);
+  EXPECT_NE(js.find("\"zero_rate_silent\": 0"), std::string::npos);
+  EXPECT_NE(js.find("\"pass\": true"), std::string::npos);
+  // One sweep entry per (target, rate) pair.
+  std::size_t entries = 0;
+  for (std::size_t pos = js.find("\"target\""); pos != std::string::npos;
+       pos = js.find("\"target\"", pos + 1))
+    ++entries;
+  EXPECT_EQ(entries, sweep.size());
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,90 @@
+// FabricFaultInjector on live fabrics: stuck-at pinning, write vetoes,
+// read disturbs, and the bit-identical rate-0 guarantee.
+#include <gtest/gtest.h>
+
+#include "device/presets.h"
+#include "fault/fabric_faults.h"
+#include "logic/adder.h"
+#include "logic/crs_fabric.h"
+#include "logic/ideal_fabric.h"
+
+namespace memcim {
+namespace {
+
+TEST(FabricFaults, StuckRegisterPinsThroughSet) {
+  FaultPlan plan(4, 1);
+  plan.arm({FaultKind::kStuckAtLrs, 1.0, 1.0, 0.0});  // every reg stuck 1
+  FabricFaultInjector injector(std::move(plan));
+  IdealFabric fabric;
+  fabric.attach_faults(&injector);
+  const Reg r = fabric.alloc();
+  fabric.set(r, false);
+  EXPECT_TRUE(fabric.read(r));  // the write could not move it
+}
+
+TEST(FabricFaults, StuckAtHrsReadsZero) {
+  FaultPlan plan(4, 2);
+  plan.arm({FaultKind::kStuckAtHrs, 1.0, 1.0, 0.0});
+  FabricFaultInjector injector(std::move(plan));
+  CrsFabric fabric(presets::crs_cell());
+  fabric.attach_faults(&injector);
+  const Reg r = fabric.alloc();
+  fabric.set(r, true);
+  EXPECT_FALSE(fabric.read(r));
+}
+
+TEST(FabricFaults, CertainWriteFailVetoesEverySet) {
+  FaultPlan plan(4, 3);
+  plan.arm({FaultKind::kWriteFail, 1.0, 1.0, 0.0});  // event_prob 1
+  FabricFaultInjector injector(std::move(plan));
+  IdealFabric fabric;
+  fabric.attach_faults(&injector);
+  const Reg r = fabric.alloc();
+  fabric.set(r, true);
+  EXPECT_FALSE(fabric.read(r));  // power-on value survives
+  EXPECT_GT(injector.vetoed_writes(), 0u);
+}
+
+TEST(FabricFaults, CertainReadDisturbFlipsEveryRead) {
+  FaultPlan plan(4, 4);
+  plan.arm({FaultKind::kReadDisturb, 1.0, 1.0, 0.0});
+  FabricFaultInjector injector(std::move(plan));
+  IdealFabric fabric;
+  fabric.attach_faults(&injector);
+  const Reg r = fabric.alloc();
+  fabric.set(r, true);
+  EXPECT_FALSE(fabric.read(r));
+  EXPECT_EQ(injector.disturbed_reads(), 1u);
+}
+
+TEST(FabricFaults, EmptyPlanIsBitIdenticalToNoHooks) {
+  // Rate 0 with the injector attached must reproduce the bare fabric
+  // exactly — the acceptance criterion behind every 0.0 campaign row.
+  for (std::uint64_t a = 0; a < 16; ++a)
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      IdealFabric bare;
+      const std::uint64_t expect = add_integers(bare, a, b, 4);
+
+      FabricFaultInjector injector(FaultPlan(1024, 77));
+      IdealFabric hooked;
+      hooked.attach_faults(&injector);
+      EXPECT_EQ(add_integers(hooked, a, b, 4), expect) << a << "+" << b;
+      EXPECT_EQ(hooked.steps(), bare.steps());
+      EXPECT_EQ(hooked.writes(), bare.writes());
+    }
+}
+
+TEST(FabricFaults, StuckSumBitCorruptsAddition) {
+  // Pin one low register (the a-operand word) and check the ripple
+  // adder actually computes with the corrupted operand.
+  FaultPlan plan(1, 9);
+  plan.arm({FaultKind::kStuckAtLrs, 1.0, 1.0, 0.0});  // reg 0 stuck 1
+  FabricFaultInjector injector(std::move(plan));
+  IdealFabric fabric;
+  fabric.attach_faults(&injector);
+  // a = 0 loads regs {0..3} with 0, but reg 0 is pinned to 1 → a = 1.
+  EXPECT_EQ(add_integers(fabric, 0, 2, 4), 3u);
+}
+
+}  // namespace
+}  // namespace memcim

@@ -33,7 +33,9 @@ TEST(TcAdder, PulseCountIsExactlyFourNPlusFive) {
     const TcAdderResult r = adder.add(3, 5);
     EXPECT_EQ(r.pulses, 4 * width + 5) << "width " << width;
     // Schedule is constant-time: a different operand pair costs the same.
-    const TcAdderResult r2 = adder.add((1ull << width) - 1, 1);
+    const std::uint64_t all_ones =
+        width == 64 ? ~0ull : (1ull << width) - 1;
+    const TcAdderResult r2 = adder.add(all_ones, 1);
     EXPECT_EQ(r2.pulses, 4 * width + 5);
   }
 }
