@@ -18,6 +18,8 @@
 #include "crossbar/crossbar.h"
 #include "device/presets.h"
 #include "device/vcm.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -162,30 +164,46 @@ DistributedNumbers measure_distributed(std::size_t n) {
 
 void write_json(const OverhaulNumbers& o,
                 const std::vector<DistributedNumbers>& dist) {
-  std::ofstream js("BENCH_solver.json");
-  js << "{\n"
-     << "  \"bench\": \"solver_scaling\",\n"
-     << "  \"threads\": " << parallel_threads() << ",\n"
-     << "  \"nonlinear_128_lumped\": {\n"
-     << "    \"baseline_single_solve_ms\": " << o.baseline_single_ms << ",\n"
-     << "    \"overhaul_single_solve_ms\": " << o.overhaul_single_ms << ",\n"
-     << "    \"single_solve_speedup\": " << o.single_speedup << ",\n"
-     << "    \"train_solves\": " << o.train_solves << ",\n"
-     << "    \"baseline_train_ms\": " << o.baseline_train_ms << ",\n"
-     << "    \"overhaul_train_ms\": " << o.overhaul_train_ms << ",\n"
-     << "    \"train_speedup\": " << o.train_speedup << "\n"
-     << "  },\n"
-     << "  \"distributed_cg\": [\n";
-  for (std::size_t i = 0; i < dist.size(); ++i) {
-    const auto& d = dist[i];
-    js << "    {\"n\": " << d.n << ", \"nodes\": " << d.nodes
-       << ", \"solve_ms\": " << d.solve_ms
-       << ", \"converged\": " << (d.converged ? "true" : "false")
-       << ", \"sweeps\": " << d.sweeps
-       << ", \"sense_current_A\": " << d.sense_current << "}"
-       << (i + 1 < dist.size() ? "," : "") << "\n";
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("solver_scaling");
+  w.key("threads").value(parallel_threads());
+  w.key("nonlinear_128_lumped").begin_object();
+  w.key("baseline_single_solve_ms").value(o.baseline_single_ms);
+  w.key("overhaul_single_solve_ms").value(o.overhaul_single_ms);
+  w.key("single_solve_speedup").value(o.single_speedup);
+  w.key("train_solves").value(o.train_solves);
+  w.key("baseline_train_ms").value(o.baseline_train_ms);
+  w.key("overhaul_train_ms").value(o.overhaul_train_ms);
+  w.key("train_speedup").value(o.train_speedup);
+  w.end_object();
+  w.key("distributed_cg").begin_array();
+  for (const auto& d : dist) {
+    w.begin_object();
+    w.key("n").value(d.n);
+    w.key("nodes").value(d.nodes);
+    w.key("solve_ms").value(d.solve_ms);
+    w.key("converged").value(d.converged);
+    w.key("sweeps").value(d.sweeps);
+    w.key("sense_current_A").value(d.sense_current);
+    w.end_object();
   }
-  js << "  ]\n}\n";
+  w.end_array();
+  // Registry snapshot of the measurement runs above: solver-internal
+  // tallies (CG iterations, warm-start hits, backend mix) land in the
+  // perf record alongside the wall-clock numbers.
+  const telemetry::MetricsSnapshot snap =
+      telemetry::Registry::global().snapshot();
+  w.key("telemetry").begin_object();
+  for (const char* name :
+       {"crossbar.solve.count", "crossbar.solve.sweeps",
+        "crossbar.assemble.count", "crossbar.warm_start.hits",
+        "crossbar.backend.dense", "crossbar.backend.cg", "solver.cg.calls",
+        "solver.cg.iterations"})
+    w.key(name).value(snap.counter(name));
+  w.end_object();
+  w.end_object();
+  std::ofstream("BENCH_solver.json") << w.str();
   std::cout << "Wrote BENCH_solver.json\n";
 }
 

@@ -6,8 +6,31 @@
 #include "logic/comparator.h"
 #include "logic/ideal_fabric.h"
 #include "logic/tc_adder.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
+
+namespace {
+
+struct TileMetrics {
+  telemetry::Counter& compares;
+  telemetry::Counter& adds;
+  telemetry::Counter& rows;
+  telemetry::Counter& lanes;
+  TileMetrics()
+      : compares(
+            telemetry::Registry::global().counter("cim_tile.compare.ops")),
+        adds(telemetry::Registry::global().counter("cim_tile.add.ops")),
+        rows(telemetry::Registry::global().counter("cim_tile.compare.rows")),
+        lanes(telemetry::Registry::global().counter("cim_tile.add.lanes")) {}
+};
+
+TileMetrics& tile_metrics() {
+  static TileMetrics m;
+  return m;
+}
+
+}  // namespace
 
 CimTile::CimTile(const CimTileConfig& config)
     : config_(config), memory_(config.rows, config.row_bits, config.cell) {
@@ -25,6 +48,10 @@ std::vector<bool> CimTile::load_row(std::size_t row) {
 std::vector<bool> CimTile::parallel_compare(const std::vector<bool>& key) {
   MEMCIM_CHECK_MSG(key.size() == config_.row_bits,
                    "key width must equal the row width");
+  static telemetry::SpanSite span_site("cim_tile.parallel_compare");
+  telemetry::Span span(span_site);
+  tile_metrics().compares.add(1);
+  tile_metrics().rows.add(config_.rows);
   std::vector<bool> matches(config_.rows);
   Time worst_row_latency{0.0};
   Energy total_energy{0.0};
@@ -55,6 +82,10 @@ std::vector<bool> CimTile::parallel_compare_tolerant(
   // its two XORs in parallel); the XOR outputs drive a CAM-style match
   // line whose discharge current is proportional to the mismatch count,
   // thresholded by the sense amp in one precharge+evaluate pair.
+  static telemetry::SpanSite span_site("cim_tile.parallel_compare_tolerant");
+  telemetry::Span span(span_site);
+  tile_metrics().compares.add(1);
+  tile_metrics().rows.add(config_.rows);
   constexpr std::size_t kXorSteps = 13;
   constexpr std::size_t kSensePulses = 2;
   const Time pass_latency =
@@ -94,7 +125,11 @@ void CimTile::parallel_add(std::size_t row_a, std::size_t row_b,
   MEMCIM_CHECK_MSG(lane_bits >= 1 && lane_bits <= 64 &&
                        config_.row_bits % lane_bits == 0,
                    "row width must be a multiple of the lane width");
+  static telemetry::SpanSite span_site("cim_tile.parallel_add");
+  telemetry::Span span(span_site);
   const std::size_t lanes = config_.row_bits / lane_bits;
+  tile_metrics().adds.add(1);
+  tile_metrics().lanes.add(lanes);
   const std::vector<bool> a = memory_.read_word(row_a);
   const std::vector<bool> b = memory_.read_word(row_b);
 

@@ -7,8 +7,11 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
@@ -17,6 +20,17 @@ namespace {
 /// Set while a thread is executing pool work; nested parallel_for calls
 /// from such a thread run serially instead of re-entering the pool.
 thread_local bool t_in_parallel_region = false;
+
+/// Per-thread busy-time counter ("parallel.worker<i>.busy_ns"): worker
+/// threads bind theirs on startup, the caller thread binds worker 0 on
+/// first use.  Schedule-dependent by nature — excluded from the
+/// determinism guarantee like every *.ns metric.
+thread_local telemetry::Counter* t_busy_ns = nullptr;
+
+telemetry::Counter& worker_busy_counter(std::size_t worker) {
+  return telemetry::Registry::global().counter(
+      "parallel.worker" + std::to_string(worker) + ".busy_ns");
+}
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("MEMCIM_THREADS")) {
@@ -42,17 +56,28 @@ struct Job {
 };
 
 void drain(Job& job) {
+  const bool telem = telemetry::enabled();
+  const std::uint64_t t0 = telem ? telemetry::now_ns() : 0;
+  std::size_t executed = 0;
   for (;;) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= job.n_chunks) return;
+    if (c >= job.n_chunks) break;
     const std::size_t lo = job.begin + c * job.chunk;
     const std::size_t hi = std::min(job.end, lo + job.chunk);
     job.fn(lo, hi);
+    ++executed;
     if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(job.m);
       job.done = true;
       job.cv.notify_all();
     }
+  }
+  if (telem && executed > 0) {
+    static telemetry::Counter& chunks =
+        telemetry::Registry::global().counter("parallel.pool.chunks");
+    chunks.add(executed);
+    if (t_busy_ns == nullptr) t_busy_ns = &worker_busy_counter(0);
+    t_busy_ns->add(telemetry::now_ns() - t0);
   }
 }
 
@@ -64,7 +89,7 @@ class ThreadPool {
     const std::size_t helpers = n_workers > 1 ? n_workers - 1 : 0;
     workers_.reserve(helpers);
     for (std::size_t i = 0; i < helpers; ++i)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 
   ~ThreadPool() {
@@ -96,9 +121,10 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop(std::size_t worker) {
     std::uint64_t seen_generation = 0;
     t_in_parallel_region = true;
+    t_busy_ns = &worker_busy_counter(worker);
     for (;;) {
       std::shared_ptr<Job> job;
       {
@@ -150,8 +176,18 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   if (grain == 0) grain = 1;
   ThreadPool& p = pool();
   if (t_in_parallel_region || p.size() == 1 || count < 2 * grain) {
+    if (telemetry::enabled()) {
+      static telemetry::Counter& serial =
+          telemetry::Registry::global().counter("parallel.pool.serial_regions");
+      serial.add(1);
+    }
     fn(begin, end);
     return;
+  }
+  if (telemetry::enabled()) {
+    static telemetry::Counter& jobs =
+        telemetry::Registry::global().counter("parallel.pool.jobs");
+    jobs.add(1);
   }
   // Chunk size: at least `grain`, at most what spreads the range across
   // every worker; the partition is a pure function of (range, grain,

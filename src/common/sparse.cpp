@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
@@ -151,8 +152,10 @@ double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
 }  // namespace
 
-CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
-                            const CgOptions& options) {
+namespace {
+
+CgResult cg_impl(const SparseMatrix& a, const std::vector<double>& b,
+                 const CgOptions& options) {
   MEMCIM_CHECK_MSG(a.rows() == a.cols(), "CG requires a square matrix");
   MEMCIM_CHECK_MSG(b.size() == a.rows(), "CG rhs size mismatch");
   MEMCIM_CHECK_MSG(options.x0.empty() || options.x0.size() == b.size(),
@@ -215,6 +218,30 @@ CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
   result.residual_norm = norm2(r);
+  return result;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
+                            const CgOptions& options) {
+  CgResult result = cg_impl(a, b, options);
+  if (telemetry::enabled()) {
+    using telemetry::Registry;
+    static telemetry::Counter& calls =
+        Registry::global().counter("solver.cg.calls");
+    static telemetry::Counter& iterations =
+        Registry::global().counter("solver.cg.iterations");
+    static telemetry::Histogram& iters_hist = Registry::global().histogram(
+        "solver.cg.iterations_per_call",
+        telemetry::exponential_bounds(1.0, 2.0, 12));
+    static telemetry::Histogram& residual_hist = Registry::global().histogram(
+        "solver.cg.residual", telemetry::exponential_bounds(1e-15, 10.0, 16));
+    calls.add(1);
+    iterations.add(result.iterations);
+    iters_hist.record(static_cast<double>(result.iterations));
+    residual_hist.record(result.residual_norm);
+  }
   return result;
 }
 

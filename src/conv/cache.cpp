@@ -1,11 +1,28 @@
 #include "conv/cache.h"
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
 namespace {
 bool is_power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+struct CacheMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& evictions;
+  CacheMetrics()
+      : hits(telemetry::Registry::global().counter("conv.cache.hits")),
+        misses(telemetry::Registry::global().counter("conv.cache.misses")),
+        evictions(
+            telemetry::Registry::global().counter("conv.cache.evictions")) {}
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
 }  // namespace
 
 SetAssociativeCache::SetAssociativeCache(const CacheConfig& config)
@@ -44,11 +61,13 @@ bool SetAssociativeCache::access(std::uint64_t address, bool is_write) {
     if (base[w].valid && base[w].tag == tag) {
       base[w].lru_stamp = clock_;
       ++stats_.hits;
+      cache_metrics().hits.add(1);
       return true;
     }
   }
   // Miss: fill an invalid way or evict the LRU one.
   ++stats_.misses;
+  cache_metrics().misses.add(1);
   Line* victim = &base[0];
   for (std::size_t w = 0; w < config_.ways; ++w) {
     if (!base[w].valid) {
@@ -57,7 +76,10 @@ bool SetAssociativeCache::access(std::uint64_t address, bool is_write) {
     }
     if (base[w].lru_stamp < victim->lru_stamp) victim = &base[w];
   }
-  if (victim->valid) ++stats_.evictions;
+  if (victim->valid) {
+    ++stats_.evictions;
+    cache_metrics().evictions.add(1);
+  }
   victim->valid = true;
   victim->tag = tag;
   victim->lru_stamp = clock_;

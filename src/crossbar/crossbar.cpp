@@ -9,10 +9,40 @@
 #include "common/matrix.h"
 #include "common/parallel.h"
 #include "common/sparse.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
 namespace {
+
+/// Solver metric bundle, resolved once (see docs/TELEMETRY.md for the
+/// catalogue).  Counter::add() is already a no-op while disabled, so
+/// call sites need no guard of their own.
+struct CrossbarMetrics {
+  telemetry::Counter& solves;
+  telemetry::Counter& sweeps;
+  telemetry::Counter& assembles;
+  telemetry::Counter& warm_hits;
+  telemetry::Counter& dense_solves;
+  telemetry::Counter& cg_solves;
+  telemetry::Counter& pulses;
+  CrossbarMetrics()
+      : solves(telemetry::Registry::global().counter("crossbar.solve.count")),
+        sweeps(telemetry::Registry::global().counter("crossbar.solve.sweeps")),
+        assembles(
+            telemetry::Registry::global().counter("crossbar.assemble.count")),
+        warm_hits(
+            telemetry::Registry::global().counter("crossbar.warm_start.hits")),
+        dense_solves(
+            telemetry::Registry::global().counter("crossbar.backend.dense")),
+        cg_solves(telemetry::Registry::global().counter("crossbar.backend.cg")),
+        pulses(telemetry::Registry::global().counter("crossbar.pulse.count")) {}
+};
+
+CrossbarMetrics& xbar_metrics() {
+  static CrossbarMetrics m;
+  return m;
+}
 
 /// Conductance floor keeping the nodal matrix nonsingular when lines
 /// float behind fully-HRS junctions; far below any device G_off.
@@ -95,6 +125,8 @@ CrossbarSolution CrossbarArray::solve(const LineBias& bias) const {
 // Lumped-line model: one node per word line and per bit line.
 // ---------------------------------------------------------------------------
 CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
+  static telemetry::SpanSite span_site("crossbar.solve_lumped");
+  telemetry::Span span(span_site);
   const std::size_t m = rows(), n = cols();
   const std::size_t lines = m + n;
   const bool ideal_drivers = config_.driver.value() == 0.0;
@@ -105,7 +137,10 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
   // solve (a transient step's network barely moves between pulses),
   // driven lines start at their source value.
   std::vector<double> v(lines, 0.0);
-  if (config_.warm_start && warm_lumped_.size() == lines) v = warm_lumped_;
+  if (config_.warm_start && warm_lumped_.size() == lines) {
+    v = warm_lumped_;
+    xbar_metrics().warm_hits.add(1);
+  }
   std::vector<bool> driven(lines, false);
   std::vector<double> src(lines, 0.0);
   for (std::size_t r = 0; r < m; ++r)
@@ -149,6 +184,9 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
   std::vector<JunctionSlots> jslots;     // per junction, row-major
   bool structure_ready = false;
   const auto build_structure = [&] {
+    static telemetry::SpanSite assemble_site("crossbar.assemble");
+    telemetry::Span assemble_span(assemble_site);
+    xbar_metrics().assembles.add(1);
     a = SparseMatrix(n_unknown, n_unknown);
     for (std::size_t r = 0; r < m; ++r)
       for (std::size_t c = 0; c < n; ++c) {
@@ -241,10 +279,15 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
           if (driven[l])
             rhs[static_cast<std::size_t>(unknown_of[l])] += g_drv * src[l];
 
+      static telemetry::SpanSite linear_site("crossbar.linear_solve");
       std::vector<double> x;
       if (n_unknown <= config_.dense_solver_max_unknowns) {
+        telemetry::Span linear_span(linear_site);
+        xbar_metrics().dense_solves.add(1);
         x = solve_dense(a.to_dense(), rhs);
       } else {
+        telemetry::Span linear_span(linear_site);
+        xbar_metrics().cg_solves.add(1);
         CgOptions opts;
         opts.tolerance = config_.cg_tolerance;
         if (config_.warm_start) {
@@ -321,6 +364,8 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
       sol.col_terminal_current[c] = (src[m + c] - v[m + c]) * g_drv;
     }
   }
+  xbar_metrics().solves.add(1);
+  xbar_metrics().sweeps.add(sol.nonlinear_iterations);
   return sol;
 }
 
@@ -328,6 +373,8 @@ CrossbarSolution CrossbarArray::solve_lumped(const LineBias& bias) const {
 // Distributed model: a node per junction on each wire layer.
 // ---------------------------------------------------------------------------
 CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
+  static telemetry::SpanSite span_site("crossbar.solve_distributed");
+  telemetry::Span span(span_site);
   const std::size_t m = rows(), n = cols();
   MEMCIM_CHECK_MSG(m * n <= 256 * 256,
                    "distributed model is intended for arrays up to 256x256; "
@@ -347,6 +394,7 @@ CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
     // Previous transient step's node voltages: strictly better than the
     // flat line seeding below.
     v = warm_distributed_;
+    xbar_metrics().warm_hits.add(1);
   } else {
     // Seed driven lines so the first chord-conductance pass is sensible.
     for (std::size_t r = 0; r < m; ++r)
@@ -380,6 +428,9 @@ CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
     a.add(j, i, -gc);
   };
   const auto build_structure = [&] {
+    static telemetry::SpanSite assemble_site("crossbar.assemble");
+    telemetry::Span assemble_span(assemble_site);
+    xbar_metrics().assembles.add(1);
     a = SparseMatrix(n_nodes, n_nodes);
     // Wire segments along rows (driver at column 0) and columns (driver
     // at row 0) — constant values.
@@ -453,10 +504,15 @@ CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
       a.add_slot(s.cr, -gc);
     }
 
+    static telemetry::SpanSite linear_site("crossbar.linear_solve");
     std::vector<double> x;
     if (n_nodes <= config_.dense_solver_max_unknowns) {
+      telemetry::Span linear_span(linear_site);
+      xbar_metrics().dense_solves.add(1);
       x = solve_dense(a.to_dense(), rhs);
     } else {
+      telemetry::Span linear_span(linear_site);
+      xbar_metrics().cg_solves.add(1);
       CgOptions opts;
       opts.tolerance = config_.cg_tolerance;
       if (config_.warm_start) opts.x0 = v;
@@ -504,10 +560,14 @@ CrossbarSolution CrossbarArray::solve_distributed(const LineBias& bias) const {
     if (bias.cols[c])
       sol.col_terminal_current[c] =
           (bias.cols[c]->value() - v[col_node(0, c)]) * g_drv;
+  xbar_metrics().solves.add(1);
+  xbar_metrics().sweeps.add(sol.nonlinear_iterations);
   return sol;
 }
 
 CrossbarSolution CrossbarArray::apply_pulse(const LineBias& bias, Time dt) {
+  static telemetry::SpanSite span_site("crossbar.apply_pulse");
+  telemetry::Span span(span_site);
   CrossbarSolution sol = solve(bias);
   const std::size_t count = rows() * cols();
   // Device state advancement is embarrassingly parallel: each junction
@@ -518,6 +578,15 @@ CrossbarSolution CrossbarArray::apply_pulse(const LineBias& bias, Time dt) {
                           devices_[j]->apply(Voltage(sol.device_voltage[j]),
                                              dt);
                       });
+  xbar_metrics().pulses.add(1);
+  if (telemetry::enabled()) {
+    // Per-array energy surfaced through the registry; last-writer-wins
+    // across arrays is fine for a gauge, exact sums come from the
+    // attojoule counters on the device layer.
+    static telemetry::Gauge& energy =
+        telemetry::Registry::global().gauge("crossbar.array_energy_j");
+    energy.set(total_device_energy().value());
+  }
   return sol;
 }
 

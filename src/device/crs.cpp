@@ -3,10 +3,38 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
 using namespace memcim::literals;
+
+namespace {
+
+/// Process-wide CrsCell tallies.  Energy is accumulated as integer
+/// attojoules so the cross-layer energy metric is an exact u64 sum
+/// (thread-count deterministic), matching the per-cell double book.
+struct CellMetrics {
+  telemetry::Counter& pulses;
+  telemetry::Counter& transitions;
+  telemetry::Counter& energy_aj;
+  telemetry::Counter& stuck_absorbed;
+  CellMetrics()
+      : pulses(telemetry::Registry::global().counter("crs_cell.pulses")),
+        transitions(
+            telemetry::Registry::global().counter("crs_cell.transitions")),
+        energy_aj(telemetry::Registry::global().counter(
+            "crs_cell.switch_energy_aj")),
+        stuck_absorbed(telemetry::Registry::global().counter(
+            "crs_cell.stuck_absorbed")) {}
+};
+
+CellMetrics& cell_metrics() {
+  static CellMetrics m;
+  return m;
+}
+
+}  // namespace
 
 const char* to_string(CrsState s) {
   switch (s) {
@@ -164,8 +192,20 @@ void CrsCell::force_stuck(CrsState pinned) {
 
 void CrsCell::clear_stuck() { stuck_.reset(); }
 
+void CrsCell::set_state(CrsState s) {
+  if (stuck_) return;  // a pinned device ignores modelling fixups too
+  state_ = s;
+}
+
 void CrsCell::transition_to(CrsState next) {
-  if (stuck_) return;  // a stuck device absorbs the pulse unchanged
+  if (stuck_) {
+    // A stuck device absorbs the pulse unchanged: no transition and —
+    // consistently with energy_ below — no switching energy.  The
+    // telemetry branch sits on this cold path only.
+    if (next != state_ && telemetry::enabled())
+      cell_metrics().stuck_absorbed.add(1);
+    return;
+  }
   if (next != state_) {
     state_ = next;
     energy_ += params_.e_per_switch;
@@ -175,7 +215,22 @@ void CrsCell::transition_to(CrsState next) {
 
 void CrsCell::apply_pulse(Voltage v) {
   ++pulses_;
-  const double vv = v.value();
+  const std::uint64_t transitions_before = transitions_;
+  step_state(v.value());
+  // One telemetry sync per pulse — the whole disabled-mode cost of the
+  // cell hot path is this single predictable branch.
+  if (telemetry::enabled()) {
+    CellMetrics& m = cell_metrics();
+    m.pulses.add(1);
+    if (transitions_ != transitions_before) {
+      m.transitions.add(1);
+      m.energy_aj.add(static_cast<std::uint64_t>(
+          std::llround(params_.e_per_switch.value() * 1e18)));
+    }
+  }
+}
+
+void CrsCell::step_state(double vv) {
   // Positive branch: '0' --(>vth1)--> ON --(>vth2)--> '1'.
   if (vv >= params_.v_th2.value()) {
     if (state_ == CrsState::kZero || state_ == CrsState::kOn)

@@ -123,6 +123,13 @@ class CrsCell {
   /// the threshold diagram of Figure 4.
   void apply_pulse(Voltage v);
 
+  /// Silently place the cell in `s`: no pulse, no transition count, no
+  /// switching energy.  This is the modelling fixup used when a fault
+  /// hook forces a register value that never came from a real pulse
+  /// (Fabric::pin); genuine writes go through write()/apply_pulse().
+  /// A stuck cell ignores it, exactly like a real pulse.
+  void set_state(CrsState s);
+
   /// Write a logical bit (single full-amplitude pulse).
   void write(bool bit);
 
@@ -154,6 +161,10 @@ class CrsCell {
 
  private:
   void transition_to(CrsState next);
+  /// Threshold ladder of Figure 4: advance state_ for one pulse of
+  /// amplitude vv (no pulse/telemetry bookkeeping — apply_pulse does
+  /// that once per pulse).
+  void step_state(double vv);
 
   CrsCellParams params_;
   CrsState state_;

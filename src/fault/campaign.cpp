@@ -1,7 +1,5 @@
 #include "fault/campaign.h"
 
-#include <sstream>
-
 #include "common/error.h"
 #include "crossbar/readout.h"
 #include "device/presets.h"
@@ -13,12 +11,33 @@
 #include "logic/crs_fabric.h"
 #include "logic/ideal_fabric.h"
 #include "logic/tc_adder.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
 #include "workloads/dna.h"
 #include "workloads/parallel_add.h"
 
 namespace memcim {
 
 namespace {
+
+/// Per-target trial classification counters
+/// ("fault.<target>.clean|corrected|detected|silent" plus totals).
+/// Called once per finished campaign; the tally itself is already a
+/// deterministic reduction, so the counters inherit that property.
+CampaignTally record_campaign(CampaignTally tally) {
+  if (telemetry::enabled()) {
+    telemetry::Registry& reg = telemetry::Registry::global();
+    reg.counter("fault.campaigns").add(1);
+    reg.counter("fault.armed_faults").add(tally.armed_faults);
+    const std::string base = "fault." + tally.target;
+    reg.counter(base + ".trials").add(tally.diff.trials);
+    reg.counter(base + ".clean").add(tally.diff.clean);
+    reg.counter(base + ".corrected").add(tally.diff.corrected);
+    reg.counter(base + ".detected").add(tally.diff.detected);
+    reg.counter(base + ".silent").add(tally.diff.silent);
+  }
+  return tally;
+}
 
 /// splitmix64 finalizer (same construction as fault_model.cpp).
 std::uint64_t mix(std::uint64_t x) {
@@ -138,7 +157,7 @@ CampaignTally run_ecc_campaign(const CampaignConfig& config, double rate) {
     }
     tally.diff.add(outcome);
   }
-  return tally;
+  return record_campaign(std::move(tally));
 }
 
 CampaignTally run_imply_adder_campaign(const CampaignConfig& config,
@@ -178,7 +197,7 @@ CampaignTally run_imply_adder_campaign(const CampaignConfig& config,
     tally.diff.add(got == ((a + b) & mask) ? DiffOutcome::kClean
                                            : DiffOutcome::kSilent);
   }
-  return tally;
+  return record_campaign(std::move(tally));
 }
 
 CampaignTally run_tc_adder_campaign(const CampaignConfig& config,
@@ -208,7 +227,7 @@ CampaignTally run_tc_adder_campaign(const CampaignConfig& config,
     tally.diff.add(sum_ok && carry_ok ? DiffOutcome::kClean
                                       : DiffOutcome::kSilent);
   }
-  return tally;
+  return record_campaign(std::move(tally));
 }
 
 CampaignTally run_cam_campaign(const CampaignConfig& config, double rate) {
@@ -255,7 +274,7 @@ CampaignTally run_cam_campaign(const CampaignConfig& config, double rate) {
     tally.diff.add(got.matching_rows == expected ? DiffOutcome::kClean
                                                  : DiffOutcome::kSilent);
   }
-  return tally;
+  return record_campaign(std::move(tally));
 }
 
 CampaignTally run_readout_campaign(const CampaignConfig& config, double rate) {
@@ -297,7 +316,7 @@ CampaignTally run_readout_campaign(const CampaignConfig& config, double rate) {
       tally.diff.add(sensed == intended[r * n + c] ? DiffOutcome::kClean
                                                    : DiffOutcome::kSilent);
     }
-  return tally;
+  return record_campaign(std::move(tally));
 }
 
 CampaignTally run_dna_campaign(const CampaignConfig& config, double rate) {
@@ -339,7 +358,7 @@ CampaignTally run_dna_campaign(const CampaignConfig& config, double rate) {
     tally.diff.add(got.matching_rows == expected ? DiffOutcome::kClean
                                                  : DiffOutcome::kSilent);
   }
-  return tally;
+  return record_campaign(std::move(tally));
 }
 
 CampaignTally run_parallel_add_campaign(const CampaignConfig& config,
@@ -369,7 +388,7 @@ CampaignTally run_parallel_add_campaign(const CampaignConfig& config,
   for (std::uint64_t op = 0; op < result.sums.size(); ++op)
     tally.diff.add(op < result.mismatches ? DiffOutcome::kSilent
                                           : DiffOutcome::kClean);
-  return tally;
+  return record_campaign(std::move(tally));
 }
 
 std::vector<CampaignTally> run_full_campaign(const CampaignConfig& config) {
@@ -403,40 +422,53 @@ std::string campaign_json(const CampaignConfig& config,
     double_detected += t.double_bit_detected;
   }
 
-  std::ostringstream js;
-  js << "{\n  \"bench\": \"fault_campaign\",\n"
-     << "  \"seed\": " << config.seed << ",\n  \"rates\": [";
-  for (std::size_t i = 0; i < config.rates.size(); ++i)
-    js << (i > 0 ? ", " : "") << config.rates[i];
-  js << "],\n  \"sweep\": [\n";
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const CampaignTally& t = sweep[i];
-    js << "    {\"target\": \"" << t.target << "\", \"rate\": " << t.rate
-       << ", \"trials\": " << t.diff.trials << ", \"clean\": " << t.diff.clean
-       << ", \"corrected\": " << t.diff.corrected
-       << ", \"detected\": " << t.diff.detected
-       << ", \"silent\": " << t.diff.silent
-       << ", \"armed_faults\": " << t.armed_faults;
-    if (t.target == "ecc_memory")
-      js << ", \"single_bit\": {\"injected\": " << t.single_bit_injected
-         << ", \"corrected\": " << t.single_bit_corrected
-         << "}, \"double_bit\": {\"injected\": " << t.double_bit_injected
-         << ", \"detected\": " << t.double_bit_detected << "}";
-    js << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("fault_campaign");
+  w.key("seed").value(config.seed);
+  w.key("rates").begin_array();
+  for (const double rate : config.rates) w.value(rate);
+  w.end_array();
+  w.key("sweep").begin_array();
+  for (const CampaignTally& t : sweep) {
+    w.begin_object();
+    w.key("target").value(t.target);
+    w.key("rate").value(t.rate);
+    w.key("trials").value(t.diff.trials);
+    w.key("clean").value(t.diff.clean);
+    w.key("corrected").value(t.diff.corrected);
+    w.key("detected").value(t.diff.detected);
+    w.key("silent").value(t.diff.silent);
+    w.key("armed_faults").value(t.armed_faults);
+    if (t.target == "ecc_memory") {
+      w.key("single_bit").begin_object();
+      w.key("injected").value(t.single_bit_injected);
+      w.key("corrected").value(t.single_bit_corrected);
+      w.end_object();
+      w.key("double_bit").begin_object();
+      w.key("injected").value(t.double_bit_injected);
+      w.key("detected").value(t.double_bit_detected);
+      w.end_object();
+    }
+    w.end_object();
   }
-  js << "  ],\n  \"acceptance\": {\n"
-     << "    \"zero_rate_silent\": " << zero_rate_silent << ",\n"
-     << "    \"ecc_single_bit\": {\"injected\": " << single_injected
-     << ", \"corrected\": " << single_corrected << "},\n"
-     << "    \"ecc_double_bit\": {\"injected\": " << double_injected
-     << ", \"detected\": " << double_detected << "},\n"
-     << "    \"pass\": "
-     << ((zero_rate_silent == 0 && single_injected == single_corrected &&
-          double_injected == double_detected)
-             ? "true"
-             : "false")
-     << "\n  }\n}\n";
-  return js.str();
+  w.end_array();
+  w.key("acceptance").begin_object();
+  w.key("zero_rate_silent").value(zero_rate_silent);
+  w.key("ecc_single_bit").begin_object();
+  w.key("injected").value(single_injected);
+  w.key("corrected").value(single_corrected);
+  w.end_object();
+  w.key("ecc_double_bit").begin_object();
+  w.key("injected").value(double_injected);
+  w.key("detected").value(double_detected);
+  w.end_object();
+  w.key("pass").value(zero_rate_silent == 0 &&
+                      single_injected == single_corrected &&
+                      double_injected == double_detected);
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace memcim

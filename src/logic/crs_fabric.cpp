@@ -39,6 +39,10 @@ bool CrsFabric::sense(Reg r) const {
 
 void CrsFabric::do_set(Reg r, bool value) { cells_[r].write(value); }
 
+void CrsFabric::do_pin(Reg r, bool value) {
+  cells_[r].set_state(value ? CrsState::kOne : CrsState::kZero);
+}
+
 void CrsFabric::do_imply(Reg p, Reg q) {
   // q ← ¬p ∨ q.  Current values are sensed from the cells; the operate
   // pulse applies V = V_q_in − V_p_in with the target initialized to

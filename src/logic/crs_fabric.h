@@ -42,6 +42,9 @@ class CrsFabric final : public Fabric {
   void do_set(Reg r, bool value) override;
   void do_imply(Reg p, Reg q) override;
   [[nodiscard]] bool do_read(Reg r) const override;
+  /// Silent state fixup: a pinned register must not accrue cell
+  /// switching energy, so bypass write() and place the state directly.
+  void do_pin(Reg r, bool value) override;
   void grow(std::size_t n) override;
   /// CRS IMP needs the init pulse plus the operate pulse.
   [[nodiscard]] std::uint64_t imply_step_cost() const override { return 2; }

@@ -70,6 +70,10 @@ void DeviceFabric::do_imply(Reg p, Reg q) {
   }
 }
 
+void DeviceFabric::do_pin(Reg r, bool value) {
+  devices_[r].set_state(value ? 1.0 : 0.0);
+}
+
 bool DeviceFabric::do_read(Reg r) const { return devices_[r].is_lrs(); }
 
 }  // namespace memcim

@@ -56,6 +56,9 @@ class DeviceFabric final : public Fabric {
   void do_set(Reg r, bool value) override;
   void do_imply(Reg p, Reg q) override;
   [[nodiscard]] bool do_read(Reg r) const override;
+  /// Silent state fixup: a pinned register must not accrue device
+  /// energy, so bypass the write pulse and place the state directly.
+  void do_pin(Reg r, bool value) override;
   void grow(std::size_t n) override;
 
  private:

@@ -27,8 +27,32 @@
 #include <optional>
 
 #include "common/units.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
+
+namespace detail {
+/// Fabric micro-op tallies, shared by every backend.  Resolved lazily
+/// so merely constructing a fabric registers nothing.
+struct FabricMetrics {
+  telemetry::Counter& sets;
+  telemetry::Counter& implies;
+  telemetry::Counter& reads;
+  telemetry::Counter& steps;
+  telemetry::Counter& writes;
+  FabricMetrics()
+      : sets(telemetry::Registry::global().counter("fabric.set")),
+        implies(telemetry::Registry::global().counter("fabric.imply")),
+        reads(telemetry::Registry::global().counter("fabric.read")),
+        steps(telemetry::Registry::global().counter("fabric.steps")),
+        writes(telemetry::Registry::global().counter("fabric.writes")) {}
+};
+
+inline FabricMetrics& fabric_metrics() {
+  static FabricMetrics m;
+  return m;
+}
+}  // namespace detail
 
 /// Register index within a fabric.
 using Reg = std::size_t;
@@ -77,6 +101,12 @@ class Fabric {
   /// Unconditional write: set_step_cost() steps, 1 device write.
   void set(Reg r, bool value) {
     check(r);
+    if (telemetry::enabled()) {
+      detail::FabricMetrics& m = detail::fabric_metrics();
+      m.sets.add(1);
+      m.steps.add(set_step_cost());
+      m.writes.add(1);
+    }
     if (faults_ != nullptr) {
       if (const auto s = faults_->stuck_value(r)) {
         // The pulse lands on a pinned device: cost accrues, state does
@@ -102,6 +132,12 @@ class Fabric {
   void imply(Reg p, Reg q) {
     check(p);
     check(q);
+    if (telemetry::enabled()) {
+      detail::FabricMetrics& m = detail::fabric_metrics();
+      m.implies.add(1);
+      m.steps.add(imply_step_cost());
+      m.writes.add(1);
+    }
     if (faults_ != nullptr) {
       // The backend computes from its stored state of p, so a stuck p
       // must be physically pinned before the op executes.
@@ -126,6 +162,7 @@ class Fabric {
   /// readout happens on the sense amps, not the array).
   [[nodiscard]] bool read(Reg r) const {
     check(r);
+    detail::fabric_metrics().reads.add(1);
     bool value = do_read(r);
     if (faults_ != nullptr) {
       if (const auto s = faults_->stuck_value(r)) value = *s;
@@ -159,6 +196,14 @@ class Fabric {
   virtual void do_set(Reg r, bool value) = 0;
   virtual void do_imply(Reg p, Reg q) = 0;
   [[nodiscard]] virtual bool do_read(Reg r) const = 0;
+  /// Cost-free state fixup for a stuck register: align the backend's
+  /// stored state with the pinned value WITHOUT issuing a real pulse.
+  /// The default forwards to do_set for backends whose writes carry no
+  /// hidden cost book (IdealFabric); device-backed fabrics override it
+  /// with a silent state assignment so a pin never accrues device
+  /// switching energy — stuck means "energy stops accruing" at every
+  /// layer (see docs/TELEMETRY.md).
+  virtual void do_pin(Reg r, bool value) { do_set(r, value); }
   /// Ensure backing storage for at least n registers.
   virtual void grow(std::size_t n) = 0;
   /// Latency quanta per primitive; backends whose circuit needs more
@@ -172,7 +217,7 @@ class Fabric {
   /// Align the backend's stored state of a stuck register with its
   /// pinned value (cost-free modelling fixup, only when they differ).
   void pin(Reg r, bool value) {
-    if (do_read(r) != value) do_set(r, value);
+    if (do_read(r) != value) do_pin(r, value);
   }
 
   LogicCostModel cost_;

@@ -1,10 +1,31 @@
 #include "logic/program.h"
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
 namespace {
+
+struct ProgramMetrics {
+  telemetry::Counter& runs;
+  telemetry::Counter& instructions;
+  telemetry::Counter& imply_steps;
+  telemetry::Counter& simd_windows;
+  ProgramMetrics()
+      : runs(telemetry::Registry::global().counter("program.runs")),
+        instructions(
+            telemetry::Registry::global().counter("program.instructions")),
+        imply_steps(
+            telemetry::Registry::global().counter("program.imply_steps")),
+        simd_windows(
+            telemetry::Registry::global().counter("program.simd_windows")) {}
+};
+
+ProgramMetrics& program_metrics() {
+  static ProgramMetrics m;
+  return m;
+}
 
 /// Allocate a fresh contiguous register window and return its base.
 Reg allocate_window(Fabric& fabric, std::size_t registers) {
@@ -21,6 +42,7 @@ void replay(const CimProgram& program, Fabric& fabric, Reg base,
                                       << inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i)
     fabric.set(base + i, inputs[i]);
+  std::uint64_t implies = 0;
   for (const CimInstruction& inst : program.instructions) {
     switch (inst.op) {
       case CimOp::kSetFalse:
@@ -31,8 +53,15 @@ void replay(const CimProgram& program, Fabric& fabric, Reg base,
         break;
       case CimOp::kImply:
         fabric.imply(base + inst.a, base + inst.b);
+        ++implies;
         break;
     }
+  }
+  if (telemetry::enabled()) {
+    ProgramMetrics& m = program_metrics();
+    m.runs.add(1);
+    m.instructions.add(program.instructions.size());
+    m.imply_steps.add(implies);
   }
 }
 
@@ -49,6 +78,7 @@ SimdRunResult run_program_simd(
     const CimProgram& program, Fabric& fabric,
     const std::vector<std::vector<bool>>& input_sets) {
   MEMCIM_CHECK_MSG(!input_sets.empty(), "SIMD run needs at least one window");
+  program_metrics().simd_windows.add(input_sets.size());
   fabric.reset_counters();
   SimdRunResult result;
   result.outputs.reserve(input_sets.size());

@@ -1,0 +1,150 @@
+#include "telemetry/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace memcim::telemetry {
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_ << '{';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && !stack_.back().is_array && !key_pending_);
+  const bool had_members = stack_.back().has_members;
+  stack_.pop_back();
+  if (had_members) newline_indent();
+  out_ << '}';
+  if (stack_.empty()) out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_ << '[';
+  stack_.push_back({true, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().is_array);
+  const bool had_members = stack_.back().has_members;
+  stack_.pop_back();
+  if (had_members) newline_indent();
+  out_ << ']';
+  if (stack_.empty()) out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && !stack_.back().is_array && !key_pending_);
+  if (stack_.back().has_members) out_ << ',';
+  stack_.back().has_members = true;
+  newline_indent();
+  write_escaped(k);
+  out_ << ": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  begin_value();
+  write_escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  begin_value();
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; null keeps the document loadable.
+    out_ << "null";
+    return *this;
+  }
+  // Shortest representation that round-trips, so 0.001 prints as
+  // "0.001" rather than 17 significant digits of noise.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  begin_value();
+  out_ << v;
+  return *this;
+}
+
+std::string JsonWriter::str() const { return out_.str(); }
+
+void JsonWriter::begin_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    assert(stack_.back().is_array);
+    if (stack_.back().has_members) out_ << ',';
+    stack_.back().has_members = true;
+    newline_indent();
+  }
+}
+
+void JsonWriter::newline_indent() {
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  out_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace memcim::telemetry

@@ -1,0 +1,61 @@
+// Minimal streaming JSON writer used by the telemetry exporters and
+// the bench binaries (BENCH_*.json) — one emitter instead of per-bench
+// hand-rolled ofstream formatting.
+//
+// Output is pretty-printed with 2-space indentation and `"key": value`
+// separators.  The writer tracks nesting and inserts commas; misuse
+// (value without a pending key inside an object, unbalanced end_*)
+// trips an assertion in debug builds and is simply not validated in
+// release — this is a trusted-caller utility, not a general library.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memcim::telemetry {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next member (objects only).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+
+  /// The finished document (trailing newline included once complete).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void begin_value();
+  void newline_indent();
+  void write_escaped(std::string_view s);
+
+  struct Scope {
+    bool is_array = false;
+    bool has_members = false;
+  };
+
+  std::ostringstream out_;
+  std::vector<Scope> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace memcim::telemetry

@@ -1,0 +1,66 @@
+// Trace sessions and exporters for the telemetry subsystem.
+//
+// A trace session records every Span that closes between
+// start_tracing() and stop_tracing() as a complete ("ph":"X") event.
+// The collected events export as Chrome trace JSON — load the file at
+// https://ui.perfetto.dev (or chrome://tracing) to see the solver,
+// thread-pool and workload spans on a per-thread timeline.
+//
+// The metrics side of the registry exports as a flat JSON document or
+// CSV via metrics_json()/metrics_csv().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace memcim::telemetry {
+
+/// One completed span.  `name` points at the SpanSite's name (static
+/// lifetime); `tid` is a dense per-process thread index assigned on
+/// first use, `depth` the span nesting level at entry (0 = top level).
+struct TraceEvent {
+  const std::string* name = nullptr;
+  std::uint64_t ts_ns = 0;   ///< start, relative to the telemetry epoch
+  std::uint64_t dur_ns = 0;  ///< wall-clock duration
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Begin a trace session: clears previously collected events and makes
+/// tracing() true.  Implies nothing about enabled() — spans still need
+/// telemetry enabled to record anything.
+void start_tracing();
+
+/// End the trace session; collected events stay available until the
+/// next start_tracing().
+void stop_tracing();
+
+/// All events collected so far, merged across threads and sorted by
+/// (tid, ts_ns).  Safe to call during or after a session.
+[[nodiscard]] std::vector<TraceEvent> collected_trace();
+
+/// Chrome trace ("Trace Event Format") JSON for the given events.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events);
+
+/// chrome_trace_json(collected_trace()) written to `path`.
+void write_chrome_trace(const std::string& path);
+
+/// Flat JSON document of a metrics snapshot:
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+[[nodiscard]] std::string metrics_json(const MetricsSnapshot& snapshot);
+
+/// CSV (kind,name,value) rows of a metrics snapshot; histograms emit
+/// one row per bucket plus count/min/max rows.
+[[nodiscard]] std::string metrics_csv(const MetricsSnapshot& snapshot);
+
+/// metrics_json(Registry::global().snapshot()) written to `path`.
+void write_metrics_json(const std::string& path);
+
+/// metrics_csv(Registry::global().snapshot()) written to `path`.
+void write_metrics_csv(const std::string& path);
+
+}  // namespace memcim::telemetry

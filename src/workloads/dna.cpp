@@ -4,12 +4,29 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
 namespace {
 constexpr char kAlphabet[] = {'A', 'C', 'G', 'T'};
+
+/// Record one completed read-matching pass.  Called after the serial
+/// reduction, so tallies are thread-count deterministic.
+void record_dna_pass(const MatchStats& stats) {
+  if (!telemetry::enabled()) return;
+  using telemetry::Registry;
+  static telemetry::Counter& reads =
+      Registry::global().counter("workload.dna.reads");
+  static telemetry::Counter& matched =
+      Registry::global().counter("workload.dna.reads_matched");
+  static telemetry::Counter& comparisons =
+      Registry::global().counter("workload.dna.char_comparisons");
+  reads.add(stats.reads_total);
+  matched.add(stats.reads_matched);
+  comparisons.add(stats.character_comparisons);
 }
+}  // namespace
 
 char to_char(Nucleotide n) { return kAlphabet[static_cast<std::size_t>(n)]; }
 
@@ -158,6 +175,7 @@ MatchStats match_reads(const std::string& reference,
     stats.reads_matched += matched[i];
     stats.character_comparisons += comparisons[i];
   }
+  record_dna_pass(stats);
   return stats;
 }
 
@@ -200,6 +218,7 @@ MatchStats match_reads_tolerant(const std::string& reference,
     stats.reads_matched += matched[i];
     stats.character_comparisons += comparisons[i];
   }
+  record_dna_pass(stats);
   return stats;
 }
 

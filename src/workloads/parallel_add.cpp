@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "logic/tc_adder.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
@@ -12,6 +13,8 @@ ParallelAddResult run_parallel_add(const ParallelAddParams& params,
                                    const CrsCellParams& cell, Rng& rng) {
   MEMCIM_CHECK(params.operations > 0 && params.adders > 0);
   MEMCIM_CHECK(params.width >= 1 && params.width <= 63);
+  static telemetry::SpanSite span_site("workload.parallel_add");
+  telemetry::Span span(span_site);
 
   // One physical adder per farm slot, reused across batches.
   std::vector<CrsTcAdder> farm;
@@ -64,6 +67,23 @@ ParallelAddResult run_parallel_add(const ParallelAddParams& params,
     batch_latency += worst_in_batch;
   }
   result.latency = batch_latency;
+  if (telemetry::enabled()) {
+    // Recorded once, from the serial reduction totals, so the tallies
+    // are bitwise identical at any MEMCIM_THREADS.
+    using telemetry::Registry;
+    static telemetry::Counter& ops =
+        Registry::global().counter("workload.parallel_add.ops");
+    static telemetry::Counter& batches_c =
+        Registry::global().counter("workload.parallel_add.batches");
+    static telemetry::Counter& pulses =
+        Registry::global().counter("workload.parallel_add.pulses");
+    static telemetry::Counter& mismatches =
+        Registry::global().counter("workload.parallel_add.mismatches");
+    ops.add(params.operations);
+    batches_c.add(batches);
+    pulses.add(result.total_pulses);
+    mismatches.add(result.mismatches);
+  }
   return result;
 }
 

@@ -1,0 +1,120 @@
+// Regression tests for the stuck-cell energy bookkeeping contract:
+// "stuck means energy stops accruing" must hold identically in the
+// device book (CrsCell::energy), the fabric pin path, and the
+// telemetry registry — a pinned register never accrues switching
+// energy through any of them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/crs.h"
+#include "fault/fabric_faults.h"
+#include "fault/fault_model.h"
+#include "logic/crs_fabric.h"
+#include "telemetry/telemetry.h"
+
+namespace memcim {
+namespace {
+
+using telemetry::Registry;
+
+struct EnabledGuard {
+  ~EnabledGuard() { telemetry::set_enabled(true); }
+};
+
+TEST(EnergyBookkeeping, SetStateIsSilent) {
+  CrsCell cell{CrsCellParams{}};
+  // Accrue some real switching history first.
+  cell.apply_pulse(Voltage{2.5});
+  const Energy energy_before = cell.energy();
+  const std::uint64_t transitions_before = cell.transitions();
+  const std::uint64_t pulses_before = cell.pulses();
+  EXPECT_GT(transitions_before, 0u);
+
+  cell.set_state(CrsState::kZero);
+  cell.set_state(CrsState::kOne);
+  EXPECT_EQ(cell.state(), CrsState::kOne);
+  EXPECT_EQ(cell.energy().value(), energy_before.value());
+  EXPECT_EQ(cell.transitions(), transitions_before);
+  EXPECT_EQ(cell.pulses(), pulses_before);
+}
+
+TEST(EnergyBookkeeping, StuckCellIgnoresSetState) {
+  CrsCell cell{CrsCellParams{}};
+  cell.force_stuck(CrsState::kZero);
+  cell.set_state(CrsState::kOne);
+  EXPECT_EQ(cell.state(), CrsState::kZero);
+}
+
+TEST(EnergyBookkeeping, StuckRegisterAccruesNoCellEnergy) {
+  CrsFabric fabric{CrsCellParams{}};
+  const Reg a = fabric.alloc();
+  const Reg b = fabric.alloc();
+
+  // Reg a is stuck-at-LRS (logic 1); reg b is beyond the plan
+  // population and stays fault-free.
+  FaultPlan plan(1, 7);
+  plan.arm({FaultKind::kStuckAtLrs, 1.0, 1.0, 0.0});
+  FabricFaultInjector injector(std::move(plan));
+  fabric.attach_faults(&injector);
+
+  const Energy stuck_before = fabric.cell(a).energy();
+  fabric.set(a, false);  // pulse lands, state pinned, no switching
+  fabric.set(a, true);
+  fabric.imply(b, a);    // a as target: pinned
+  fabric.imply(a, b);    // a as input: pin fixup only
+  EXPECT_EQ(fabric.cell(a).energy().value(), stuck_before.value());
+  EXPECT_TRUE(fabric.read(a));
+
+  // The cost-model books still charge the pulses (energy is spent
+  // driving the line), only the *device switching* book stays flat.
+  EXPECT_GT(fabric.writes(), 0u);
+}
+
+TEST(EnergyBookkeeping, TelemetryAgreesWithDeviceEnergyBook) {
+  EnabledGuard guard;
+  telemetry::set_enabled(true);
+  Registry::global().reset();
+
+  CrsFabric fabric{CrsCellParams{}};
+  const Reg a = fabric.alloc();
+  const Reg b = fabric.alloc();
+
+  FaultPlan plan(1, 7);
+  plan.arm({FaultKind::kStuckAtLrs, 1.0, 1.0, 0.0});
+  FabricFaultInjector injector(std::move(plan));
+  fabric.attach_faults(&injector);
+
+  fabric.set(b, true);
+  fabric.set(a, false);
+  fabric.imply(a, b);
+  fabric.imply(b, a);
+  fabric.set(b, false);
+
+  // The registry's attojoule tally must equal the device book exactly:
+  // both count the same transitions at the same 1 fJ quantum.
+  const std::uint64_t tallied_aj =
+      Registry::global().snapshot().counter("crs_cell.switch_energy_aj");
+  const auto device_aj = static_cast<std::uint64_t>(
+      std::llround(fabric.cell_energy().value() * 1e18));
+  EXPECT_EQ(tallied_aj, device_aj);
+
+  // And a fully pinned fabric accrues nothing anywhere.
+  Registry::global().reset();
+  CrsFabric pinned{CrsCellParams{}};
+  const Reg r = pinned.alloc();
+  FaultPlan all_stuck(1, 3);
+  all_stuck.arm({FaultKind::kStuckAtLrs, 1.0, 1.0, 0.0});
+  FabricFaultInjector pinned_injector(std::move(all_stuck));
+  pinned.attach_faults(&pinned_injector);
+  const Energy before = pinned.cell(r).energy();
+  pinned.set(r, false);
+  pinned.set(r, true);
+  EXPECT_EQ(pinned.cell(r).energy().value(), before.value());
+  EXPECT_EQ(
+      Registry::global().snapshot().counter("crs_cell.switch_energy_aj"),
+      0u);
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,203 @@
+// Core telemetry tests: registry semantics, counter sharding,
+// histogram bucketing, the disabled-mode kill switch, and the headline
+// determinism guarantee — bitwise-identical tallies at any
+// MEMCIM_THREADS for the schedule-independent metric set.
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "workloads/parallel_add.h"
+
+namespace memcim {
+namespace {
+
+using telemetry::Registry;
+
+/// RAII guard: restore telemetry enablement and thread count after a
+/// test that flips them.
+struct StateGuard {
+  std::size_t threads = parallel_threads();
+  ~StateGuard() {
+    telemetry::set_enabled(true);
+    set_parallel_threads(threads);
+  }
+};
+
+TEST(Counter, AccumulatesAndResets) {
+  telemetry::set_enabled(true);
+  telemetry::Counter c("test.counter.basic");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+  StateGuard guard;
+  telemetry::set_enabled(true);
+  set_parallel_threads(4);
+  telemetry::Counter c("test.counter.concurrent");
+  parallel_for(0, 10000, 16, [&](std::size_t) { c.add(3); });
+  EXPECT_EQ(c.value(), 30000u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  telemetry::set_enabled(true);
+  telemetry::Gauge g("test.gauge");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsByFirstMatchingBound) {
+  telemetry::set_enabled(true);
+  telemetry::Histogram h("test.hist", {1.0, 10.0, 100.0});
+  h.record(0.5);    // <= 1
+  h.record(1.0);    // <= 1 (inclusive)
+  h.record(5.0);    // <= 10
+  h.record(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 1000.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, ExponentialBoundsAreGeometric) {
+  const std::vector<double> b = telemetry::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 4.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+TEST(RegistryTest, SameNameResolvesToSameMetric) {
+  telemetry::Counter& a = Registry::global().counter("test.registry.same");
+  telemetry::Counter& b = Registry::global().counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  telemetry::Histogram& h1 =
+      Registry::global().histogram("test.registry.hist", {1.0, 2.0});
+  // Later calls ignore the bounds argument.
+  telemetry::Histogram& h2 =
+      Registry::global().histogram("test.registry.hist", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndLooksUpByName) {
+  telemetry::set_enabled(true);
+  Registry::global().counter("test.snap.b").add(2);
+  Registry::global().counter("test.snap.a").add(1);
+  const telemetry::MetricsSnapshot snap = Registry::global().snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i)
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  EXPECT_GE(snap.counter("test.snap.a"), 1u);
+  EXPECT_GE(snap.counter("test.snap.b"), 2u);
+  EXPECT_EQ(snap.counter("test.snap.absent"), 0u);
+  EXPECT_EQ(snap.histogram("test.snap.absent"), nullptr);
+}
+
+TEST(KillSwitch, DisabledModeRecordsNothing) {
+  StateGuard guard;
+  telemetry::set_enabled(false);
+  EXPECT_FALSE(telemetry::enabled());
+
+  telemetry::Counter& c = Registry::global().counter("test.kill.counter");
+  telemetry::Gauge& g = Registry::global().gauge("test.kill.gauge");
+  telemetry::Histogram& h =
+      Registry::global().histogram("test.kill.hist", {1.0});
+  c.reset();
+  g.reset();
+  h.reset();
+  c.add(7);
+  g.set(1.5);
+  h.record(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(KillSwitch, DisabledWorkloadLeavesSnapshotZeroed) {
+  StateGuard guard;
+  telemetry::set_enabled(false);
+  Registry::global().reset();
+
+  ParallelAddParams params;
+  params.operations = 32;
+  params.width = 8;
+  params.adders = 8;
+  Rng rng(1);
+  const ParallelAddResult result = run_parallel_add(params, CrsCellParams{}, rng);
+  EXPECT_EQ(result.mismatches, 0u);
+
+  const telemetry::MetricsSnapshot snap = Registry::global().snapshot();
+  for (const telemetry::CounterSample& c : snap.counters)
+    EXPECT_EQ(c.value, 0u) << c.name;
+  for (const telemetry::HistogramSample& h : snap.histograms)
+    EXPECT_EQ(h.count, 0u) << h.name;
+}
+
+/// The deterministic slice of a snapshot: every counter except the
+/// schedule-dependent ones (the thread pool's own bookkeeping under
+/// "parallel." and all wall-time aggregates "*.ns").
+std::map<std::string, std::uint64_t> deterministic_counters(
+    const telemetry::MetricsSnapshot& snap) {
+  std::map<std::string, std::uint64_t> out;
+  for (const telemetry::CounterSample& c : snap.counters) {
+    if (c.name.rfind("parallel.", 0) == 0) continue;
+    if (c.name.size() >= 3 &&
+        c.name.compare(c.name.size() - 3, 3, ".ns") == 0)
+      continue;
+    out[c.name] = c.value;
+  }
+  return out;
+}
+
+TEST(Determinism, TalliesAreIdenticalAcrossThreadCounts) {
+  StateGuard guard;
+  telemetry::set_enabled(true);
+
+  auto run_and_snapshot = [](std::size_t threads) {
+    set_parallel_threads(threads);
+    Registry::global().reset();
+    ParallelAddParams params;
+    params.operations = 96;
+    params.width = 12;
+    params.adders = 16;
+    Rng rng(0xD15EA5E);
+    const ParallelAddResult result =
+        run_parallel_add(params, CrsCellParams{}, rng);
+    EXPECT_EQ(result.mismatches, 0u);
+    return deterministic_counters(Registry::global().snapshot());
+  };
+
+  const auto serial = run_and_snapshot(1);
+  const auto parallel4 = run_and_snapshot(4);
+
+  // Non-trivial tallies actually flowed through the instrumented layers.
+  EXPECT_GT(serial.at("crs_cell.pulses"), 0u);
+  EXPECT_GT(serial.at("crs_cell.transitions"), 0u);
+  EXPECT_GT(serial.at("crs_cell.switch_energy_aj"), 0u);
+  EXPECT_EQ(serial.at("workload.parallel_add.calls"), 1u);
+  EXPECT_EQ(serial.at("workload.parallel_add.ops"), 96u);
+
+  EXPECT_EQ(serial, parallel4);
+}
+
+}  // namespace
+}  // namespace memcim
