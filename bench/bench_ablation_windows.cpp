@@ -10,6 +10,7 @@
 // exponential kinetics is what makes CIM arrays workable.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
 
 #include "common/table.h"
@@ -17,6 +18,7 @@
 #include "device/pcm.h"
 #include "device/presets.h"
 #include "device/vcm.h"
+#include "telemetry/json_writer.h"
 
 namespace {
 
@@ -33,9 +35,19 @@ double time_to_switch(Device& d, Voltage v, Time step, double target,
   return static_cast<double>(n) * step.value();
 }
 
-void print_window_dynamics() {
+void print_window_dynamics(telemetry::JsonWriter& json) {
   TextTable t({"Model", "t_switch @2V", "t_switch @1V", "ratio",
                "state after 1s @0.3V"});
+  const auto emit = [&json](const std::string& model, double t2, double t1,
+                            double hold_state) {
+    json.begin_object();
+    json.key("model").value(model);
+    json.key("t_switch_2v_s").value(t2);
+    json.key("t_switch_1v_s").value(t1);
+    json.key("state_after_hold").value(hold_state);
+    json.end_object();
+  };
+  json.key("models").begin_array();
   for (WindowFunction w :
        {WindowFunction::kNone, WindowFunction::kJoglekar,
         WindowFunction::kBiolek, WindowFunction::kProdromakis}) {
@@ -49,6 +61,7 @@ void print_window_dynamics() {
                si_string(t2, "s"), si_string(t1, "s"),
                fixed_string(t1 / t2, 2),
                fixed_string(d_hold.state(), 3)});
+    emit(std::string("ion-drift/") + to_string(w), t2, t1, d_hold.state());
   }
   {
     const VcmParams p = presets::vcm_taox();
@@ -60,6 +73,7 @@ void print_window_dynamics() {
                t1 >= 0.02 ? ">20 us (capped)" : si_string(t1, "s"),
                t1 / t2 > 1e4 ? ">1e4" : fixed_string(t1 / t2, 2),
                fixed_string(d_hold.state(), 3)});
+    emit("vcm_threshold_kinetics", t2, t1, d_hold.state());
   }
   {
     // PCM: unipolar heating model — a half-voltage pulse delivers a
@@ -74,7 +88,9 @@ void print_window_dynamics() {
     t.add_row({"PCM (heating model)", si_string(t2, "s"),
                t1 >= 4e-5 ? "never (sub-heating)" : si_string(t1, "s"),
                "inf", fixed_string(d_hold.state(), 3)});
+    emit("pcm_heating_model", t2, t1, d_hold.state());
   }
+  json.end_array();
   std::cout << t.to_text() << '\n'
             << "Ion-drift devices creep at ANY bias (state after 1 s at a\n"
                "0.3 V read bias is nonzero -> stored data decays under\n"
@@ -98,7 +114,13 @@ BENCHMARK(BM_IonDriftStep)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: window functions & model fidelity ===\n\n";
-  print_window_dynamics();
+  telemetry::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("ablation_windows");
+  print_window_dynamics(json);
+  json.end_object();
+  std::ofstream("BENCH_ablation_windows.json") << json.str();
+  std::cout << "Wrote BENCH_ablation_windows.json\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

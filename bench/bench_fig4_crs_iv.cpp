@@ -9,29 +9,40 @@
 // configured thresholds.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
 
 #include "common/table.h"
 #include "device/presets.h"
+#include "telemetry/json_writer.h"
 
 namespace {
 
 using namespace memcim;
 using namespace memcim::literals;
 
-void print_trace() {
+void print_trace(telemetry::JsonWriter& w) {
   auto crs = presets::make_crs_vcm();
   crs->force_state(CrsState::kZero);
   const auto trace = sweep_iv(*crs, 5.0_V, 120, 100.0_ps);
 
   TextTable t({"V [V]", "I", "state"});
-  for (std::size_t i = 0; i < trace.size(); i += 8)
+  w.key("iv_trace").begin_array();
+  for (std::size_t i = 0; i < trace.size(); i += 8) {
     t.add_row({fixed_string(trace[i].v.value(), 3),
                si_string(trace[i].i.value(), "A"),
                to_string(trace[i].state)});
+    w.begin_object();
+    w.key("v").value(trace[i].v.value());
+    w.key("i").value(trace[i].i.value());
+    w.key("state").value(to_string(trace[i].state));
+    w.end_object();
+  }
+  w.end_array();
   std::cout << t.to_text() << '\n';
 
   TextTable c({"Crossing", "V [V]", "From", "To"});
+  w.key("vcm_crossings").begin_array();
   for (std::size_t i = 1; i < trace.size(); ++i) {
     if (trace[i].state == trace[i - 1].state) continue;
     const char* label = "";
@@ -49,7 +60,14 @@ void print_trace() {
       label = "V_th4 (ON->'0')";
     c.add_row({label, fixed_string(trace[i].v.value(), 3),
                to_string(trace[i - 1].state), to_string(trace[i].state)});
+    w.begin_object();
+    w.key("label").value(label);
+    w.key("v").value(trace[i].v.value());
+    w.key("from").value(to_string(trace[i - 1].state));
+    w.key("to").value(to_string(trace[i].state));
+    w.end_object();
   }
+  w.end_array();
   std::cout << c.to_text() << '\n'
             << "States '0' and '1' are both high-resistive below |V_th1| —\n"
                "\"no parasitic current sneak paths can arise\" (Sec. IV.B).\n"
@@ -57,19 +75,26 @@ void print_trace() {
                "(the ON spike), hence the write-back in CrsMemory.\n\n";
 }
 
-void print_ecm_thresholds() {
+void print_ecm_thresholds(telemetry::JsonWriter& w) {
   // The original Linn demonstration used an ECM (Ag) pair; its lower
   // write voltage moves the butterfly thresholds inward.
   auto crs = presets::make_crs_ecm();
   crs->force_state(CrsState::kZero);
   const auto trace = sweep_iv(*crs, 3.0_V, 120, 20.0_ns);
   TextTable c({"ECM-pair crossing", "V [V]"});
+  w.key("ecm_crossings").begin_array();
   for (std::size_t i = 1; i < trace.size(); ++i) {
     if (trace[i].state == trace[i - 1].state) continue;
     c.add_row({std::string(to_string(trace[i - 1].state)) + " -> " +
                    to_string(trace[i].state),
                fixed_string(trace[i].v.value(), 3)});
+    w.begin_object();
+    w.key("from").value(to_string(trace[i - 1].state));
+    w.key("to").value(to_string(trace[i].state));
+    w.key("v").value(trace[i].v.value());
+    w.end_object();
   }
+  w.end_array();
   std::cout << c.to_text()
             << "\nSame butterfly from the Ag/ECM pair (Linn et al.'s\n"
                "original device), with thresholds set by the ECM write\n"
@@ -93,8 +118,14 @@ int main(int argc, char** argv) {
   std::cout << "=== Figure 4: CRS cell I-V characteristic ===\n\n"
             << "Quasi-static sweep 0 -> +5V -> 0 -> -5V -> 0, circuit-level\n"
                "CRS (two anti-serial TaOx VCM devices):\n\n";
-  print_trace();
-  print_ecm_thresholds();
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("fig4_crs_iv");
+  print_trace(w);
+  print_ecm_thresholds(w);
+  w.end_object();
+  std::ofstream("BENCH_fig4.json") << w.str();
+  std::cout << "Wrote BENCH_fig4.json\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,7 @@
 // memristive in-memory-computing architectures" (Section IV.C).
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
 
 #include "common/error.h"
@@ -19,6 +20,7 @@
 #include "logic/crs_fabric.h"
 #include "logic/device_fabric.h"
 #include "logic/ideal_fabric.h"
+#include "telemetry/json_writer.h"
 
 namespace {
 
@@ -30,9 +32,10 @@ DeviceFabricParams fig5a_params() {
   return p;
 }
 
-void print_truth_tables() {
+void print_truth_tables(telemetry::JsonWriter& w) {
   TextTable t({"p", "q", "p IMP q", "Fig5(a) result", "Fig5(a) analog q'",
                "Fig5(b) result", "Fig5(b) CRS state"});
+  w.key("truth_table").begin_array();
   for (bool p : {false, true})
     for (bool q : {false, true}) {
       DeviceFabric dev(fig5a_params());
@@ -52,13 +55,24 @@ void print_truth_tables() {
                  fixed_string(dev.analog_state(dq), 3),
                  std::to_string(crs.read(cq)),
                  to_string(crs.cell(cq).state())});
+      w.begin_object();
+      w.key("p").value(p);
+      w.key("q").value(q);
+      w.key("expected").value(!p || q);
+      w.key("device_result").value(dev.read(dq));
+      w.key("device_analog_q").value(dev.analog_state(dq));
+      w.key("crs_result").value(crs.read(cq));
+      w.key("crs_state").value(to_string(crs.cell(cq).state()));
+      w.end_object();
     }
+  w.end_array();
   std::cout << t.to_text() << '\n';
 }
 
-void print_costs() {
+void print_costs(telemetry::JsonWriter& w) {
   TextTable t({"Backend", "steps/IMP", "steps/SET",
                "16-bit ripple add steps (measured)", "latency @200ps"});
+  w.key("backend_costs").begin_array();
   auto add_row = [&](const char* name, Fabric& probe, Fabric& adder_fabric) {
     probe.reset_counters();
     const Reg p = probe.alloc(), q = probe.alloc();
@@ -74,6 +88,13 @@ void print_costs() {
     t.add_row({name, std::to_string(imp_steps), std::to_string(set_steps),
                std::to_string(adder_fabric.steps()),
                si_string(adder_fabric.latency().value(), "s")});
+    w.begin_object();
+    w.key("backend").value(name);
+    w.key("steps_per_imp").value(imp_steps);
+    w.key("steps_per_set").value(set_steps);
+    w.key("ripple_add16_steps").value(adder_fabric.steps());
+    w.key("ripple_add16_latency_s").value(adder_fabric.latency().value());
+    w.end_object();
   };
   IdealFabric ideal_probe, ideal_add;
   add_row("IMPLY (cost model)", ideal_probe, ideal_add);
@@ -81,6 +102,7 @@ void print_costs() {
   add_row("Fig 5(a) device-level", dev_probe, dev_add);
   CrsFabric crs_probe(presets::crs_cell()), crs_add(presets::crs_cell());
   add_row("Fig 5(b) CRS in-array", crs_probe, crs_add);
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "The paper: Fig 5(b) needs only init+operate per IMP and no\n"
                "load resistor — \"superior performance\" [93]; our CrsFabric\n"
@@ -88,20 +110,28 @@ void print_costs() {
                "pulse is a plain write with no analog margin tuning.\n\n";
 }
 
-void print_adders() {
+void print_adders(telemetry::JsonWriter& w) {
   TextTable t({"Backend", "13+29 = 42: 13 add check", "steps", "writes"});
+  w.key("adder_8bit").begin_array();
+  const auto emit = [&](const char* name, std::uint64_t r, Fabric& f) {
+    t.add_row({name, std::to_string(r), std::to_string(f.steps()),
+               std::to_string(f.writes())});
+    w.begin_object();
+    w.key("backend").value(name);
+    w.key("sum").value(r);
+    w.key("steps").value(f.steps());
+    w.key("writes").value(f.writes());
+    w.end_object();
+  };
   {
     IdealFabric f;
-    const std::uint64_t r = add_integers(f, 13, 29, 8);
-    t.add_row({"IMPLY ideal", std::to_string(r), std::to_string(f.steps()),
-               std::to_string(f.writes())});
+    emit("IMPLY ideal", add_integers(f, 13, 29, 8), f);
   }
   {
     CrsFabric f(presets::crs_cell());
-    const std::uint64_t r = add_integers(f, 13, 29, 8);
-    t.add_row({"CRS in-array", std::to_string(r), std::to_string(f.steps()),
-               std::to_string(f.writes())});
+    emit("CRS in-array", add_integers(f, 13, 29, 8), f);
   }
+  w.end_array();
   std::cout << t.to_text() << '\n';
 }
 
@@ -133,9 +163,15 @@ BENCHMARK(BM_CrsImp);
 
 int main(int argc, char** argv) {
   std::cout << "=== Figure 5: two IMP implementations ===\n\n";
-  print_truth_tables();
-  print_costs();
-  print_adders();
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("fig5_imply");
+  print_truth_tables(w);
+  print_costs(w);
+  print_adders(w);
+  w.end_object();
+  std::ofstream("BENCH_fig5.json") << w.str();
+  std::cout << "Wrote BENCH_fig5.json\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -383,11 +383,35 @@ CampaignTally run_parallel_add_campaign(const CampaignConfig& config,
   Rng rng(derive(config.seed, 0xFA23DA7A, rate));
   const ParallelAddResult result =
       run_parallel_add(params, presets::crs_cell(), rng);
+
+  // The armed hook (even with zero faults drawn) forces the scalar
+  // device farm, so the rate-0 row doubles as the packed-vs-scalar
+  // golden cross-check: the same operand stream on the packed engine
+  // must reproduce every sum, pulse, energy and latency bit for bit.
+  // Any divergence is a modelling bug, reported as silent corruption so
+  // the campaign's "rate-0 rows 100% clean" acceptance gate trips.
+  bool engines_diverged = false;
+  if (rate == 0.0) {
+    ParallelAddParams packed_params = params;
+    packed_params.farm_hook = nullptr;
+    packed_params.engine = AdderEngine::kPacked;
+    Rng packed_rng(derive(config.seed, 0xFA23DA7A, rate));
+    const ParallelAddResult packed =
+        run_parallel_add(packed_params, presets::crs_cell(), packed_rng);
+    engines_diverged = !packed.used_packed_engine ||
+                       packed.sums != result.sums ||
+                       packed.total_pulses != result.total_pulses ||
+                       packed.total_energy != result.total_energy ||
+                       packed.latency != result.latency ||
+                       packed.mismatches != result.mismatches;
+  }
+
   // run_parallel_add golden-checks every sum against native addition;
   // mismatches are exactly the silent corruptions of the faulty farm.
   for (std::uint64_t op = 0; op < result.sums.size(); ++op)
-    tally.diff.add(op < result.mismatches ? DiffOutcome::kSilent
-                                          : DiffOutcome::kClean);
+    tally.diff.add(engines_diverged || op < result.mismatches
+                       ? DiffOutcome::kSilent
+                       : DiffOutcome::kClean);
   return record_campaign(std::move(tally));
 }
 

@@ -1,10 +1,34 @@
 #include "logic/cam.h"
 
+#include <bit>
+
 #include "common/error.h"
+#include "logic/packed.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim {
 
-CrsCam::CrsCam(const CamConfig& config) : config_(config) {
+namespace {
+
+struct PackedCamMetrics {
+  telemetry::Counter& searches;
+  telemetry::Counter& row_blocks;
+  PackedCamMetrics()
+      : searches(telemetry::Registry::global().counter(
+            "logic.packed.cam_searches")),
+        row_blocks(telemetry::Registry::global().counter(
+            "logic.packed.cam_row_blocks")) {}
+};
+
+PackedCamMetrics& packed_cam_metrics() {
+  static PackedCamMetrics m;
+  return m;
+}
+
+}  // namespace
+
+CrsCam::CrsCam(const CamConfig& config)
+    : config_(config), energy_sums_(config.cell.e_per_switch.value()) {
   MEMCIM_CHECK_MSG(config_.rows > 0 && config_.word_bits > 0,
                    "CAM dimensions must be positive");
   MEMCIM_CHECK(config_.search_pulses >= 1);
@@ -13,11 +37,36 @@ CrsCam::CrsCam(const CamConfig& config) : config_(config) {
     row.value.assign(config_.word_bits, CrsCell(config_.cell));
     row.mask.assign(config_.word_bits, CrsCell(config_.cell));
   }
+  const std::size_t blocks = (config_.rows + kPackedLanes - 1) / kPackedLanes;
+  packed_value_.assign(blocks * config_.word_bits, 0);
+  packed_care_.assign(blocks * config_.word_bits, 0);
+  packed_valid_.assign(blocks, 0);
 }
 
 CrsCam::Row& CrsCam::at(std::size_t row) {
   MEMCIM_CHECK_MSG(row < rows_.size(), "CAM row out of range");
   return rows_[row];
+}
+
+void CrsCam::refresh_packed_row(std::size_t row) {
+  const Row& r = rows_[row];
+  const std::size_t block = row / kPackedLanes;
+  const std::uint64_t bit = std::uint64_t{1} << (row % kPackedLanes);
+  for (std::size_t i = 0; i < config_.word_bits; ++i) {
+    const std::size_t w = block * config_.word_bits + i;
+    if (r.value[i].state() == CrsState::kOne)
+      packed_value_[w] |= bit;
+    else
+      packed_value_[w] &= ~bit;
+    if (r.mask[i].state() == CrsState::kOne)
+      packed_care_[w] |= bit;
+    else
+      packed_care_[w] &= ~bit;
+  }
+  if (r.valid)
+    packed_valid_[block] |= bit;
+  else
+    packed_valid_[block] &= ~bit;
 }
 
 void CrsCam::write_row(std::size_t row, const std::vector<bool>& word) {
@@ -37,9 +86,13 @@ void CrsCam::write_row_ternary(std::size_t row,
     r.mask[i].write(word[i] != CamBit::kDontCare);
   }
   r.valid = true;
+  refresh_packed_row(row);
 }
 
-void CrsCam::erase_row(std::size_t row) { at(row).valid = false; }
+void CrsCam::erase_row(std::size_t row) {
+  at(row).valid = false;
+  refresh_packed_row(row);
+}
 
 std::vector<CamBit> CrsCam::read_row(std::size_t row) const {
   MEMCIM_CHECK(row < rows_.size());
@@ -56,16 +109,8 @@ std::vector<CamBit> CrsCam::read_row(std::size_t row) const {
   return word;
 }
 
-CamSearchResult CrsCam::search(const std::vector<bool>& key) {
-  MEMCIM_CHECK_MSG(key.size() == config_.word_bits, "CAM key width mismatch");
-  CamSearchResult result;
-  ++searches_;
-
-  // Match-line evaluation: all rows in parallel, so latency is the
-  // fixed precharge+evaluate pulse sequence.
-  result.latency =
-      config_.cell.t_pulse * static_cast<double>(config_.search_pulses);
-
+void CrsCam::search_scalar(const std::vector<bool>& key,
+                           CamSearchResult& result) {
   // Energy: each participating (non-masked) cell of every valid row
   // burns one comparison quantum on the match line; mismatching cells
   // additionally discharge it (we charge the cell switching energy as
@@ -87,7 +132,61 @@ CamSearchResult CrsCam::search(const std::vector<bool>& key) {
     if (match) result.matching_rows.push_back(ri);
   }
   result.energy = energy;
-  total_energy_ += energy;
+}
+
+void CrsCam::search_packed(const std::vector<bool>& key,
+                           CamSearchResult& result) {
+  // Same semantics and energy book as search_scalar, evaluated 64 rows
+  // per word: a row mismatches at bit i iff it is valid, bit i
+  // participates, and the stored bit differs from the key bit.  The
+  // scalar path accrues one energy quantum per mismatching cell into a
+  // single accumulator, so the exact double is the repeated-quantum
+  // prefix sum at the total mismatch count.
+  const std::size_t blocks = packed_valid_.size();
+  std::uint64_t mismatch_total = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::uint64_t valid = packed_valid_[b];
+    std::uint64_t any_mismatch = 0;
+    if (valid != 0) {
+      const std::uint64_t* value = packed_value_.data() + b * config_.word_bits;
+      const std::uint64_t* care = packed_care_.data() + b * config_.word_bits;
+      for (std::size_t i = 0; i < config_.word_bits; ++i) {
+        const std::uint64_t diff = key[i] ? ~value[i] : value[i];
+        const std::uint64_t mm = diff & care[i] & valid;
+        mismatch_total += static_cast<std::uint64_t>(std::popcount(mm));
+        any_mismatch |= mm;
+      }
+    }
+    std::uint64_t match = valid & ~any_mismatch;
+    while (match != 0) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(match));
+      result.matching_rows.push_back(b * kPackedLanes + w);
+      match &= match - 1;
+    }
+  }
+  result.energy = Energy(energy_sums_.sum(mismatch_total));
+  if (telemetry::enabled()) {
+    PackedCamMetrics& m = packed_cam_metrics();
+    m.searches.add(1);
+    m.row_blocks.add(blocks);
+  }
+}
+
+CamSearchResult CrsCam::search(const std::vector<bool>& key) {
+  MEMCIM_CHECK_MSG(key.size() == config_.word_bits, "CAM key width mismatch");
+  CamSearchResult result;
+  ++searches_;
+
+  // Match-line evaluation: all rows in parallel, so latency is the
+  // fixed precharge+evaluate pulse sequence.
+  result.latency =
+      config_.cell.t_pulse * static_cast<double>(config_.search_pulses);
+
+  if (config_.packed_match)
+    search_packed(key, result);
+  else
+    search_scalar(key, result);
+  total_energy_ += result.energy;
   return result;
 }
 
@@ -95,6 +194,7 @@ void CrsCam::inject_stuck(std::size_t row, std::size_t bit, bool stuck_one) {
   MEMCIM_CHECK_MSG(bit < config_.word_bits, "CAM bit out of range");
   at(row).value[bit].force_stuck(stuck_one ? CrsState::kOne
                                            : CrsState::kZero);
+  refresh_packed_row(row);
 }
 
 std::optional<std::size_t> CrsCam::search_first(const std::vector<bool>& key) {

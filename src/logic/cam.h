@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/quantum_sum.h"
 #include "device/crs.h"
 
 namespace memcim {
@@ -32,6 +33,11 @@ struct CamConfig {
   CrsCellParams cell{};
   /// Match-line evaluation: precharge + evaluate, two array pulses.
   std::size_t search_pulses = 2;
+  /// Evaluate searches on the bit-sliced match index (rows packed 64
+  /// per u64 word with ternary don't-care masks) instead of walking
+  /// the cell file row by row.  Bitwise-identical results and energy
+  /// book; the scalar path remains for differential testing.
+  bool packed_match = true;
 };
 
 struct CamSearchResult {
@@ -81,10 +87,25 @@ class CrsCam {
 
   [[nodiscard]] Row& at(std::size_t row);
 
+  /// Rebuild the packed match words of one row from the actual cell
+  /// states (so stuck cells are reflected, not the requested write).
+  void refresh_packed_row(std::size_t row);
+  void search_scalar(const std::vector<bool>& key, CamSearchResult& result);
+  void search_packed(const std::vector<bool>& key, CamSearchResult& result);
+
   CamConfig config_;
   std::vector<Row> rows_;
   std::uint64_t searches_ = 0;
   Energy total_energy_{0.0};
+  // Bit-sliced match index: for row block b and bit column i, word
+  // [b * word_bits + i] holds one bit per row — value word (stored bit
+  // is '1') and care word (bit participates; '0' = don't-care).  One
+  // valid word per block gates erased rows.
+  std::vector<std::uint64_t> packed_value_;
+  std::vector<std::uint64_t> packed_care_;
+  std::vector<std::uint64_t> packed_valid_;
+  /// Exact replay of the scalar per-mismatch energy accumulation.
+  QuantumSumTable energy_sums_;
 };
 
 }  // namespace memcim

@@ -1,0 +1,145 @@
+// Bit-sliced (SIMD-within-a-register) microcode execution engine.
+//
+// `run_program_simd` replays a CimProgram window-by-window through the
+// virtual Fabric interface: one do_set/do_imply dispatch per
+// instruction *per window*.  That serializes exactly the parallelism
+// the paper's architecture provides for free — Section III.B budgets
+// 10^6 concurrent operations, and the array executes one instruction
+// across every row at once.
+//
+// This engine recovers that execution model in the simulator.  A
+// PackedFabric lays out W <= 64 independent register windows as ONE
+// u64 per register (struct-of-arrays: bit w of word r is window w's
+// register r), so each instruction executes for all windows with a
+// handful of bitwise ops:
+//
+//   kSetFalse  word[r]  = 0            (masked to the active lanes)
+//   kSetTrue   word[r] |= lane_mask
+//   kImply     word[q] |= ~word[p]     (q <- p IMP q, all lanes)
+//
+// Cost books are reconciled exactly, not approximately: the packed
+// runner books the same fabric.* / program.* telemetry tallies, the
+// same SimdRunResult latency/energy/writes, and — via popcount deltas
+// folded into per-lane vertical (bit-plane) counters — the same
+// per-window register-transition counts the scalar replay would have
+// produced.  Differential tests in tests/logic/packed_program_test.cpp
+// hold the two paths bit-identical.
+//
+// The engine models the *cost-model* fabrics only (boolean semantics
+// with configurable step quanta, mirroring IdealFabric and the
+// CrsFabric 2-step IMP).  Fault hooks and device-accurate runs stay on
+// the scalar path — see docs/LOGIC.md for the fallback rules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/fabric.h"
+#include "logic/program.h"
+
+namespace memcim {
+
+/// Windows per machine word: one bit lane each.
+inline constexpr std::size_t kPackedLanes = 64;
+
+/// A validated, cost-annotated program ready for packed replay.
+/// Compiling once hoists the per-instruction bounds checks and the
+/// per-window step/write totals out of the execution loop.
+struct PackedProgram {
+  std::vector<CimInstruction> instructions;
+  std::size_t registers = 0;
+  std::size_t inputs = 0;
+  Reg output = 0;
+  std::uint64_t sets_per_window = 0;     ///< kSet* instructions (excl. input loads)
+  std::uint64_t implies_per_window = 0;  ///< kImply instructions
+
+  [[nodiscard]] std::size_t length() const { return instructions.size(); }
+};
+
+/// Validate `program` (register bounds, arity) and annotate it with the
+/// per-window cost totals.  Throws Error on a malformed program.
+[[nodiscard]] PackedProgram compile_program(const CimProgram& program);
+
+/// Execution options: the cost quanta of the scalar backend being
+/// mirrored.  Defaults model IdealFabric; set imply_step_cost = 2 to
+/// mirror CrsFabric's init+operate IMP.
+struct PackedRunOptions {
+  LogicCostModel cost{};
+  std::uint64_t set_step_cost = 1;
+  std::uint64_t imply_step_cost = 1;
+};
+
+/// W <= 64 register windows packed one bit-lane per window.
+class PackedFabric {
+ public:
+  /// A fabric of `registers` registers across `lanes` active windows
+  /// (1..64).  All registers start at logic 0, like Fabric::alloc.
+  PackedFabric(std::size_t registers, std::size_t lanes);
+
+  [[nodiscard]] std::size_t registers() const { return words_.size(); }
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  /// Bit mask of the active lanes (low `lanes()` bits set).
+  [[nodiscard]] std::uint64_t lane_mask() const { return lane_mask_; }
+
+  /// Per-lane write of register r (the input-load micro-op: one set per
+  /// lane in the scalar path, with per-window values).
+  void set_lanes(Reg r, std::uint64_t bits);
+  /// Broadcast write of register r (a compiled kSetTrue/kSetFalse).
+  void set_all(Reg r, bool value);
+  /// q <- p IMP q across all lanes.
+  void imply(Reg p, Reg q);
+  /// Sense register r: bit w is window w's value.
+  [[nodiscard]] std::uint64_t read(Reg r) const;
+
+  // -- transition book ------------------------------------------------------
+  /// Register-value changes per lane since construction, recovered from
+  /// the vertical popcount planes.
+  [[nodiscard]] std::vector<std::uint64_t> transitions_per_lane() const;
+  /// Total register-value changes across all lanes.
+  [[nodiscard]] std::uint64_t transitions_total() const {
+    return transitions_total_;
+  }
+
+ private:
+  /// Fold one micro-op's flip mask into the vertical counters.
+  void count_transitions(std::uint64_t delta);
+
+  std::size_t lanes_;
+  std::uint64_t lane_mask_;
+  std::vector<std::uint64_t> words_;
+  /// Vertical (bit-plane) per-lane transition counters: plane p holds
+  /// bit p of every lane's count, so adding a 64-lane flip mask is a
+  /// ripple-carry over O(log ops) words instead of 64 increments.
+  std::vector<std::uint64_t> planes_;
+  std::uint64_t transitions_total_ = 0;
+};
+
+/// Result of a packed SIMD replay: everything SimdRunResult reports,
+/// plus the recovered per-window transition counts and the per-window
+/// step count (handy for latency cross-checks).
+struct PackedRunResult {
+  std::vector<bool> outputs;                 ///< one per window
+  std::vector<std::uint64_t> transitions;    ///< register flips per window
+  Time latency{0.0};                         ///< one program pass
+  Energy energy{0.0};                        ///< summed over all windows
+  std::uint64_t writes = 0;
+  std::uint64_t steps_per_window = 0;
+};
+
+/// Packed replay of `compiled` across `input_sets.size()` windows,
+/// chunked into 64-lane blocks over the thread pool.  Bitwise
+/// equivalent to run_program_simd on a scalar cost-model backend with
+/// the same step quanta: identical outputs, latency, energy, writes,
+/// and fabric.* / program.* telemetry tallies.
+[[nodiscard]] PackedRunResult run_program_packed(
+    const PackedProgram& compiled,
+    const std::vector<std::vector<bool>>& input_sets,
+    const PackedRunOptions& options = {});
+
+/// Convenience: compile + run in one call.
+[[nodiscard]] PackedRunResult run_program_packed(
+    const CimProgram& program,
+    const std::vector<std::vector<bool>>& input_sets,
+    const PackedRunOptions& options = {});
+
+}  // namespace memcim

@@ -1,0 +1,139 @@
+#include "logic/packed_adder.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/quantum_sum.h"
+#include "telemetry/telemetry.h"
+
+namespace memcim {
+
+namespace {
+
+struct PackedAdderMetrics {
+  telemetry::Counter& ops;
+  telemetry::Counter& lane_blocks;
+  PackedAdderMetrics()
+      : ops(telemetry::Registry::global().counter("logic.packed.adder_ops")),
+        lane_blocks(telemetry::Registry::global().counter(
+            "logic.packed.adder_lane_blocks")) {}
+};
+
+PackedAdderMetrics& packed_adder_metrics() {
+  static PackedAdderMetrics m;
+  return m;
+}
+
+}  // namespace
+
+PackedTcAdderFarm::PackedTcAdderFarm(std::size_t slots, std::size_t width,
+                                     const CrsCellParams& cell)
+    : slots_(slots),
+      width_(width),
+      cell_(cell),
+      sum_mask_((std::uint64_t{1} << width) - 1) {
+  MEMCIM_CHECK_MSG(slots >= 1, "farm needs at least one slot");
+  MEMCIM_CHECK_MSG(width >= 1 && width <= 63,
+                   "packed adder width must be 1..63");
+  // Same parameter validation (and failure mode) as building the
+  // scalar CrsCell farm.
+  (void)CrsCell(cell);
+  stored_sum_.assign(slots, 0);
+  carry_state_.assign(slots, 0);
+  cum_carry_.assign(slots, 0);
+  cum_sum_.assign(slots * width, 0);
+  e_prev_.assign(slots, 0.0);
+}
+
+std::uint64_t PackedTcAdderFarm::stored_sum(std::size_t slot) const {
+  MEMCIM_CHECK(slot < slots_);
+  return stored_sum_[slot];
+}
+
+PackedAddOutcome PackedTcAdderFarm::run(const std::vector<std::uint64_t>& a,
+                                        const std::vector<std::uint64_t>& b,
+                                        std::size_t chunk_grain) {
+  MEMCIM_CHECK_MSG(a.size() == b.size(), "operand vectors must pair up");
+  const std::size_t n_ops = a.size();
+  PackedAddOutcome out;
+  out.sums.assign(n_ops, 0);
+  out.energies.assign(n_ops, 0.0);
+
+  const std::size_t blocks = (slots_ + kPackedLanes - 1) / kPackedLanes;
+  out.lane_blocks = blocks;
+  // The caller's grain is expressed in ops; a lane block covers up to
+  // kPackedLanes ops per batch, so convert to whole blocks.
+  const std::size_t block_grain =
+      std::max<std::size_t>(1, chunk_grain / kPackedLanes);
+
+  std::vector<std::uint64_t> block_transitions(blocks, 0);
+  parallel_for_chunks(0, blocks, block_grain, [&](std::size_t b0,
+                                                  std::size_t b1) {
+    // One prefix-sum table per chunk: the memoized values depend only
+    // on the quantum, never on query order, so sharing across the
+    // chunk's slots is free and keeps the table warm.
+    QuantumSumTable table(cell_.e_per_switch.value());
+    for (std::size_t blk = b0; blk < b1; ++blk) {
+      const std::size_t slot_begin = blk * kPackedLanes;
+      const std::size_t slot_end =
+          std::min(slot_begin + kPackedLanes, slots_);
+      std::uint64_t transitions = 0;
+      for (std::size_t s = slot_begin; s < slot_end; ++s) {
+        std::uint64_t* cum_sum = cum_sum_.data() + s * width_;
+        // Ops land on slot s in ascending order — the scalar farm's
+        // batch schedule (op k runs on slot k % slots).
+        for (std::size_t op = s; op < n_ops; op += slots_) {
+          const std::uint64_t av = a[op];
+          const std::uint64_t bv = b[op];
+          const std::uint64_t full = av + bv;
+          const std::uint64_t sum_new = full & sum_mask_;
+          const std::uint64_t c_out = (full >> width_) & 1u;
+          // Carries generated into bits 1..N (bit 0 of the XOR is 0).
+          const std::uint64_t carries =
+              static_cast<std::uint64_t>(std::popcount(full ^ av ^ bv));
+          const std::uint64_t stale = carry_state_[s];
+          // stale + c_in + 2S + 2 − 3·c_out with c_in = 0; c_out = 1
+          // implies S >= 1, so the subtraction cannot underflow.
+          const std::uint64_t t_carry =
+              stale + 2 * carries + 2 - 3 * c_out;
+          const std::uint64_t old_sum = stored_sum_[s];
+          transitions +=
+              t_carry +
+              static_cast<std::uint64_t>(std::popcount(old_sum)) +
+              static_cast<std::uint64_t>(std::popcount(sum_new));
+          // Replay the scalar energy fold over this slot's cells:
+          // (carry + scratch) then each sum cell in index order; the
+          // scratch cell never transitions, so its term is +0.0 and
+          // drops out bit-exactly.
+          cum_carry_[s] += t_carry;
+          double e = table.sum(cum_carry_[s]);
+          for (std::size_t i = 0; i < width_; ++i) {
+            cum_sum[i] += ((old_sum >> i) & 1u) + ((sum_new >> i) & 1u);
+            e += table.sum(cum_sum[i]);
+          }
+          out.sums[op] = sum_new;
+          out.energies[op] = e - e_prev_[s];
+          e_prev_[s] = e;
+          stored_sum_[s] = sum_new;
+          carry_state_[s] = static_cast<std::uint8_t>(c_out);
+        }
+      }
+      block_transitions[blk] = transitions;
+    }
+  });
+
+  // Exact u64 total — order-free, but reduce in block order anyway.
+  for (std::size_t blk = 0; blk < blocks; ++blk)
+    out.transitions += block_transitions[blk];
+
+  if (telemetry::enabled()) {
+    PackedAdderMetrics& m = packed_adder_metrics();
+    m.ops.add(n_ops);
+    m.lane_blocks.add(blocks);
+  }
+  return out;
+}
+
+}  // namespace memcim

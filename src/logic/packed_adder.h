@@ -1,0 +1,88 @@
+// Compiled fast path for the CRS TC-adder farm.
+//
+// `CrsTcAdder::add` walks the 4N+5 pulse schedule one `apply_pulse` at
+// a time — a branchy threshold-ladder state machine per pulse.  For the
+// fault-free farm that schedule is fully determined by the operands and
+// the resident cell states, so it compiles to closed form per slot:
+//
+//   sum      = (a + b) mod 2^N
+//   c_out    = bit N of a + b
+//   S        = popcount((a+b) ^ a ^ b)        carries generated, c_1..c_N
+//   t_carry  = stale + c_in + 2S − 3·c_out + 2   carry-cell transitions
+//   t_sum_i  = s_old_i + s_new_i                 init-to-0 + parity SET
+//   pulses   = 4N + 5 always (the schedule is constant-time)
+//
+// (`stale` is 1 iff the carry cell still holds the previous add's
+// carry-out ≠ c_in; the scratch cell never transitions.  The formulas
+// hold for every valid CrsCellParams: write amplitudes ±1.1·threshold
+// always clear both thresholds, negative pulses cannot move a '0' cell,
+// and the majority pulse SETs exactly when ≥ 2 inputs are 1.)
+//
+// Energy is the delicate part: each CrsCell accrues `energy_ +=
+// e_per_switch` per transition — repeated-quantum double accumulation —
+// and `TcAdderResult::energy` is an ordered fold over the farm slot's
+// cells.  PackedTcAdderFarm keeps per-(slot, cell) cumulative
+// transition counts and replays the fold through a QuantumSumTable, so
+// every per-op energy double is bit-identical to the scalar path's.
+//
+// The farm processes slots in lane blocks of kPackedLanes, chunked over
+// the thread pool; per-op payloads land in op-indexed arrays, so the
+// caller's serial op-order reduction sees exactly what the scalar farm
+// would have produced.  Fault hooks are NOT supported here — armed
+// farms stay on the scalar path (docs/LOGIC.md, fallback rules).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/crs.h"
+#include "logic/packed.h"
+
+namespace memcim {
+
+/// Per-run payload, op-indexed; `energies[k]` is bitwise what
+/// `CrsTcAdder::add` would have reported for op k.
+struct PackedAddOutcome {
+  std::vector<std::uint64_t> sums;
+  std::vector<double> energies;
+  std::uint64_t transitions = 0;   ///< total cell transitions, all ops
+  std::uint64_t lane_blocks = 0;   ///< 64-slot blocks processed
+};
+
+class PackedTcAdderFarm {
+ public:
+  /// A farm of `slots` independent N-bit adders, all cells starting at
+  /// '0' like a fresh CrsTcAdder farm.
+  PackedTcAdderFarm(std::size_t slots, std::size_t width,
+                    const CrsCellParams& cell);
+
+  [[nodiscard]] std::size_t slots() const { return slots_; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// Run `a.size()` additions with the scalar farm's batch structure
+  /// (op k on slot k % slots, ops on a slot in ascending k).  Lane
+  /// blocks run concurrently on the thread pool; `chunk_grain` is the
+  /// caller's per-op grain, converted to whole lane blocks.  Cell
+  /// states and energy books persist across calls, like the reused
+  /// scalar farm.
+  [[nodiscard]] PackedAddOutcome run(const std::vector<std::uint64_t>& a,
+                                     const std::vector<std::uint64_t>& b,
+                                     std::size_t chunk_grain);
+
+  /// The sum latched in a slot's cells (mirrors CrsTcAdder::stored_sum).
+  [[nodiscard]] std::uint64_t stored_sum(std::size_t slot) const;
+
+ private:
+  std::size_t slots_;
+  std::size_t width_;
+  CrsCellParams cell_;
+  std::uint64_t sum_mask_;
+  // Per-slot resident state and exact cumulative books.
+  std::vector<std::uint64_t> stored_sum_;
+  std::vector<std::uint8_t> carry_state_;
+  std::vector<std::uint64_t> cum_carry_;  ///< carry-cell transitions
+  std::vector<std::uint64_t> cum_sum_;    ///< [slot*width + i] sum-cell i
+  std::vector<double> e_prev_;            ///< last ordered energy fold
+};
+
+}  // namespace memcim

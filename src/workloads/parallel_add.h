@@ -4,6 +4,15 @@
 // evaluator, this module runs the batch *functionally* on a farm of
 // CRS TC-adders so results, pulse counts and switching energy come from
 // the device models.
+//
+// Two execution engines produce bitwise-identical results (sums,
+// pulses, energy, latency, and every telemetry tally):
+//
+//   * scalar — one CrsTcAdder device model per farm slot, pulses walked
+//     one at a time.  Required whenever fault hooks are armed (the
+//     hooks mutate per-cell device state mid-schedule).
+//   * packed — the compiled lane-block fast path (logic/packed_adder.h)
+//     with exact cost-book replay.  The default when no hooks are set.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,19 @@
 
 namespace memcim {
 
+/// Fan-out grain of the adder farm: ops per chunk on the scalar path,
+/// converted to whole 64-op lane blocks on the packed path.  Tuned so
+/// a chunk amortizes the pool hand-off but a default farm still splits
+/// across workers.
+inline constexpr std::size_t kParallelAddChunkGrain = 8;
+
+/// Which adder engine run_parallel_add uses.
+enum class AdderEngine : std::uint8_t {
+  kAuto,    ///< packed fast path unless fault hooks are armed
+  kPacked,  ///< packed (still falls back to scalar when hooks are armed)
+  kScalar,  ///< force the per-device scalar farm
+};
+
 struct ParallelAddParams {
   std::size_t operations = 1024;  ///< batch size (paper: 10^6)
   std::size_t width = 32;         ///< operand width in bits
@@ -24,7 +46,11 @@ struct ParallelAddParams {
   /// Called once on the freshly built farm before any addition runs —
   /// the fault-campaign hook (src/fault/) pins stuck cells here.  The
   /// indirection keeps workloads independent of the fault subsystem.
+  /// Setting it forces the scalar engine: faults need real devices.
   std::function<void(std::vector<CrsTcAdder>&)> farm_hook;
+  AdderEngine engine = AdderEngine::kAuto;
+  /// Parallel chunk grain (ops); see kParallelAddChunkGrain.
+  std::size_t chunk_grain = kParallelAddChunkGrain;
 };
 
 struct ParallelAddResult {
@@ -35,6 +61,7 @@ struct ParallelAddResult {
   /// parallel → ceil(ops/adders) · (4N+5) pulses.
   Time latency{0.0};
   std::uint64_t mismatches = 0;  ///< vs the golden CPU adds (must be 0)
+  bool used_packed_engine = false;  ///< which engine actually ran
 };
 
 /// Generate `operations` random operand pairs and add them on the CRS

@@ -1,0 +1,150 @@
+// Differential suite for the bit-sliced CAM match kernel: a packed CAM
+// and a scalar CAM driven through identical write / erase / stuck-cell
+// sequences must report identical matches, latency, and bitwise-equal
+// energy on every search.
+#include "logic/cam.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/presets.h"
+
+namespace memcim {
+namespace {
+
+std::vector<bool> random_key(std::size_t bits, Rng& rng) {
+  std::vector<bool> key(bits);
+  for (std::size_t i = 0; i < bits; ++i) key[i] = rng.bernoulli(0.5);
+  return key;
+}
+
+std::vector<CamBit> random_ternary_word(std::size_t bits, Rng& rng) {
+  std::vector<CamBit> word(bits);
+  for (auto& b : word) {
+    const double roll = rng.uniform();
+    b = roll < 0.15 ? CamBit::kDontCare
+                    : (roll < 0.575 ? CamBit::kZero : CamBit::kOne);
+  }
+  return word;
+}
+
+/// Drive both CAMs through the same mutation, then cross-check a batch
+/// of random searches bitwise.
+class CamPair {
+ public:
+  CamPair(std::size_t rows, std::size_t word_bits) {
+    CamConfig config;
+    config.rows = rows;
+    config.word_bits = word_bits;
+    config.cell = presets::crs_cell();
+    config.packed_match = true;
+    packed_.emplace(config);
+    config.packed_match = false;
+    scalar_.emplace(config);
+  }
+
+  template <typename Fn>
+  void mutate(Fn&& fn) {
+    fn(*packed_);
+    fn(*scalar_);
+  }
+
+  void cross_check(std::size_t searches, Rng& rng) {
+    const std::size_t bits = packed_->config().word_bits;
+    for (std::size_t s = 0; s < searches; ++s) {
+      const std::vector<bool> key = random_key(bits, rng);
+      const CamSearchResult a = packed_->search(key);
+      const CamSearchResult b = scalar_->search(key);
+      EXPECT_EQ(a.matching_rows, b.matching_rows);
+      EXPECT_EQ(a.latency.value(), b.latency.value());
+      EXPECT_EQ(a.energy.value(), b.energy.value());
+    }
+    EXPECT_EQ(packed_->searches(), scalar_->searches());
+    EXPECT_EQ(packed_->total_energy().value(), scalar_->total_energy().value());
+  }
+
+  CrsCam& packed() { return *packed_; }
+  CrsCam& scalar() { return *scalar_; }
+
+ private:
+  std::optional<CrsCam> packed_;
+  std::optional<CrsCam> scalar_;
+};
+
+TEST(PackedCam, RandomTernaryContentsMatchScalar) {
+  Rng rng(0xCA3);
+  // 100 rows: one full 64-row block plus a partial block.
+  CamPair pair(100, 24);
+  pair.mutate([&](CrsCam& cam) {
+    Rng fill(0x5EED);  // same stream into both instances
+    for (std::size_t row = 0; row < cam.config().rows; ++row)
+      cam.write_row_ternary(row, random_ternary_word(cam.config().word_bits,
+                                                     fill));
+  });
+  pair.cross_check(200, rng);
+}
+
+TEST(PackedCam, EraseAndRewriteTrackScalar) {
+  Rng rng(0xE7A5E);
+  CamPair pair(70, 16);
+  pair.mutate([&](CrsCam& cam) {
+    Rng fill(0xF111);
+    for (std::size_t row = 0; row < cam.config().rows; ++row)
+      cam.write_row_ternary(row,
+                            random_ternary_word(cam.config().word_bits, fill));
+    // Erase rows straddling the 64-row block boundary, rewrite a few.
+    for (const std::size_t row : {std::size_t{0}, std::size_t{63},
+                                  std::size_t{64}, std::size_t{69}})
+      cam.erase_row(row);
+    cam.write_row(63, std::vector<bool>(cam.config().word_bits, true));
+    cam.write_row(64, std::vector<bool>(cam.config().word_bits, false));
+  });
+  pair.cross_check(100, rng);
+
+  const std::vector<bool> ones(16, true);
+  EXPECT_EQ(pair.packed().search_first(ones), pair.scalar().search_first(ones));
+}
+
+TEST(PackedCam, StuckCellsReflectActualStates) {
+  Rng rng(0x57C);
+  CamPair pair(66, 12);
+  pair.mutate([&](CrsCam& cam) {
+    Rng fill(0xA11);
+    for (std::size_t row = 0; row < cam.config().rows; ++row)
+      cam.write_row_ternary(row,
+                            random_ternary_word(cam.config().word_bits, fill));
+    // Pin value cells on both sides of the block boundary, then rewrite
+    // the rows: the packed index must track the *actual* (stuck) cell
+    // states, not the requested word.
+    cam.inject_stuck(3, 5, true);
+    cam.inject_stuck(65, 0, false);
+    cam.write_row(3, std::vector<bool>(cam.config().word_bits, false));
+    cam.write_row(65, std::vector<bool>(cam.config().word_bits, true));
+  });
+  pair.cross_check(150, rng);
+}
+
+TEST(PackedCam, DontCareColumnsIgnoreKeyBits) {
+  CamConfig config;
+  config.rows = 65;
+  config.word_bits = 8;
+  config.cell = presets::crs_cell();
+  config.packed_match = true;
+  CrsCam cam(config);
+  // Row 64 (first row of the partial block): all don't-care → matches
+  // every key.
+  cam.write_row_ternary(64, std::vector<CamBit>(8, CamBit::kDontCare));
+  Rng rng(0xDC);
+  for (int i = 0; i < 16; ++i) {
+    const CamSearchResult r = cam.search(random_key(8, rng));
+    ASSERT_EQ(r.matching_rows.size(), 1u);
+    EXPECT_EQ(r.matching_rows.front(), 64u);
+  }
+}
+
+}  // namespace
+}  // namespace memcim
