@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "device/presets.h"
@@ -21,9 +22,10 @@ namespace {
 
 using namespace memcim;
 
-void print_comparison() {
+void print_comparison(telemetry::JsonWriter& w) {
   TextTable t({"Width", "IMPLY steps", "IMPLY regs", "TC steps",
                "TC devices", "TC latency", "IMPLY latency", "speedup"});
+  w.key("architectures").begin_array();
   for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
     const std::size_t imply_steps = ripple_adder_steps(n);
     const std::size_t imply_regs = cost_full_adder().registers * n + 1;
@@ -35,17 +37,28 @@ void print_comparison() {
                std::to_string(CrsTcAdder::devices(n)),
                si_string(tc_latency, "s"), si_string(imply_latency, "s"),
                fixed_string(imply_latency / tc_latency, 2) + "x"});
+    w.begin_object();
+    w.key("width").value(static_cast<std::uint64_t>(n));
+    w.key("imply_steps").value(static_cast<std::uint64_t>(imply_steps));
+    w.key("imply_registers").value(static_cast<std::uint64_t>(imply_regs));
+    w.key("tc_steps").value(static_cast<std::uint64_t>(tc_steps));
+    w.key("tc_devices").value(static_cast<std::uint64_t>(CrsTcAdder::devices(n)));
+    w.key("tc_latency_s").value(tc_latency);
+    w.key("imply_latency_s").value(imply_latency);
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "CMOS CLA reference: 252 ps, 208 gates (Table 1) — faster\n"
                "per op, but volatile, leaky and kept fed through caches;\n"
                "Table 2 shows the system-level reversal.\n\n";
 }
 
-void print_energy_measured() {
+void print_energy_measured(telemetry::JsonWriter& w) {
   TextTable t({"Width", "measured energy/add (CRS switching)",
                "Table 1 budget (8 ops/bit x 1 fJ)"});
   Rng rng(5);
+  w.key("measured_energy").begin_array();
   for (std::size_t n : {8u, 16u, 32u}) {
     CrsTcAdder adder(n, presets::crs_cell());
     Energy total{0.0};
@@ -60,7 +73,13 @@ void print_energy_measured() {
     t.add_row({std::to_string(n),
                si_string(total.value() / trials, "J"),
                si_string(8.0 * static_cast<double>(n) * 1e-15, "J")});
+    w.begin_object();
+    w.key("width").value(static_cast<std::uint64_t>(n));
+    w.key("energy_per_add_j").value(total.value() / trials);
+    w.key("table1_budget_j").value(8.0 * static_cast<double>(n) * 1e-15);
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "Measured switching energy counts only real transitions, so\n"
                "it lands below the paper's every-op-pays budget.\n\n";
@@ -88,8 +107,11 @@ BENCHMARK(BM_TcAdd)->Arg(8)->Arg(32);
 
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: adder architectures ===\n\n";
-  print_comparison();
-  print_energy_measured();
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "ablation_adders");
+  print_comparison(w);
+  print_energy_measured(w);
+  bench::write_bench_json(w, "ablation_adders");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "crossbar/readout.h"
 #include "device/presets.h"
@@ -30,7 +31,7 @@ CrossbarConfig lumped(std::size_t n = 0) {
 const BiasScheme kSchemes[] = {BiasScheme::kFloating, BiasScheme::kGrounded,
                                BiasScheme::kVHalf, BiasScheme::kVThird};
 
-void print_read_margins() {
+void print_read_margins(telemetry::JsonWriter& w) {
   const std::vector<std::size_t> sizes{8, 32, 128};
   std::vector<std::string> headers{"Scheme"};
   for (std::size_t n : sizes) {
@@ -39,6 +40,7 @@ void print_read_margins() {
   }
   TextTable t(headers);
   const VcmDevice proto(presets::vcm_taox(), 0.0);
+  w.key("read_margins").begin_array();
   for (BiasScheme scheme : kSchemes) {
     std::vector<std::string> row{to_string(scheme)};
     for (std::size_t n : sizes) {
@@ -48,14 +50,22 @@ void print_read_margins() {
       const ReadMeasurement m = measure_read_margin(array, 0, 0, rc);
       row.push_back(fixed_string(m.margin, 4));
       row.push_back(si_string(m.i_source_lrs.value(), "A"));
+      w.begin_object();
+      w.key("scheme").value(to_string(scheme));
+      w.key("size").value(static_cast<std::uint64_t>(n));
+      w.key("margin").value(m.margin);
+      w.key("row_current_a").value(m.i_source_lrs.value());
+      w.end_object();
     }
     t.add_row(row);
   }
+  w.end_array();
   std::cout << t.to_text() << '\n';
 }
 
-void print_write_disturb() {
+void print_write_disturb(telemetry::JsonWriter& w) {
   TextTable t({"Scheme", "write ok", "max disturb (100 SET pulses)"});
+  w.key("write_disturb").begin_array();
   for (BiasScheme scheme : kSchemes) {
     CrossbarArray array(lumped(8), VcmDevice(presets::vcm_taox(), 0.0));
     WriteConfig wc;
@@ -76,7 +86,13 @@ void print_write_disturb() {
           residual = std::max(residual, array.device(r, c).state());
     t.add_row({to_string(scheme), last.success ? "yes" : "no",
                fixed_string(residual, 4)});
+    w.begin_object();
+    w.key("scheme").value(to_string(scheme));
+    w.key("write_ok").value(last.success);
+    w.key("max_residual_disturb").value(residual);
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "Grounded writes put the full V_w across every cell of the\n"
                "selected row — they overwrite it wholesale (disturb 1.0), so\n"
@@ -101,8 +117,11 @@ BENCHMARK(BM_MarginMeasurement)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: bias schemes ===\n\n";
-  print_read_margins();
-  print_write_disturb();
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "ablation_bias");
+  print_read_margins(w);
+  print_write_disturb(w);
+  bench::write_bench_json(w, "ablation_bias");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_json.h"
 #include "arch/cost_model.h"
 #include "common/table.h"
 #include "telemetry/json_writer.h"
@@ -95,8 +96,7 @@ BENCHMARK(BM_SweepPoint)->Arg(50)->Arg(98);
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: cache hit-rate sensitivity (Table 2, math) ===\n\n";
   telemetry::JsonWriter w;
-  w.begin_object();
-  w.key("bench").value("ablation_cache");
+  bench::begin_bench_json(w, "ablation_cache");
   print_sweep(w);
   print_miss_penalty_sweep(w);
   w.end_object();

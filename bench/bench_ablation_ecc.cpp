@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "crossbar/ecc_memory.h"
@@ -75,9 +76,10 @@ TrialResult run_trial(double p_bit_flip, std::size_t rows, int rounds,
   return result;
 }
 
-void print_sweep() {
+void print_sweep(telemetry::JsonWriter& w) {
   TextTable t({"p(bit flip)/interval", "raw byte errors", "ECC byte errors",
                "corrections/read", "improvement"});
+  w.key("sweep").begin_array();
   for (double p : {1e-4, 1e-3, 1e-2, 5e-2}) {
     const TrialResult r = run_trial(p, 256, 20, 11);
     const double gain = r.byte_error_rate_ecc > 0.0
@@ -89,7 +91,14 @@ void print_sweep() {
                r.byte_error_rate_ecc == 0.0
                    ? ">raw/0 (no ECC failures observed)"
                    : fixed_string(gain, 0) + "x"});
+    w.begin_object();
+    w.key("p_bit_flip").value(p);
+    w.key("byte_error_rate_raw").value(r.byte_error_rate_raw);
+    w.key("byte_error_rate_ecc").value(r.byte_error_rate_ecc);
+    w.key("corrections_per_read").value(r.corrected_per_read);
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "Costs: 13/8 = 1.63x cell overhead, +1 scrub write-back per\n"
                "corrected read.  ECC fails only when >=2 bits of one 13-bit\n"
@@ -114,7 +123,10 @@ BENCHMARK(BM_EccReadScrub);
 
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: SECDED ECC vs raw storage ===\n\n";
-  print_sweep();
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "ablation_ecc");
+  print_sweep(w);
+  bench::write_bench_json(w, "ablation_ecc");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

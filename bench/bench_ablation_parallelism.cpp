@@ -9,16 +9,18 @@
 #include <iostream>
 
 #include "arch/cost_model.h"
+#include "bench_json.h"
 #include "common/table.h"
 
 namespace {
 
 using namespace memcim;
 
-void print_sweep() {
+void print_sweep(telemetry::JsonWriter& w) {
   const Table1 t = paper_table1();
   TextTable table({"parallel units", "Conv wall time", "CIM wall time",
                    "CIM/Conv time", "CIM units area"});
+  w.key("unit_sweep").begin_array();
   for (double units : {1.0, 1e2, 1e4, 1e6}) {
     WorkloadSpec spec = math_workload_spec(t);
     spec.parallel_units = units;
@@ -30,7 +32,14 @@ void print_sweep() {
          fixed_string(cim.total_time.value() / conv.total_time.value(), 2) +
              "x",
          fixed_string(t.cim_adder.area.value() * units * 1e12, 3) + " um2"});
+    w.begin_object();
+    w.key("parallel_units").value(units);
+    w.key("conv_wall_time_s").value(conv.total_time.value());
+    w.key("cim_wall_time_s").value(cim.total_time.value());
+    w.key("cim_units_area_m2").value(t.cim_adder.area.value() * units);
+    w.end_object();
   }
+  w.end_array();
   std::cout << table.to_text() << '\n'
             << "CIM is ~3.7x slower at equal unit count (36.2 vs 9.8 ns/op),\n"
                "but a CIM adder occupies 3.4e-3 um2 against ~52 um2 of CMOS\n"
@@ -54,6 +63,13 @@ void print_sweep() {
   equal_area.add_row(
       {"ops/s per mm2 (CIM)", sci_string(cim_units_mm2 / 36.16e-9, 2)});
   std::cout << equal_area.to_text() << '\n';
+
+  w.key("equal_area").begin_object();
+  w.key("conv_adders_per_mm2").value(conv_units_mm2);
+  w.key("cim_adders_per_mm2").value(cim_units_mm2);
+  w.key("conv_ops_per_s_per_mm2").value(conv_units_mm2 / 9.812e-9);
+  w.key("cim_ops_per_s_per_mm2").value(cim_units_mm2 / 36.16e-9);
+  w.end_object();
 }
 
 void BM_CostSweep(benchmark::State& state) {
@@ -71,7 +87,10 @@ BENCHMARK(BM_CostSweep)->Arg(100)->Arg(1000000);
 
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: parallelism vs area ===\n\n";
-  print_sweep();
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "ablation_parallelism");
+  print_sweep(w);
+  bench::write_bench_json(w, "ablation_parallelism");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

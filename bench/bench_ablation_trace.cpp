@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "arch/cost_model.h"
+#include "bench_json.h"
 #include "common/table.h"
 #include "conv/cluster.h"
 #include "workloads/dna.h"
@@ -46,16 +47,25 @@ StreamRates measure(std::size_t genome_bytes, int queries,
           trace.size()};
 }
 
-void print_measured_rates() {
+void print_measured_rates(telemetry::JsonWriter& w) {
   TextTable t({"reference size", "overall hit rate", "index stream",
                "reference stream", "accesses replayed"});
+  w.key("measured_rates").begin_array();
   for (std::size_t kb : {64u, 128u, 512u}) {
     const StreamRates r = measure(kb << 10, 200, 17);
     t.add_row({std::to_string(kb) + " kB", fixed_string(r.all, 3),
                fixed_string(r.index_only, 3),
                fixed_string(r.reference_only, 3),
                std::to_string(r.accesses)});
+    w.begin_object();
+    w.key("reference_kb").value(static_cast<std::uint64_t>(kb));
+    w.key("overall_hit_rate").value(r.all);
+    w.key("index_stream_hit_rate").value(r.index_only);
+    w.key("reference_stream_hit_rate").value(r.reference_only);
+    w.key("accesses").value(static_cast<std::uint64_t>(r.accesses));
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "The binary-search *index* stream is the locality killer the\n"
                "paper describes (~0.26-0.32 and falling with scale); the\n"
@@ -65,11 +75,12 @@ void print_measured_rates() {
                "measured components.\n\n";
 }
 
-void print_table2_with_measured_rate() {
+void print_table2_with_measured_rate(telemetry::JsonWriter& w) {
   const Table1 t = paper_table1();
   const StreamRates r = measure(512 << 10, 200, 17);
   TextTable table({"hit-rate source", "value", "Conv ED/op", "CIM ED/op",
                    "ED gain"});
+  w.key("table2_sensitivity").begin_array();
   for (const auto& [label, rate] :
        {std::pair<const char*, double>{"paper assumption", 0.50},
         {"measured overall", r.all},
@@ -85,7 +96,14 @@ void print_table2_with_measured_rate() {
                                     cim.energy_delay_per_op(),
                                 0) +
                        "x"});
+    w.begin_object();
+    w.key("source").value(label);
+    w.key("hit_rate").value(rate);
+    w.key("conv_energy_delay_per_op").value(conv.energy_delay_per_op());
+    w.key("cim_energy_delay_per_op").value(cim.energy_delay_per_op());
+    w.end_object();
   }
+  w.end_array();
   std::cout << table.to_text() << '\n'
             << "CIM's orders-of-magnitude advantage is robust to the hit-\n"
                "rate assumption: even the optimistic overall rate leaves a\n"
@@ -118,8 +136,11 @@ BENCHMARK(BM_TraceReplay)->Arg(64)->Arg(256);
 
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: measured vs assumed cache hit rates ===\n\n";
-  print_measured_rates();
-  print_table2_with_measured_rate();
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "ablation_trace");
+  print_measured_rates(w);
+  print_table2_with_measured_rate(w);
+  bench::write_bench_json(w, "ablation_trace");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

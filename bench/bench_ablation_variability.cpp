@@ -8,6 +8,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "crossbar/readout.h"
 #include "device/presets.h"
@@ -57,15 +58,24 @@ PopulationMargin population_margin(double sigma, std::size_t devices,
   return pm;
 }
 
-void print_sigma_sweep() {
+void print_sigma_sweep(telemetry::JsonWriter& w) {
   TextTable t({"sigma_d2d (ln G)", "min LRS I", "max HRS I",
                "population window", "readable (>0.5)?"});
+  w.key("sigma_sweep").begin_array();
   for (double sigma : {0.0, 0.2, 0.5, 1.0, 2.0, 3.0, 4.0}) {
     const PopulationMargin pm = population_margin(sigma, 1024, 7);
     t.add_row({fixed_string(sigma, 2), si_string(pm.min_lrs, "A"),
                si_string(pm.max_hrs, "A"), fixed_string(pm.window(), 4),
                pm.window() > 0.5 ? "yes" : "no"});
+    w.begin_object();
+    w.key("sigma_d2d").value(sigma);
+    w.key("min_lrs_a").value(pm.min_lrs);
+    w.key("max_hrs_a").value(pm.max_hrs);
+    w.key("population_window").value(pm.window());
+    w.key("readable").value(pm.window() > 0.5);
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "One multiplicative d2d gain cannot change a single cell's\n"
                "on/off ratio; what kills sensing is the POPULATION overlap\n"
@@ -76,8 +86,9 @@ void print_sigma_sweep() {
                "the two lognormals meet.\n\n";
 }
 
-void print_endurance_failures() {
+void print_endurance_failures(telemetry::JsonWriter& w) {
   TextTable t({"failed cells (stuck LRS)", "worst margin", "readable?"});
+  w.key("endurance_failures").begin_array();
   for (int failures : {0, 1, 4, 16, 64}) {
     CrossbarArray array(lumped(16), VcmDevice(presets::vcm_taox(), 0.0));
     // Failures land on the sensed column — the worst place.
@@ -98,7 +109,13 @@ void print_endurance_failures() {
     const double margin = (i_lrs - i_hrs) / i_lrs;
     t.add_row({std::to_string(failures), fixed_string(margin, 4),
                margin > 0.5 ? "yes" : "no"});
+    w.begin_object();
+    w.key("failed_cells").value(failures);
+    w.key("worst_margin").value(margin);
+    w.key("readable").value(margin > 0.5);
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "Stuck-at-LRS cells on the sensed column add half-select\n"
                "current under V/2 reads; margin degrades gracefully with\n"
@@ -118,8 +135,11 @@ BENCHMARK(BM_VariabilityMargin)->Arg(0)->Arg(50);
 
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: variability & wear-out vs readability ===\n\n";
-  print_sigma_sweep();
-  print_endurance_failures();
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "ablation_variability");
+  print_sigma_sweep(w);
+  print_endurance_failures(w);
+  bench::write_bench_json(w, "ablation_variability");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "crossbar/vmm.h"
@@ -39,16 +40,30 @@ double measure_error(std::size_t n, NetworkModel model, double wire_ohms,
   return vmm.relative_error(x);
 }
 
-void print_error_sweep() {
+void print_error_sweep(telemetry::JsonWriter& json) {
   TextTable t({"N", "ideal wires (lumped)", "2 ohm/seg", "20 ohm/seg",
                "100 ohm/seg"});
+  json.key("error_sweep").begin_array();
   for (std::size_t n : {8u, 16u, 32u}) {
-    t.add_row({std::to_string(n),
-               sci_string(measure_error(n, NetworkModel::kLumpedLines, 1.0, 1), 2),
-               sci_string(measure_error(n, NetworkModel::kDistributed, 2.0, 1), 2),
-               sci_string(measure_error(n, NetworkModel::kDistributed, 20.0, 1), 2),
-               sci_string(measure_error(n, NetworkModel::kDistributed, 100.0, 1), 2)});
+    const double lumped_err =
+        measure_error(n, NetworkModel::kLumpedLines, 1.0, 1);
+    const double err_2 = measure_error(n, NetworkModel::kDistributed, 2.0, 1);
+    const double err_20 =
+        measure_error(n, NetworkModel::kDistributed, 20.0, 1);
+    const double err_100 =
+        measure_error(n, NetworkModel::kDistributed, 100.0, 1);
+    t.add_row({std::to_string(n), sci_string(lumped_err, 2),
+               sci_string(err_2, 2), sci_string(err_20, 2),
+               sci_string(err_100, 2)});
+    json.begin_object();
+    json.key("size").value(static_cast<std::uint64_t>(n));
+    json.key("lumped_error").value(lumped_err);
+    json.key("distributed_2ohm_error").value(err_2);
+    json.key("distributed_20ohm_error").value(err_20);
+    json.key("distributed_100ohm_error").value(err_100);
+    json.end_object();
   }
+  json.end_array();
   std::cout << t.to_text() << '\n'
             << "One analog pass computes N^2 MACs in a single read cycle;\n"
                "IR drop along the wires is the accuracy tax, growing with\n"
@@ -56,7 +71,7 @@ void print_error_sweep() {
                "analog CIM that digital (IMPLY/TC-adder) CIM avoids.\n\n";
 }
 
-void print_throughput() {
+void print_throughput(telemetry::JsonWriter& json) {
   const std::size_t n = 32;
   TextTable t({"Analog MAC pass (32x32)", "value"});
   // 1024 MACs per pass; pass time = one read settle (~1 ns budget),
@@ -79,6 +94,12 @@ void print_throughput() {
   t.add_row({"analog pass settle budget", "~1 ns (one read cycle)"});
   t.add_row({"worst output error", sci_string(vmm.relative_error(x), 2)});
   std::cout << t.to_text() << '\n';
+
+  json.key("throughput").begin_object();
+  json.key("macs_per_pass").value(static_cast<std::uint64_t>(n * n));
+  json.key("total_output_current_a").value(i_total);
+  json.key("worst_output_error").value(vmm.relative_error(x));
+  json.end_object();
 }
 
 void BM_AnalogMultiply(benchmark::State& state) {
@@ -99,8 +120,11 @@ BENCHMARK(BM_AnalogMultiply)->Arg(8)->Arg(32)->Arg(64);
 
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: analog VMM on the crossbar ===\n\n";
-  print_error_sweep();
-  print_throughput();
+  telemetry::JsonWriter json;
+  bench::begin_bench_json(json, "ablation_vmm");
+  print_error_sweep(json);
+  print_throughput(json);
+  bench::write_bench_json(json, "ablation_vmm");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "device/linear_ion_drift.h"
 #include "device/pcm.h"
@@ -115,8 +116,7 @@ BENCHMARK(BM_IonDriftStep)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 int main(int argc, char** argv) {
   std::cout << "=== Ablation: window functions & model fidelity ===\n\n";
   telemetry::JsonWriter json;
-  json.begin_object();
-  json.key("bench").value("ablation_windows");
+  bench::begin_bench_json(json, "ablation_windows");
   print_window_dynamics(json);
   json.end_object();
   std::ofstream("BENCH_ablation_windows.json") << json.str();

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "device/presets.h"
 #include "telemetry/json_writer.h"
@@ -119,8 +120,7 @@ int main(int argc, char** argv) {
             << "Quasi-static sweep 0 -> +5V -> 0 -> -5V -> 0, circuit-level\n"
                "CRS (two anti-serial TaOx VCM devices):\n\n";
   telemetry::JsonWriter w;
-  w.begin_object();
-  w.key("bench").value("fig4_crs_iv");
+  bench::begin_bench_json(w, "fig4_crs_iv");
   print_trace(w);
   print_ecm_thresholds(w);
   w.end_object();

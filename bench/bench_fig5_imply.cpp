@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "device/presets.h"
@@ -164,8 +165,7 @@ BENCHMARK(BM_CrsImp);
 int main(int argc, char** argv) {
   std::cout << "=== Figure 5: two IMP implementations ===\n\n";
   telemetry::JsonWriter w;
-  w.begin_object();
-  w.key("bench").value("fig5_imply");
+  bench::begin_bench_json(w, "fig5_imply");
   print_truth_tables(w);
   print_costs(w);
   print_adders(w);

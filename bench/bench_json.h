@@ -1,0 +1,47 @@
+// Shared BENCH_*.json envelope: every bench binary emits one document
+// with the same outer schema so CI and plotting scripts can consume
+// any report uniformly:
+//
+//   {
+//     "schema": "memcim-bench-v1",
+//     "bench": "<bench name>",
+//     ... bench-specific payload keys ...
+//   }
+//
+// Usage: begin_bench_json(w, "table2_dna"), append payload keys, then
+// write_bench_json(w, "table2_dna") to close the envelope and write
+// BENCH_table2_dna.json into the working directory.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "telemetry/json_writer.h"
+
+namespace memcim::bench {
+
+/// Envelope version; bump when the outer shape changes.
+inline constexpr const char* kBenchSchema = "memcim-bench-v1";
+
+/// Open the envelope: the outer object plus the schema/bench keys.
+/// The writer must be fresh; the caller appends payload keys next.
+inline telemetry::JsonWriter& begin_bench_json(telemetry::JsonWriter& w,
+                                               const std::string& name) {
+  w.begin_object();
+  w.key("schema").value(kBenchSchema);
+  w.key("bench").value(name);
+  return w;
+}
+
+/// Close the envelope and write BENCH_<stem>.json to the working
+/// directory (where CI collects artifacts).
+inline void write_bench_json(telemetry::JsonWriter& w,
+                             const std::string& stem) {
+  w.end_object();
+  const std::string path = "BENCH_" + stem + ".json";
+  std::ofstream(path) << w.str();
+  std::cout << "Wrote " << path << "\n";
+}
+
+}  // namespace memcim::bench

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "device/presets.h"
@@ -212,8 +213,7 @@ void write_report(const ProgramEngineReport& engine,
                   const std::vector<FarmScalingPoint>& farm,
                   const CamSweepReport& cam) {
   telemetry::JsonWriter w;
-  w.begin_object();
-  w.key("bench").value("logic_throughput");
+  bench::begin_bench_json(w, "logic_throughput");
   w.key("program_engine").begin_object();
   w.key("workload").value("ripple_add_32bit_imply");
   w.key("windows").value(static_cast<std::uint64_t>(kWindows));

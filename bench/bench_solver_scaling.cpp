@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "crossbar/crossbar.h"
@@ -165,8 +166,7 @@ DistributedNumbers measure_distributed(std::size_t n) {
 void write_json(const OverhaulNumbers& o,
                 const std::vector<DistributedNumbers>& dist) {
   telemetry::JsonWriter w;
-  w.begin_object();
-  w.key("bench").value("solver_scaling");
+  bench::begin_bench_json(w, "solver_scaling");
   w.key("threads").value(parallel_threads());
   w.key("nonlinear_128_lumped").begin_object();
   w.key("baseline_single_solve_ms").value(o.baseline_single_ms);

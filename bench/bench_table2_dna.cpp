@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "eval/report.h"
 #include "eval/table2.h"
@@ -19,23 +20,34 @@ namespace {
 
 using namespace memcim;
 
-void print_analytical() {
+void print_analytical(telemetry::JsonWriter& w) {
   const Table2 table = make_table2(paper_table1());
   TextTable t({"Metric", "Conv (ours)", "CIM (ours)", "Conv (paper)",
                "CIM (paper)", "CIM gain (ours)", "CIM gain (paper)"});
+  w.key("analytical").begin_array();
   for (const Table2Entry& e : table.entries) {
     if (std::string(e.workload) != "DNA sequencing") continue;
     t.add_row({e.metric, sci_string(e.conventional), sci_string(e.cim),
                sci_string(e.paper_conventional), sci_string(e.paper_cim),
                sci_string(e.improvement(), 2),
                sci_string(e.paper_improvement(), 2)});
+    w.begin_object();
+    w.key("metric").value(e.metric);
+    w.key("conventional").value(e.conventional);
+    w.key("cim").value(e.cim);
+    w.key("paper_conventional").value(e.paper_conventional);
+    w.key("paper_cim").value(e.paper_cim);
+    w.key("improvement").value(e.improvement());
+    w.key("paper_improvement").value(e.paper_improvement());
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "Audit trail:\n"
             << render_table2_audit(table) << '\n';
 }
 
-void print_functional() {
+void print_functional(telemetry::JsonWriter& w) {
   Rng rng(2015);
   const std::string genome = generate_genome(50'000, rng);
   ReadSetParams params;
@@ -56,6 +68,16 @@ void print_functional() {
   t.add_row({"paper full-scale short reads", sci_string(paper.short_reads)});
   t.add_row({"paper full-scale comparisons", sci_string(paper.comparisons)});
   std::cout << t.to_text() << '\n';
+
+  w.key("functional").begin_object();
+  w.key("genome_bases").value(static_cast<std::uint64_t>(genome.size()));
+  w.key("short_reads").value(static_cast<std::uint64_t>(reads.size()));
+  w.key("reads_matched").value(stats.reads_matched);
+  w.key("character_comparisons").value(stats.character_comparisons);
+  w.key("paper_accounting_comparisons").value(stats.paper_comparisons());
+  w.key("paper_full_scale_short_reads").value(paper.short_reads);
+  w.key("paper_full_scale_comparisons").value(paper.comparisons);
+  w.end_object();
 }
 
 void BM_SortedIndexMatching(benchmark::State& state) {
@@ -78,8 +100,11 @@ BENCHMARK(BM_SortedIndexMatching)->Arg(10'000)->Arg(40'000);
 
 int main(int argc, char** argv) {
   std::cout << "=== Table 2 / DNA sequencing: conventional vs CIM ===\n\n";
-  print_analytical();
-  print_functional();
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "table2_dna");
+  print_analytical(w);
+  print_functional(w);
+  bench::write_bench_json(w, "table2_dna");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

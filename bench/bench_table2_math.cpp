@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "device/presets.h"
 #include "eval/report.h"
@@ -17,23 +18,34 @@ namespace {
 
 using namespace memcim;
 
-void print_analytical() {
+void print_analytical(telemetry::JsonWriter& w) {
   const Table2 table = make_table2(paper_table1());
   TextTable t({"Metric", "Conv (ours)", "CIM (ours)", "Conv (paper)",
                "CIM (paper)", "CIM gain (ours)", "CIM gain (paper)"});
+  w.key("analytical").begin_array();
   for (const Table2Entry& e : table.entries) {
     if (std::string(e.workload) != "10^6 additions") continue;
     t.add_row({e.metric, sci_string(e.conventional), sci_string(e.cim),
                sci_string(e.paper_conventional), sci_string(e.paper_cim),
                sci_string(e.improvement(), 2),
                sci_string(e.paper_improvement(), 2)});
+    w.begin_object();
+    w.key("metric").value(e.metric);
+    w.key("conventional").value(e.conventional);
+    w.key("cim").value(e.cim);
+    w.key("paper_conventional").value(e.paper_conventional);
+    w.key("paper_cim").value(e.paper_cim);
+    w.key("improvement").value(e.improvement());
+    w.key("paper_improvement").value(e.paper_improvement());
+    w.end_object();
   }
+  w.end_array();
   std::cout << t.to_text() << '\n'
             << "Audit trail:\n"
             << render_table2_audit(table) << '\n';
 }
 
-void print_functional() {
+void print_functional(telemetry::JsonWriter& w) {
   ParallelAddParams params;
   params.operations = 4096;
   params.width = 32;
@@ -55,6 +67,16 @@ void print_functional() {
                        "J")});
   t.add_row({"energy per add (Table 1 budget)", "256 fJ (8 ops/bit x 32 x 1 fJ)"});
   std::cout << t.to_text() << '\n';
+
+  w.key("functional").begin_object();
+  w.key("operations").value(static_cast<std::uint64_t>(params.operations));
+  w.key("mismatches").value(r.mismatches);
+  w.key("total_pulses").value(r.total_pulses);
+  w.key("latency_s").value(r.latency.value());
+  w.key("energy_j").value(r.total_energy.value());
+  w.key("energy_per_add_j").value(r.total_energy.value() /
+                                  static_cast<double>(params.operations));
+  w.end_object();
 }
 
 void BM_TcAdderFarm(benchmark::State& state) {
@@ -75,8 +97,11 @@ BENCHMARK(BM_TcAdderFarm)->Arg(256)->Arg(1024);
 
 int main(int argc, char** argv) {
   std::cout << "=== Table 2 / 10^6 additions: conventional vs CIM ===\n\n";
-  print_analytical();
-  print_functional();
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "table2_math");
+  print_analytical(w);
+  print_functional(w);
+  bench::write_bench_json(w, "table2_math");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -22,6 +22,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "telemetry/json_writer.h"
@@ -210,8 +211,7 @@ OverheadReport measure() {
 
 void write_report(const OverheadReport& rep) {
   telemetry::JsonWriter w;
-  w.begin_object();
-  w.key("bench").value("telemetry_overhead");
+  bench::begin_bench_json(w, "telemetry_overhead");
   w.key("threads").value(static_cast<std::uint64_t>(parallel_threads()));
   w.key("per_event_ns").begin_object();
   w.key("counter_add_disabled").value(rep.counter_disabled_ns);

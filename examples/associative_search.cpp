@@ -90,7 +90,7 @@ int main() {
   scale.add_row({"hit rows", hits.size() == 1 ? std::to_string(hits[0])
                                               : "unexpected"});
   scale.add_row({"wave latency", si_string(machine.stats().latency.value(), "s")});
-  scale.add_row({"wave energy", si_string(machine.stats().energy.value(), "J")});
+  scale.add_row({"wave energy", si_string(machine.energy().value(), "J")});
   std::cout << scale.to_text()
             << "\nAll tiles search concurrently — the working set never\n"
                "leaves the crossbars (the Figure 2 proposition).\n";

@@ -33,22 +33,25 @@ std::vector<bool> CimMachine::load(std::size_t global_row) {
   return tiles_[loc.tile].load_row(loc.row);
 }
 
+Energy CimMachine::tile_energy() const {
+  Energy total{0.0};
+  for (const CimTile& t : tiles_) total += t.stats().energy;
+  return total;
+}
+
 std::vector<std::size_t> CimMachine::search(const std::vector<bool>& key) {
   std::vector<std::size_t> matches;
   Time worst_tile{0.0};
-  Energy wave_energy = config_.dispatch_energy;
   for (std::size_t ti = 0; ti < tiles_.size(); ++ti) {
     CimTile& t = tiles_[ti];
     const Time before_latency = t.stats().latency;
-    const Energy before_energy = t.stats().energy;
     const std::vector<bool> tile_matches = t.parallel_compare(key);
     worst_tile = std::max(worst_tile, t.stats().latency - before_latency);
-    wave_energy += t.stats().energy - before_energy;
     for (std::size_t r = 0; r < tile_matches.size(); ++r)
       if (tile_matches[r]) matches.push_back(ti * config_.tile.rows + r);
   }
   stats_.latency += worst_tile + config_.dispatch_latency;
-  stats_.energy += wave_energy;
+  dispatch_energy_ += config_.dispatch_energy;
   ++stats_.waves;
   stats_.operations += capacity_rows();
   return matches;
@@ -64,11 +67,10 @@ void CimMachine::add_rows(std::size_t row_a, std::size_t row_b,
                    "data path in this machine)");
   CimTile& t = tiles_[a.tile];
   const Time before_latency = t.stats().latency;
-  const Energy before_energy = t.stats().energy;
   t.parallel_add(a.row, b.row, d.row, lane_bits);
   stats_.latency +=
       (t.stats().latency - before_latency) + config_.dispatch_latency;
-  stats_.energy += (t.stats().energy - before_energy) + config_.dispatch_energy;
+  dispatch_energy_ += config_.dispatch_energy;
   ++stats_.waves;
   stats_.operations += config_.tile.row_bits / lane_bits;
 }

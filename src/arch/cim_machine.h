@@ -22,9 +22,13 @@ struct CimMachineConfig {
   Energy dispatch_energy{1e-12};
 };
 
+/// Machine-side books.  Energy deliberately lives elsewhere: tiles are
+/// the single source of truth for crossbar energy (CimMachine::tile_energy
+/// sums their live books) and the machine only accumulates its own
+/// dispatch overhead — so a joule is counted exactly once no matter how
+/// callers interleave machine waves with direct tile(i) operations.
 struct CimMachineStats {
   Time latency{0.0};
-  Energy energy{0.0};
   std::uint64_t waves = 0;
   std::uint64_t operations = 0;
 };
@@ -36,6 +40,15 @@ class CimMachine {
 
   [[nodiscard]] const CimMachineConfig& config() const { return config_; }
   [[nodiscard]] const CimMachineStats& stats() const { return stats_; }
+
+  /// Crossbar-side energy: the sum of the live per-tile cost books.
+  [[nodiscard]] Energy tile_energy() const;
+  /// CMOS controller dispatch energy accumulated across waves.
+  [[nodiscard]] Energy dispatch_energy() const { return dispatch_energy_; }
+  /// End-to-end machine energy — the one accounting path.
+  [[nodiscard]] Energy energy() const {
+    return tile_energy() + dispatch_energy_;
+  }
   [[nodiscard]] std::size_t capacity_rows() const {
     return config_.tiles * config_.tile.rows;
   }
@@ -65,6 +78,7 @@ class CimMachine {
   CimMachineConfig config_;
   std::vector<CimTile> tiles_;
   CimMachineStats stats_;
+  Energy dispatch_energy_{0.0};
 };
 
 }  // namespace memcim

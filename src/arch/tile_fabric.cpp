@@ -1,0 +1,77 @@
+#include "arch/tile_fabric.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "telemetry/telemetry.h"
+
+namespace memcim {
+
+TileFabric::TileFabric(const TileFabricConfig& config)
+    : config_(config),
+      noc_(config.width, config.height, config.noc),
+      busy_(config.width * config.height, 0) {
+  MEMCIM_CHECK_MSG(config_.host < noc_.nodes(),
+                   "host node must sit on the mesh");
+  tiles_.reserve(noc_.nodes());
+  for (std::size_t i = 0; i < noc_.nodes(); ++i)
+    tiles_.emplace_back(config_.tile);
+}
+
+CimTile& TileFabric::tile(std::size_t index) {
+  MEMCIM_CHECK(index < tiles_.size());
+  return tiles_[index];
+}
+
+const CimTile& TileFabric::tile(std::size_t index) const {
+  MEMCIM_CHECK(index < tiles_.size());
+  return tiles_[index];
+}
+
+NocCycle TileFabric::compute_cycles(Time t) const {
+  MEMCIM_CHECK(t.value() >= 0.0);
+  const double cycles = std::ceil(t.value() / config_.noc.cycle.value());
+  return static_cast<NocCycle>(cycles);
+}
+
+void TileFabric::note_busy(std::size_t tile, NocCycle cycles) {
+  MEMCIM_CHECK(tile < busy_.size());
+  busy_[tile] += cycles;
+}
+
+NocCycle TileFabric::busy_cycles(std::size_t tile) const {
+  MEMCIM_CHECK(tile < busy_.size());
+  return busy_[tile];
+}
+
+double TileFabric::utilization() const {
+  const NocCycle makespan = noc_.makespan();
+  if (makespan == 0) return 0.0;
+  NocCycle total = 0;
+  for (const NocCycle b : busy_) total += b;
+  return static_cast<double>(total) /
+         (static_cast<double>(tiles()) * static_cast<double>(makespan));
+}
+
+Energy TileFabric::tile_energy() const {
+  Energy total{0.0};
+  for (const CimTile& t : tiles_) total += t.stats().energy;
+  return total;
+}
+
+void TileFabric::record_telemetry() const {
+  noc_.record_telemetry();
+  if (!telemetry::enabled()) return;
+  telemetry::Registry& reg = telemetry::Registry::global();
+  NocCycle total_busy = 0;
+  for (const NocCycle b : busy_) total_busy += b;
+  reg.counter("tile.busy_cycles").add(total_busy);
+  reg.counter("tile.count").add(tiles());
+  reg.gauge("fabric.utilization").set(utilization());
+
+  telemetry::Histogram& busy_hist = reg.histogram(
+      "tile.busy_cycles_dist", telemetry::exponential_bounds(1.0, 4.0, 12));
+  for (const NocCycle b : busy_) busy_hist.record(static_cast<double>(b));
+}
+
+}  // namespace memcim

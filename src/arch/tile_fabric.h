@@ -1,0 +1,81 @@
+// The multi-tile CIM fabric: a width × height grid of CimTiles, one
+// per mesh-NoC router, plus a host/controller attachment point — the
+// scaled-out form of Figure 2 with the inter-tile communication
+// actually costed instead of assumed.
+//
+// Responsibilities are deliberately narrow:
+//   * own the tiles and the MeshNoc,
+//   * convert tile compute time to NoC cycles (the two sides share the
+//     virtual clock through NocParams::cycle),
+//   * keep per-tile busy-cycle books and derive fabric utilization,
+//   * expose the single energy accounting path — Σ live tile books +
+//     NoC dynamic energy, each counted exactly once (the CimMachine
+//     reconciliation rule applied fabric-wide).
+//
+// Workload sharding lives above (src/workloads/sharded.h); the fabric
+// has no opinion on what the packets mean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/cim_tile.h"
+#include "noc/mesh.h"
+
+namespace memcim {
+
+struct TileFabricConfig {
+  std::size_t width = 2;   ///< mesh columns
+  std::size_t height = 2;  ///< mesh rows
+  /// Router the host/controller NIC hangs off (command source, result
+  /// sink).  Row-major node id.
+  std::size_t host = 0;
+  CimTileConfig tile{};
+  NocParams noc{};
+};
+
+class TileFabric {
+ public:
+  explicit TileFabric(const TileFabricConfig& config);
+
+  [[nodiscard]] const TileFabricConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t tiles() const { return noc_.nodes(); }
+  [[nodiscard]] std::size_t host() const { return config_.host; }
+
+  [[nodiscard]] CimTile& tile(std::size_t index);
+  [[nodiscard]] const CimTile& tile(std::size_t index) const;
+  [[nodiscard]] MeshNoc& noc() { return noc_; }
+  [[nodiscard]] const MeshNoc& noc() const { return noc_; }
+
+  /// Tile compute time in whole NoC cycles, rounded up — the release
+  /// offset a result packet carries relative to its command's arrival.
+  [[nodiscard]] NocCycle compute_cycles(Time t) const;
+
+  // -- per-tile busy books ----------------------------------------------------
+  /// Credit `cycles` of compute occupancy to a tile (workload drivers
+  /// call this once per shard executed there).
+  void note_busy(std::size_t tile, NocCycle cycles);
+  [[nodiscard]] NocCycle busy_cycles(std::size_t tile) const;
+  /// Mean tile occupancy over the fabric makespan: Σ busy /
+  /// (tiles · makespan); 0 before any traffic completes.
+  [[nodiscard]] double utilization() const;
+
+  // -- single energy accounting path ------------------------------------------
+  /// Σ of the live per-tile cost books.
+  [[nodiscard]] Energy tile_energy() const;
+  [[nodiscard]] Energy noc_energy() const { return noc_.dynamic_energy(); }
+  [[nodiscard]] Energy energy() const { return tile_energy() + noc_energy(); }
+
+  /// Export tile.busy_cycles / fabric.utilization and the NoC metric
+  /// set.  Call once per finished run (idempotent counters would double
+  /// count).
+  void record_telemetry() const;
+
+ private:
+  TileFabricConfig config_;
+  MeshNoc noc_;
+  std::vector<CimTile> tiles_;
+  std::vector<NocCycle> busy_;
+};
+
+}  // namespace memcim

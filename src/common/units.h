@@ -110,6 +110,10 @@ using Power = Quantity<1, 2, -3, 0>;
 using Voltage = Quantity<1, 2, -3, -1>;
 using Resistance = Quantity<1, 2, -3, -2>;
 using Conductance = Quantity<-1, -2, 3, 2>;
+using Capacitance = Quantity<-1, -2, 4, 2>;
+/// Wire capacitance per unit length (F/m) — the NoC power model's base
+/// quantity.
+using CapacitancePerLength = Quantity<-1, -3, 4, 2>;
 /// Energy·time — the numerator of the paper's "energy-delay per operation".
 using EnergyDelay = Quantity<1, 2, -1, 0>;
 
@@ -119,6 +123,8 @@ static_assert(std::is_same_v<decltype(Voltage{} * Conductance{}), Current>);
 static_assert(std::is_same_v<decltype(Power{} * Time{}), Energy>);
 static_assert(std::is_same_v<decltype(Energy{} * Time{}), EnergyDelay>);
 static_assert(std::is_same_v<decltype(Current{} * Time{}), Charge>);
+static_assert(std::is_same_v<decltype(Capacitance{} * Voltage{} * Voltage{}), Energy>);
+static_assert(std::is_same_v<decltype(CapacitancePerLength{} * Length{}), Capacitance>);
 static_assert(std::is_same_v<decltype(Length{} * Length{}), Area>);
 static_assert(std::is_same_v<decltype(1.0 / Time{}), Frequency>);
 static_assert(std::is_same_v<decltype(1.0 / Resistance{}), Conductance>);

@@ -11,6 +11,7 @@
 #include "logic/crs_fabric.h"
 #include "logic/ideal_fabric.h"
 #include "logic/tc_adder.h"
+#include "noc/mesh.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/telemetry.h"
 #include "workloads/dna.h"
@@ -415,6 +416,57 @@ CampaignTally run_parallel_add_campaign(const CampaignConfig& config,
   return record_campaign(std::move(tally));
 }
 
+CampaignTally run_noc_link_campaign(const CampaignConfig& config, double rate) {
+  CampaignTally tally;
+  tally.target = "noc_link";
+  tally.rate = rate;
+
+  NocParams params;
+  params.flit_payload_bits = config.noc_payload_bits;
+  MeshNoc noc(config.noc_mesh, config.noc_mesh, params);
+
+  // The fault population is every wire of every directional link (edge
+  // link ids are no-op targets, keeping the site space rectangular).
+  const std::size_t wires = params.link_wires();
+  FaultPlan plan = FaultPlan::draw(noc.link_population() * wires,
+                                   derive(config.seed, 0x40CF, rate),
+                                   stuck_specs(rate));
+  tally.armed_faults = plan.armed_count();
+  for (const ArmedFault& fault : plan.armed()) {
+    const std::optional<bool> bit = plan.stuck_bit(fault.site);
+    if (bit) noc.set_link_fault(fault.site / wires, fault.site % wires, *bit);
+  }
+
+  // Drive a deterministic random-pairs pattern; each delivery is one
+  // trial.  Wire data derives from the fingerprint, so the fault-free
+  // reference is implicit: corrupted_flits counts bits a stuck wire
+  // changed, and the parity wire decides detected vs silent.
+  Rng rng(derive(config.seed, 0x40C, rate));
+  const auto node = [&] {
+    return static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(noc.nodes() - 1)));
+  };
+  for (std::size_t p = 0; p < config.noc_packets; ++p) {
+    NocPacket pkt;
+    pkt.src = node();
+    pkt.dst = node();
+    pkt.flits = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    pkt.fingerprint = derive(config.seed, 0x40CF17, rate, p);
+    (void)noc.inject(pkt);
+  }
+  noc.run_to_completion();
+
+  for (const NocDelivery& d : noc.deliveries()) {
+    if (!d.corrupted())
+      tally.diff.add(DiffOutcome::kClean);
+    else if (d.undetected_corrupted_flits == 0)
+      tally.diff.add(DiffOutcome::kDetected);
+    else
+      tally.diff.add(DiffOutcome::kSilent);
+  }
+  return record_campaign(std::move(tally));
+}
+
 std::vector<CampaignTally> run_full_campaign(const CampaignConfig& config) {
   std::vector<CampaignTally> sweep;
   for (const double rate : config.rates) sweep.push_back(run_ecc_campaign(config, rate));
@@ -430,6 +482,8 @@ std::vector<CampaignTally> run_full_campaign(const CampaignConfig& config) {
   for (const double rate : config.rates) sweep.push_back(run_dna_campaign(config, rate));
   for (const double rate : config.rates)
     sweep.push_back(run_parallel_add_campaign(config, rate));
+  for (const double rate : config.rates)
+    sweep.push_back(run_noc_link_campaign(config, rate));
   return sweep;
 }
 
@@ -448,6 +502,7 @@ std::string campaign_json(const CampaignConfig& config,
 
   telemetry::JsonWriter w;
   w.begin_object();
+  w.key("schema").value("memcim-bench-v1");
   w.key("bench").value("fault_campaign");
   w.key("seed").value(config.seed);
   w.key("rates").begin_array();

@@ -3,7 +3,8 @@
 // ripple adder (ideal and CRS fabrics), the CRS TC-adder, the CAM
 // search array, the crossbar readout path, and the two end-to-end
 // workloads (DNA read matching on a k-mer CAM, the parallel-add
-// farm).  Every campaign is a golden-model differential: the same
+// farm), plus the mesh NoC's links (stuck wires vs the per-flit
+// parity check).  Every campaign is a golden-model differential: the same
 // trial runs on a fault-free golden model and on the faulty structure,
 // and each trial lands in exactly one DiffOutcome bucket.  The fault
 // rate 0.0 row doubles as the plumbing self-test: it must be 100%
@@ -37,6 +38,9 @@ struct CampaignConfig {
   std::size_t add_ops = 128;         ///< parallel-add batch size
   std::size_t add_width = 16;        ///< parallel-add operand width
   std::size_t add_adders = 16;       ///< parallel-add farm size
+  std::size_t noc_mesh = 4;          ///< link-fault mesh is noc_mesh²
+  std::size_t noc_payload_bits = 16; ///< flit payload width per link
+  std::size_t noc_packets = 96;      ///< packets driven per rate
 };
 
 /// One (target, rate) cell of the campaign sweep.
@@ -68,6 +72,8 @@ struct CampaignTally {
                                              double rate);
 [[nodiscard]] CampaignTally run_parallel_add_campaign(
     const CampaignConfig& config, double rate);
+[[nodiscard]] CampaignTally run_noc_link_campaign(const CampaignConfig& config,
+                                                  double rate);
 
 /// The full sweep: every target × every configured rate, in a fixed
 /// deterministic order (targets outer, rates inner).

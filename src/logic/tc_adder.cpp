@@ -87,6 +87,12 @@ void CrsTcAdder::inject_stuck(std::size_t site, bool stuck_one) {
     scratch_cell_.force_stuck(pinned);
 }
 
+std::uint64_t CrsTcAdder::transitions() const {
+  std::uint64_t total = carry_cell_.transitions() + scratch_cell_.transitions();
+  for (const auto& cell : sum_cells_) total += cell.transitions();
+  return total;
+}
+
 std::uint64_t CrsTcAdder::stored_sum() const {
   std::uint64_t value = 0;
   for (std::size_t i = 0; i < width_; ++i)

@@ -56,6 +56,10 @@ class CrsTcAdder {
   /// pulses issued).
   [[nodiscard]] std::uint64_t stored_sum() const;
 
+  /// Lifetime cell state transitions across all adds (endurance /
+  /// energy-window tally).
+  [[nodiscard]] std::uint64_t transitions() const;
+
   /// Fault-site indexing for inject_stuck(): sites 0..width-1 are the
   /// sum cells, site width the carry cell, site width+1 the scratch
   /// cell — devices(width) sites in total.

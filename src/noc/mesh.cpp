@@ -1,0 +1,371 @@
+#include "noc/mesh.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/error.h"
+#include "telemetry/telemetry.h"
+
+namespace memcim {
+
+namespace {
+
+inline constexpr NocCycle kNever = std::numeric_limits<NocCycle>::max();
+
+/// splitmix64 finalizer — per-flit wire data from the packet digest.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::uint64_t flit_word(std::uint64_t fingerprint,
+                                      std::size_t flit_index) {
+  return mix(fingerprint ^ (0xF117ull + static_cast<std::uint64_t>(flit_index)));
+}
+
+}  // namespace
+
+MeshNoc::MeshNoc(std::size_t width, std::size_t height, const NocParams& params)
+    : width_(width),
+      height_(height),
+      params_(params),
+      power_(RouterPowerModel::derive(params)),
+      routers_(width * height),
+      nics_(width * height),
+      link_busy_(width * height * kNocLinkDirs, 0),
+      link_faults_(width * height * kNocLinkDirs) {
+  MEMCIM_CHECK_MSG(width > 0 && height > 0, "mesh needs at least one router");
+  MEMCIM_CHECK_MSG(params.flit_payload_bits >= 1 && params.buffer_flits >= 1,
+                   "degenerate NoC parameters");
+}
+
+NocDir MeshNoc::route(std::size_t node, std::size_t dst) const {
+  // Dimension-ordered XY: resolve the X offset first, then Y.
+  const std::size_t x = x_of(node), y = y_of(node);
+  const std::size_t dx = x_of(dst), dy = y_of(dst);
+  if (dx > x) return NocDir::kEast;
+  if (dx < x) return NocDir::kWest;
+  if (dy > y) return NocDir::kSouth;
+  if (dy < y) return NocDir::kNorth;
+  return NocDir::kLocal;
+}
+
+std::size_t MeshNoc::neighbor(std::size_t node, NocDir dir) const {
+  switch (dir) {
+    case NocDir::kNorth:
+      return node - width_;
+    case NocDir::kSouth:
+      return node + width_;
+    case NocDir::kEast:
+      return node + 1;
+    case NocDir::kWest:
+      return node - 1;
+    case NocDir::kLocal:
+      break;
+  }
+  MEMCIM_CHECK_MSG(false, "local port has no neighbor");
+  return node;
+}
+
+std::size_t MeshNoc::entry_port(NocDir dir) const {
+  // A flit leaving `node` eastward enters its neighbor's *west* port.
+  switch (dir) {
+    case NocDir::kNorth:
+      return static_cast<std::size_t>(NocDir::kSouth);
+    case NocDir::kSouth:
+      return static_cast<std::size_t>(NocDir::kNorth);
+    case NocDir::kEast:
+      return static_cast<std::size_t>(NocDir::kWest);
+    case NocDir::kWest:
+      return static_cast<std::size_t>(NocDir::kEast);
+    case NocDir::kLocal:
+      break;
+  }
+  MEMCIM_CHECK_MSG(false, "local port is not a link");
+  return 0;
+}
+
+std::size_t MeshNoc::inject(const NocPacket& packet) {
+  MEMCIM_CHECK_MSG(packet.src < nodes() && packet.dst < nodes(),
+                   "packet endpoints outside the mesh");
+  MEMCIM_CHECK_MSG(packet.flits >= 1, "packets carry at least one flit");
+  MEMCIM_CHECK_MSG(packet.after == kNoPacket || packet.after < packets_.size(),
+                   "dependency on a packet not yet injected");
+  const std::size_t handle = packets_.size();
+  PacketState ps;
+  ps.packet = packet;
+  packets_.push_back(ps);
+  NocDelivery d;
+  d.tag = packet.tag;
+  d.src = packet.src;
+  d.dst = packet.dst;
+  d.flits = packet.flits;
+  deliveries_.push_back(d);
+  ++undelivered_;
+  ++stats_.packets;
+  return handle;
+}
+
+void MeshNoc::resolve_releases() {
+  for (std::size_t h = 0; h < packets_.size(); ++h) {
+    PacketState& ps = packets_[h];
+    if (ps.release_resolved) continue;
+    if (ps.packet.after == kNoPacket) {
+      ps.released = ps.packet.release;
+    } else if (deliveries_[ps.packet.after].done) {
+      ps.released = deliveries_[ps.packet.after].delivered + ps.packet.release;
+    } else {
+      continue;
+    }
+    ps.release_resolved = true;
+    deliveries_[h].released = ps.released;
+    nics_[ps.packet.src].push_back(h);
+  }
+}
+
+bool MeshNoc::idle() const {
+  if (in_flight_flits_ != 0) return false;
+  for (const auto& nic : nics_)
+    if (!nic.empty()) return false;
+  return true;
+}
+
+NocCycle MeshNoc::next_release() const {
+  NocCycle next = kNever;
+  for (const auto& nic : nics_)
+    for (const std::size_t h : nic)
+      next = std::min(next, packets_[h].released);
+  return next;
+}
+
+void MeshNoc::apply_link_faults(std::size_t link, std::size_t handle,
+                                std::size_t flit_index) {
+  const auto& faults = link_faults_[link];
+  if (faults.empty()) return;
+  const std::uint64_t word =
+      flit_word(packets_[handle].packet.fingerprint, flit_index);
+  const std::size_t parity_wire = params_.flit_payload_bits;
+  std::size_t flips = 0;
+  for (const WireFault& f : faults) {
+    bool carried;
+    if (f.wire == parity_wire)
+      carried = (std::popcount(word) % 2) != 0;  // even-parity wire
+    else
+      carried = ((word >> f.wire) & 1u) != 0;
+    if (carried != f.stuck_one) ++flips;
+  }
+  if (flips == 0) return;
+  ++deliveries_[handle].corrupted_flits;
+  if (flips % 2 == 0) ++deliveries_[handle].undetected_corrupted_flits;
+}
+
+void MeshNoc::eject(const Flit& flit) {
+  PacketState& ps = packets_[flit.packet];
+  ++ps.flits_ejected;
+  if (ps.flits_ejected == ps.packet.flits) {
+    ps.done = true;
+    NocDelivery& d = deliveries_[flit.packet];
+    d.delivered = now_;
+    d.done = true;
+    last_delivery_ = std::max(last_delivery_, now_);
+    --undelivered_;
+  }
+}
+
+void MeshNoc::step_cycle() {
+  resolve_releases();
+
+  // Phase A — switch allocation on start-of-cycle state.  Downstream
+  // FIFO occupancies only change in phase B, so every credit check
+  // below reads the same consistent snapshot regardless of router
+  // iteration order.
+  std::vector<Transfer> grants;
+  grants.reserve(nodes());
+  for (std::size_t node = 0; node < nodes(); ++node) {
+    Router& router = routers_[node];
+    for (std::size_t out = 0; out < kNocPorts; ++out) {
+      const NocDir dir = static_cast<NocDir>(out);
+      // Gather whether any input head requests this output.
+      bool any_candidate = false;
+      std::size_t chosen = kNocPorts;
+      for (std::size_t scan = 0; scan < kNocPorts; ++scan) {
+        const std::size_t p = (router.rr[out] + scan) % kNocPorts;
+        const auto& fifo = router.in[p].fifo;
+        if (fifo.empty()) continue;
+        const Flit& head = fifo.front();
+        if (route(node, packets_[head.packet].packet.dst) != dir) continue;
+        any_candidate = true;
+        chosen = p;
+        break;
+      }
+      if (!any_candidate) continue;
+      if (dir != NocDir::kLocal) {
+        const std::size_t dn = neighbor(node, dir);
+        if (routers_[dn].in[entry_port(dir)].fifo.size() >=
+            params_.buffer_flits) {
+          ++stats_.credit_stalls;  // backpressure: no credit downstream
+          continue;
+        }
+      }
+      grants.push_back({node, chosen, dir});
+      router.rr[out] = (chosen + 1) % kNocPorts;
+    }
+  }
+
+  // Phase B — apply the granted transfers.
+  for (const Transfer& t : grants) {
+    auto& fifo = routers_[t.node].in[t.in_port].fifo;
+    const Flit flit = fifo.front();
+    fifo.pop_front();
+    ++stats_.buffer_reads;
+    ++stats_.xbar_traversals;
+    if (t.out == NocDir::kLocal) {
+      --in_flight_flits_;
+      ++stats_.ejections;
+      eject(flit);
+      continue;
+    }
+    const std::size_t dn = neighbor(t.node, t.out);
+    const std::size_t link =
+        t.node * kNocLinkDirs + static_cast<std::size_t>(t.out);
+    ++link_busy_[link];
+    ++stats_.flit_hops;
+    apply_link_faults(link, flit.packet, flit.index);
+    routers_[dn].in[entry_port(t.out)].fifo.push_back(flit);
+    ++stats_.buffer_writes;
+  }
+
+  // Phase C — NICs feed one flit per cycle into their Local input FIFO.
+  for (std::size_t node = 0; node < nodes(); ++node) {
+    auto& nic = nics_[node];
+    if (nic.empty()) continue;
+    // Head-of-NIC selection: the packet already streaming keeps the
+    // port; otherwise the earliest (release, handle) ready packet wins.
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t head_pos = npos;
+    if (packets_[nic.front()].flits_sent > 0) {
+      head_pos = 0;
+    } else {
+      for (std::size_t i = 0; i < nic.size(); ++i) {
+        const PacketState& candidate = packets_[nic[i]];
+        if (candidate.released > now_) continue;
+        if (head_pos == npos ||
+            packets_[nic[head_pos]].released > candidate.released ||
+            (packets_[nic[head_pos]].released == candidate.released &&
+             nic[head_pos] > nic[i]))
+          head_pos = i;
+      }
+      if (head_pos != npos && head_pos != 0) {
+        std::swap(nic[0], nic[head_pos]);
+        head_pos = 0;
+      }
+    }
+    if (head_pos != 0) continue;  // nothing released yet
+    const std::size_t h = nic.front();
+    PacketState& ps = packets_[h];
+    auto& local_fifo =
+        routers_[node].in[static_cast<std::size_t>(NocDir::kLocal)].fifo;
+    if (local_fifo.size() >= params_.buffer_flits) continue;  // NIC stalls
+    if (ps.flits_sent == 0) deliveries_[h].injected = now_;
+    local_fifo.push_back({h, ps.flits_sent});
+    ++ps.flits_sent;
+    ++in_flight_flits_;
+    ++stats_.flits;
+    ++stats_.buffer_writes;
+    if (ps.flits_sent == ps.packet.flits) nic.pop_front();
+  }
+
+  ++stats_.cycles;
+  ++now_;
+}
+
+void MeshNoc::run_to_completion() {
+  resolve_releases();
+  const NocCycle start = now_;
+  while (undelivered_ > 0) {
+    if (idle()) {
+      resolve_releases();
+      const NocCycle next = next_release();
+      MEMCIM_CHECK_MSG(next != kNever,
+                       "NoC deadlock: undelivered packets depend on "
+                       "deliveries that can never happen");
+      now_ = std::max(now_, next);
+    }
+    step_cycle();
+    MEMCIM_CHECK_MSG(now_ - start < 100'000'000ull,
+                     "NoC run exceeded the cycle safety cap");
+  }
+}
+
+Energy MeshNoc::dynamic_energy() const {
+  return power_.buffer_write * static_cast<double>(stats_.buffer_writes) +
+         power_.buffer_read * static_cast<double>(stats_.buffer_reads) +
+         power_.xbar_traversal * static_cast<double>(stats_.xbar_traversals) +
+         power_.link_traversal * static_cast<double>(stats_.flit_hops);
+}
+
+std::vector<NocLinkUse> MeshNoc::link_utilization() const {
+  std::vector<NocLinkUse> uses;
+  for (std::size_t node = 0; node < nodes(); ++node) {
+    for (std::size_t d = 0; d < kNocLinkDirs; ++d) {
+      const NocDir dir = static_cast<NocDir>(d);
+      // Skip ids that point off the mesh edge.
+      const std::size_t x = x_of(node), y = y_of(node);
+      if ((dir == NocDir::kNorth && y == 0) ||
+          (dir == NocDir::kSouth && y + 1 == height_) ||
+          (dir == NocDir::kWest && x == 0) ||
+          (dir == NocDir::kEast && x + 1 == width_))
+        continue;
+      NocLinkUse use;
+      use.node = node;
+      use.dir = dir;
+      use.busy_cycles = link_busy_[node * kNocLinkDirs + d];
+      use.utilization = last_delivery_ == 0
+                            ? 0.0
+                            : static_cast<double>(use.busy_cycles) /
+                                  static_cast<double>(last_delivery_);
+      uses.push_back(use);
+    }
+  }
+  return uses;
+}
+
+void MeshNoc::set_link_fault(std::size_t link, std::size_t wire,
+                             bool stuck_one) {
+  MEMCIM_CHECK_MSG(link < link_population(), "link id out of range");
+  MEMCIM_CHECK_MSG(wire < params_.link_wires(), "wire index out of range");
+  link_faults_[link].push_back({wire, stuck_one});
+}
+
+void MeshNoc::record_telemetry() const {
+  if (!telemetry::enabled()) return;
+  telemetry::Registry& reg = telemetry::Registry::global();
+  reg.counter("noc.packets").add(stats_.packets);
+  reg.counter("noc.flits").add(stats_.flits);
+  reg.counter("noc.hops").add(stats_.flit_hops);
+  reg.counter("noc.ejections").add(stats_.ejections);
+  reg.counter("noc.buffer_writes").add(stats_.buffer_writes);
+  reg.counter("noc.buffer_reads").add(stats_.buffer_reads);
+  reg.counter("noc.xbar_traversals").add(stats_.xbar_traversals);
+  reg.counter("noc.credit_stalls").add(stats_.credit_stalls);
+  reg.counter("noc.cycles").add(stats_.cycles);
+  reg.counter("noc.energy_aj")
+      .add(static_cast<std::uint64_t>(dynamic_energy().value() * 1e18));
+
+  telemetry::Histogram& link_hist = reg.histogram(
+      "noc.link.utilization_pct",
+      {5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0});
+  for (const NocLinkUse& use : link_utilization())
+    link_hist.record(use.utilization * 100.0);
+
+  telemetry::Histogram& latency_hist =
+      reg.histogram("noc.packet.latency_cycles",
+                    telemetry::exponential_bounds(1.0, 2.0, 14));
+  for (const NocDelivery& d : deliveries_)
+    if (d.done) latency_hist.record(static_cast<double>(d.latency()));
+}
+
+}  // namespace memcim

@@ -1,0 +1,67 @@
+// NoC message types: the packet a producer injects and the delivery
+// record the simulator returns.
+//
+// Packets are multi-flit: a workload-visible payload is carried as
+// ceil(bits / flit_payload_bits) flits that wormhole through the mesh
+// in order (input FIFOs are FIFO and XY routes are deterministic, so
+// per-packet flit order is preserved end to end).  Payload *contents*
+// are not simulated wire for wire; each packet carries a 64-bit
+// fingerprint from which per-flit wire data is derived when a faulty
+// link needs to decide whether a stuck wire actually disagrees with
+// the bit it carries (see docs/NOC.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace memcim {
+
+/// Discrete NoC virtual-clock cycle.
+using NocCycle = std::uint64_t;
+
+/// Sentinel for "no dependency" in NocPacket::after.
+inline constexpr std::size_t kNoPacket = static_cast<std::size_t>(-1);
+
+struct NocPacket {
+  std::size_t src = 0;   ///< source node (router id, row-major)
+  std::size_t dst = 0;   ///< destination node
+  std::size_t flits = 1; ///< length in flits (>= 1)
+  std::uint64_t tag = 0; ///< caller correlation id (echoed back)
+  /// Earliest injection cycle; when `after` names an earlier-injected
+  /// packet handle, the effective release is that packet's delivery
+  /// cycle plus this offset — how compute time between a command's
+  /// arrival and its result's departure is modelled without a separate
+  /// event engine.
+  NocCycle release = 0;
+  std::size_t after = kNoPacket;
+  /// Payload digest; seeds the per-flit wire data used by link-fault
+  /// corruption modelling.
+  std::uint64_t fingerprint = 0;
+};
+
+struct NocDelivery {
+  std::uint64_t tag = 0;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::size_t flits = 0;
+  NocCycle released = 0;   ///< effective release cycle
+  NocCycle injected = 0;   ///< head flit entered the source router
+  NocCycle delivered = 0;  ///< tail flit ejected at the destination
+  bool done = false;
+  /// Link-fault bookkeeping: flits whose wire data a stuck wire
+  /// changed, and the subset whose flip count was even (invisible to
+  /// the per-flit parity wire — silent corruption).
+  std::uint64_t corrupted_flits = 0;
+  std::uint64_t undetected_corrupted_flits = 0;
+
+  [[nodiscard]] bool corrupted() const { return corrupted_flits != 0; }
+  /// True when every corrupted flit trips the parity check.
+  [[nodiscard]] bool parity_detected() const {
+    return corrupted_flits != 0 && undetected_corrupted_flits == 0;
+  }
+  [[nodiscard]] NocCycle latency() const { return delivered - released; }
+};
+
+}  // namespace memcim

@@ -1,0 +1,43 @@
+#include "noc/noc_params.h"
+
+namespace memcim {
+
+namespace {
+
+/// Orion's EnergyFactor: 1/2 · Vdd² (J per farad of switched wire).
+[[nodiscard]] auto energy_factor(const NocTech& tech) {
+  return 0.5 * tech.vdd * tech.vdd;
+}
+
+}  // namespace
+
+RouterPowerModel RouterPowerModel::derive(const NocParams& params) {
+  constexpr std::size_t kPorts = 5;  // N, E, S, W, Local
+  const NocTech& tech = params.tech;
+  const auto e_factor = energy_factor(tech);
+  const double wires = static_cast<double>(params.link_wires());
+
+  // MatrixCrossbar::init(): input lines span every output column,
+  // output lines span every input row, both at one cell pitch per
+  // (port, wire) crosspoint.
+  const Length len_in =
+      static_cast<double>(kPorts) * wires * tech.xbar_cell_pitch;
+  const Length len_out = len_in;  // square 5×5 crossbar
+  const Energy e_chg_in = tech.wire_cap * len_in * e_factor;
+  const Energy e_chg_out = tech.wire_cap * len_out * e_factor;
+  // Control line: half an input-line of plain metal (Orion's
+  // Cmetal·len_in/2); charges fully on every traversal.
+  const Energy e_chg_ctr = tech.wire_cap * (len_in / 2.0) * e_factor;
+
+  RouterPowerModel model;
+  // Average flit: half the wires toggle (Orion `is_max_ ? 1 : 0.5`).
+  model.xbar_traversal = (e_chg_in + e_chg_out) * wires * 0.5 + e_chg_ctr;
+  const Energy e_buffer_bit = tech.buffer_bit_cap * e_factor;
+  model.buffer_write = e_buffer_bit * wires;
+  model.buffer_read = e_buffer_bit * wires * 0.5;  // read: bitline half-swing
+  model.link_traversal =
+      tech.wire_cap * params.link_length * e_factor * wires * 0.5;
+  return model;
+}
+
+}  // namespace memcim

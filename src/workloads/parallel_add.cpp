@@ -66,12 +66,14 @@ void run_scalar_farm(const ParallelAddParams& params,
       result.sums[op] = r.sum;
       result.total_pulses += r.pulses;
       result.total_energy += r.energy;
+      if (params.record_per_op) result.op_energy[op] = r.energy.value();
       worst_in_batch = std::max(worst_in_batch, r.latency);
       if (r.sum != ((op_a[op] + op_b[op]) & max_operand)) ++result.mismatches;
     }
     batch_latency += worst_in_batch;
   }
   result.latency = batch_latency;
+  for (const CrsTcAdder& adder : farm) result.transitions += adder.transitions();
 }
 
 void run_packed_farm(const ParallelAddParams& params,
@@ -103,6 +105,7 @@ void run_packed_farm(const ParallelAddParams& params,
       result.sums[op] = outcome.sums[op];
       result.total_pulses += pulses_per_op;
       result.total_energy += Energy(outcome.energies[op]);
+      if (params.record_per_op) result.op_energy[op] = outcome.energies[op];
       worst_in_batch = std::max(worst_in_batch, per_add_latency);
       if (outcome.sums[op] != ((op_a[op] + op_b[op]) & max_operand))
         ++result.mismatches;
@@ -110,6 +113,7 @@ void run_packed_farm(const ParallelAddParams& params,
     batch_latency += worst_in_batch;
   }
   result.latency = batch_latency;
+  result.transitions = outcome.transitions;
   result.used_packed_engine = true;
 
   if (telemetry::enabled()) {
@@ -137,12 +141,7 @@ void run_packed_farm(const ParallelAddParams& params,
 
 ParallelAddResult run_parallel_add(const ParallelAddParams& params,
                                    const CrsCellParams& cell, Rng& rng) {
-  MEMCIM_CHECK(params.operations > 0 && params.adders > 0);
   MEMCIM_CHECK(params.width >= 1 && params.width <= 63);
-  MEMCIM_CHECK(params.chunk_grain >= 1);
-  static telemetry::SpanSite span_site("workload.parallel_add");
-  telemetry::Span span(span_site);
-
   const std::uint64_t max_operand =
       (std::uint64_t{1} << params.width) - 1;
 
@@ -156,6 +155,24 @@ ParallelAddResult run_parallel_add(const ParallelAddParams& params,
     op_b[op] = static_cast<std::uint64_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(max_operand)));
   }
+  return run_parallel_add_ops(params, cell, op_a, op_b);
+}
+
+ParallelAddResult run_parallel_add_ops(const ParallelAddParams& params,
+                                       const CrsCellParams& cell,
+                                       const std::vector<std::uint64_t>& op_a,
+                                       const std::vector<std::uint64_t>& op_b) {
+  MEMCIM_CHECK(params.operations > 0 && params.adders > 0);
+  MEMCIM_CHECK(params.width >= 1 && params.width <= 63);
+  MEMCIM_CHECK(params.chunk_grain >= 1);
+  MEMCIM_CHECK_MSG(op_a.size() == params.operations &&
+                       op_b.size() == params.operations,
+                   "operand batch sizes must equal params.operations");
+  static telemetry::SpanSite span_site("workload.parallel_add");
+  telemetry::Span span(span_site);
+
+  const std::uint64_t max_operand =
+      (std::uint64_t{1} << params.width) - 1;
 
   // Engine choice: armed fault hooks pin per-cell device state
   // mid-schedule, which only the real device walk models — they force
@@ -171,6 +188,7 @@ ParallelAddResult run_parallel_add(const ParallelAddParams& params,
 
   ParallelAddResult result;
   result.sums.assign(params.operations, 0);
+  if (params.record_per_op) result.op_energy.assign(params.operations, 0.0);
   const std::size_t batches =
       (params.operations + params.adders - 1) / params.adders;
   if (packed)

@@ -51,6 +51,10 @@ struct ParallelAddParams {
   AdderEngine engine = AdderEngine::kAuto;
   /// Parallel chunk grain (ops); see kParallelAddChunkGrain.
   std::size_t chunk_grain = kParallelAddChunkGrain;
+  /// Record ParallelAddResult::op_energy — the exact per-op doubles a
+  /// sharded run re-folds in global op order so its totals are bitwise
+  /// equal to a serial golden replay of the same shard plan.
+  bool record_per_op = false;
 };
 
 struct ParallelAddResult {
@@ -62,6 +66,12 @@ struct ParallelAddResult {
   Time latency{0.0};
   std::uint64_t mismatches = 0;  ///< vs the golden CPU adds (must be 0)
   bool used_packed_engine = false;  ///< which engine actually ran
+  /// Cell state transitions of the whole run (endurance/energy window
+  /// tally; identical between engines and across shardings).
+  std::uint64_t transitions = 0;
+  /// Per-op switching energy in joules, exactly as accumulated into
+  /// total_energy; filled only when ParallelAddParams::record_per_op.
+  std::vector<double> op_energy;
 };
 
 /// Generate `operations` random operand pairs and add them on the CRS
@@ -69,5 +79,18 @@ struct ParallelAddResult {
 [[nodiscard]] ParallelAddResult run_parallel_add(const ParallelAddParams& params,
                                                  const CrsCellParams& cell,
                                                  Rng& rng);
+
+/// Run a caller-supplied operand batch (sizes must equal
+/// params.operations) on a fresh farm.  This is the sharding seam: the
+/// multi-tile layer draws all operands once in global op order, slices
+/// them per shard, and calls this on every tile — each tile builds the
+/// full `params.adders` farm (hardware scales with tiles) and applies
+/// the same farm_hook, so a shard whose begin is batch-aligned
+/// reproduces the exact per-op pulse schedules of a serial golden
+/// replay of the same plan.
+[[nodiscard]] ParallelAddResult run_parallel_add_ops(
+    const ParallelAddParams& params, const CrsCellParams& cell,
+    const std::vector<std::uint64_t>& op_a,
+    const std::vector<std::uint64_t>& op_b);
 
 }  // namespace memcim

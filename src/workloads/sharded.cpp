@@ -1,0 +1,379 @@
+#include "workloads/sharded.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "telemetry/telemetry.h"
+#include "workloads/dna.h"
+
+namespace memcim {
+
+namespace {
+
+/// splitmix64 finalizer — packet payload fingerprints.
+std::uint64_t mix_fingerprint(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Flits needed to carry `bits` of payload (at least one).
+std::size_t flits_for_bits(std::size_t bits, const NocParams& params) {
+  return std::max<std::size_t>(
+      1, (bits + params.flit_payload_bits - 1) / params.flit_payload_bits);
+}
+
+/// Command/completion descriptors: opcode + range/tag + checksum.
+constexpr std::size_t kDescriptorBits = 128;
+
+struct NocSnapshot {
+  NocStats stats;
+  Energy energy{0.0};
+  NocCycle now = 0;
+};
+
+NocSnapshot noc_snapshot(const MeshNoc& noc) {
+  return {noc.stats(), noc.dynamic_energy(), noc.now()};
+}
+
+void finish_run(TileFabric& fabric, const NocSnapshot& before,
+                ShardedRunStats& run) {
+  fabric.noc().run_to_completion();
+  const MeshNoc& noc = fabric.noc();
+  run.makespan = noc.makespan() > before.now ? noc.makespan() - before.now : 0;
+  run.latency =
+      Time(fabric.config().noc.cycle.value() * static_cast<double>(run.makespan));
+  run.noc_energy = noc.dynamic_energy() - before.energy;
+  run.flits = noc.stats().flits - before.stats.flits;
+  run.flit_hops = noc.stats().flit_hops - before.stats.flit_hops;
+  run.fabric_utilization = fabric.utilization();
+}
+
+/// Merge per-shard farm results in tile order, re-folding every total
+/// in global op order — the fold a serial execution of the same plan
+/// would produce, bit for bit.
+ParallelAddResult merge_add_shards(
+    const ShardPlan& plan, const std::vector<ParallelAddResult>& per_shard) {
+  ParallelAddResult merged;
+  merged.sums.assign(plan.items, 0);
+  merged.op_energy.assign(plan.items, 0.0);
+  merged.used_packed_engine = true;
+  for (const Shard& s : plan.shards) {
+    if (s.empty()) continue;
+    const ParallelAddResult& r = per_shard[s.tile];
+    MEMCIM_CHECK(r.sums.size() == s.size() && r.op_energy.size() == s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      merged.sums[s.begin + i] = r.sums[i];
+      merged.op_energy[s.begin + i] = r.op_energy[i];
+    }
+    merged.total_pulses += r.total_pulses;
+    merged.mismatches += r.mismatches;
+    merged.transitions += r.transitions;
+    merged.latency += r.latency;
+    merged.used_packed_engine =
+        merged.used_packed_engine && r.used_packed_engine;
+  }
+  for (std::size_t op = 0; op < plan.items; ++op)
+    merged.total_energy += Energy(merged.op_energy[op]);
+  return merged;
+}
+
+/// Execute one shard on a fresh full-size farm.
+ParallelAddResult run_add_shard(const Shard& s,
+                               const ParallelAddParams& params,
+                               const CrsCellParams& cell,
+                               const std::vector<std::uint64_t>& op_a,
+                               const std::vector<std::uint64_t>& op_b) {
+  ParallelAddParams tile_params = params;
+  tile_params.operations = s.size();
+  tile_params.record_per_op = true;
+  const std::vector<std::uint64_t> a(op_a.begin() + static_cast<std::ptrdiff_t>(s.begin),
+                                     op_a.begin() + static_cast<std::ptrdiff_t>(s.end));
+  const std::vector<std::uint64_t> b(op_b.begin() + static_cast<std::ptrdiff_t>(s.begin),
+                                     op_b.begin() + static_cast<std::ptrdiff_t>(s.end));
+  return run_parallel_add_ops(tile_params, cell, a, b);
+}
+
+}  // namespace
+
+ShardedAddResult sharded_parallel_add(TileFabric& fabric,
+                                      const ParallelAddParams& params,
+                                      const CrsCellParams& cell, Rng& rng) {
+  MEMCIM_CHECK(params.operations > 0 && params.adders > 0);
+  MEMCIM_CHECK(params.width >= 1 && params.width <= 63);
+  static telemetry::SpanSite span_site("workload.sharded_add");
+  telemetry::Span span(span_site);
+
+  // Identical draw order to run_parallel_add: the sharded run consumes
+  // the same RNG stream as its single-farm counterpart.
+  const std::uint64_t max_operand = (std::uint64_t{1} << params.width) - 1;
+  std::vector<std::uint64_t> op_a(params.operations), op_b(params.operations);
+  for (std::size_t op = 0; op < params.operations; ++op) {
+    op_a[op] = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_operand)));
+    op_b[op] = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_operand)));
+  }
+
+  const ShardPlan plan = Partitioner::batch_aligned(
+      params.operations, fabric.tiles(), params.adders);
+
+  // Compute phase: one task per shard, chunks write disjoint slots.
+  std::vector<ParallelAddResult> per_shard(fabric.tiles());
+  parallel_for(0, fabric.tiles(), 1, [&](std::size_t t) {
+    const Shard& s = plan.shards[t];
+    if (s.empty()) return;
+    per_shard[t] = run_add_shard(s, params, cell, op_a, op_b);
+  });
+
+  ShardedAddResult out;
+  out.plan = plan;
+  out.merged = merge_add_shards(plan, per_shard);
+  out.shard_transitions.assign(fabric.tiles(), 0);
+  for (std::size_t t = 0; t < fabric.tiles(); ++t)
+    out.shard_transitions[t] = per_shard[t].transitions;
+
+  // Traffic replay: command out, completion back after the shard's
+  // compute time.  Results stay resident in the tiles (the CIM point),
+  // so both descriptors are small.
+  const NocSnapshot before = noc_snapshot(fabric.noc());
+  const std::size_t desc_flits =
+      flits_for_bits(kDescriptorBits, fabric.config().noc);
+  for (std::size_t t = 0; t < fabric.tiles(); ++t) {
+    const Shard& s = plan.shards[t];
+    if (s.empty()) continue;
+    NocPacket cmd;
+    cmd.src = fabric.host();
+    cmd.dst = t;
+    cmd.flits = desc_flits;
+    cmd.tag = 2 * t;
+    cmd.release = before.now;
+    cmd.fingerprint = mix_fingerprint(0xADD0ull ^ (t << 8) ^ s.begin);
+    const std::size_t cmd_handle = fabric.noc().inject(cmd);
+
+    const NocCycle compute = fabric.compute_cycles(per_shard[t].latency);
+    fabric.note_busy(t, compute);
+
+    NocPacket resp;
+    resp.src = t;
+    resp.dst = fabric.host();
+    resp.flits = desc_flits;
+    resp.tag = 2 * t + 1;
+    resp.after = cmd_handle;
+    resp.release = compute;
+    resp.fingerprint = mix_fingerprint(0xD0BEull ^ (t << 8) ^ s.end);
+    (void)fabric.noc().inject(resp);
+  }
+  finish_run(fabric, before, out.run);
+  out.run.compute_energy = out.merged.total_energy;
+  return out;
+}
+
+ShardedAddResult replay_parallel_add_plan(const ShardPlan& plan,
+                                          const ParallelAddParams& params,
+                                          const CrsCellParams& cell,
+                                          const std::vector<std::uint64_t>& op_a,
+                                          const std::vector<std::uint64_t>& op_b) {
+  MEMCIM_CHECK(op_a.size() == plan.items && op_b.size() == plan.items);
+  std::vector<ParallelAddResult> per_shard(plan.shards.size());
+  for (const Shard& s : plan.shards) {
+    if (s.empty()) continue;
+    per_shard[s.tile] = run_add_shard(s, params, cell, op_a, op_b);
+  }
+  ShardedAddResult out;
+  out.plan = plan;
+  out.merged = merge_add_shards(plan, per_shard);
+  out.shard_transitions.assign(plan.shards.size(), 0);
+  for (std::size_t t = 0; t < per_shard.size(); ++t)
+    out.shard_transitions[t] = per_shard[t].transitions;
+  out.run.compute_energy = out.merged.total_energy;
+  return out;
+}
+
+std::vector<bool> encode_kmer(const std::string& text, std::size_t pos,
+                              std::size_t k) {
+  MEMCIM_CHECK_MSG(pos + k <= text.size(), "k-mer window past end of text");
+  std::vector<bool> bits(2 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto code =
+        static_cast<std::uint8_t>(nucleotide_from_char(text[pos + i]));
+    bits[2 * i] = (code & 1u) != 0;
+    bits[2 * i + 1] = (code >> 1) != 0;
+  }
+  return bits;
+}
+
+ShardedSearchResult sharded_kmer_search(
+    TileFabric& fabric, const std::vector<std::vector<bool>>& database,
+    const std::vector<std::vector<bool>>& queries) {
+  const std::size_t tiles = fabric.tiles();
+  const std::size_t rows = fabric.config().tile.rows;
+  const std::size_t row_bits = fabric.config().tile.row_bits;
+  MEMCIM_CHECK_MSG(database.size() == tiles * rows,
+                   "database must exactly fill the fabric");
+  static telemetry::SpanSite span_site("workload.sharded_search");
+  telemetry::Span span(span_site);
+
+  // Distribute the database row-major (setup, not part of the run).
+  for (std::size_t r = 0; r < database.size(); ++r) {
+    MEMCIM_CHECK(database[r].size() == row_bits);
+    fabric.tile(r / rows).store_row(r % rows, database[r]);
+  }
+
+  // Compute phase: each tile matches every query, in query order.
+  std::vector<std::vector<std::vector<bool>>> tile_matches(tiles);
+  std::vector<std::vector<Time>> tile_latency(tiles);
+  std::vector<Energy> tile_delta(tiles, Energy{0.0});
+  parallel_for(0, tiles, 1, [&](std::size_t t) {
+    CimTile& tile = fabric.tile(t);
+    const Energy e0 = tile.stats().energy;
+    tile_matches[t].reserve(queries.size());
+    tile_latency[t].reserve(queries.size());
+    for (const std::vector<bool>& q : queries) {
+      const Time l0 = tile.stats().latency;
+      tile_matches[t].push_back(tile.parallel_compare(q));
+      tile_latency[t].push_back(tile.stats().latency - l0);
+    }
+    tile_delta[t] = tile.stats().energy - e0;
+  });
+
+  ShardedSearchResult out;
+  out.matches.resize(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    for (std::size_t t = 0; t < tiles; ++t)
+      for (std::size_t r = 0; r < rows; ++r)
+        if (tile_matches[t][q][r]) out.matches[q].push_back(t * rows + r);
+
+  // Traffic: host-coordinated waves per tile — the query-(q+1) command
+  // releases only once the query-q completion reached the host.
+  const NocSnapshot before = noc_snapshot(fabric.noc());
+  const NocParams& noc_params = fabric.config().noc;
+  const std::size_t key_flits = flits_for_bits(64 + row_bits, noc_params);
+  const std::size_t resp_flits = flits_for_bits(64 + rows, noc_params);
+  for (std::size_t t = 0; t < tiles; ++t) {
+    std::size_t prev = kNoPacket;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      NocPacket cmd;
+      cmd.src = fabric.host();
+      cmd.dst = t;
+      cmd.flits = key_flits;
+      cmd.tag = 2 * (t * queries.size() + q);
+      cmd.after = prev;
+      cmd.release = prev == kNoPacket ? before.now : 0;
+      cmd.fingerprint = mix_fingerprint(0x5EA4ull ^ (t << 16) ^ q);
+      const std::size_t cmd_handle = fabric.noc().inject(cmd);
+
+      const NocCycle compute = fabric.compute_cycles(tile_latency[t][q]);
+      fabric.note_busy(t, compute);
+
+      NocPacket resp;
+      resp.src = t;
+      resp.dst = fabric.host();
+      resp.flits = resp_flits;
+      resp.tag = cmd.tag + 1;
+      resp.after = cmd_handle;
+      resp.release = compute;
+      resp.fingerprint = mix_fingerprint(0x4E5Full ^ (t << 16) ^ q);
+      prev = fabric.noc().inject(resp);
+    }
+  }
+  finish_run(fabric, before, out.run);
+  for (std::size_t t = 0; t < tiles; ++t)
+    out.run.compute_energy += tile_delta[t];
+  return out;
+}
+
+ShardedCamBank::ShardedCamBank(TileFabric& fabric, const CamConfig& per_tile)
+    : fabric_(fabric), per_tile_(per_tile) {
+  cams_.reserve(fabric_.tiles());
+  for (std::size_t t = 0; t < fabric_.tiles(); ++t)
+    cams_.emplace_back(per_tile_);
+}
+
+CrsCam& ShardedCamBank::cam(std::size_t tile) {
+  MEMCIM_CHECK(tile < cams_.size());
+  return cams_[tile];
+}
+
+ShardedCamBank::Location ShardedCamBank::locate(std::size_t global_row) const {
+  MEMCIM_CHECK_MSG(global_row < rows(), "global CAM row out of range");
+  return {global_row / per_tile_.rows, global_row % per_tile_.rows};
+}
+
+void ShardedCamBank::write_row(std::size_t global_row,
+                               const std::vector<bool>& word) {
+  const Location loc = locate(global_row);
+  cams_[loc.tile].write_row(loc.row, word);
+}
+
+void ShardedCamBank::write_row_ternary(std::size_t global_row,
+                                       const std::vector<CamBit>& word) {
+  const Location loc = locate(global_row);
+  cams_[loc.tile].write_row_ternary(loc.row, word);
+}
+
+void ShardedCamBank::inject_stuck(std::size_t global_row, std::size_t bit,
+                                  bool stuck_one) {
+  const Location loc = locate(global_row);
+  cams_[loc.tile].inject_stuck(loc.row, bit, stuck_one);
+}
+
+ShardedCamBank::BankSearchResult ShardedCamBank::search(
+    const std::vector<bool>& key) {
+  static telemetry::SpanSite span_site("workload.sharded_cam");
+  telemetry::Span span(span_site);
+
+  std::vector<CamSearchResult> per_tile(cams_.size());
+  parallel_for(0, cams_.size(), 1,
+               [&](std::size_t t) { per_tile[t] = cams_[t].search(key); });
+
+  BankSearchResult out;
+  for (std::size_t t = 0; t < cams_.size(); ++t)
+    for (const std::size_t r : per_tile[t].matching_rows)
+      out.matching_rows.push_back(t * per_tile_.rows + r);
+
+  const NocSnapshot before = noc_snapshot(fabric_.noc());
+  const NocParams& noc_params = fabric_.config().noc;
+  const std::size_t key_flits =
+      flits_for_bits(64 + per_tile_.word_bits, noc_params);
+  const std::size_t resp_flits =
+      flits_for_bits(64 + per_tile_.rows, noc_params);
+  for (std::size_t t = 0; t < cams_.size(); ++t) {
+    NocPacket cmd;
+    cmd.src = fabric_.host();
+    cmd.dst = t;
+    cmd.flits = key_flits;
+    cmd.tag = 2 * t;
+    cmd.release = before.now;
+    cmd.fingerprint = mix_fingerprint(0xCA4Bull ^ (t << 8));
+    const std::size_t cmd_handle = fabric_.noc().inject(cmd);
+
+    const NocCycle compute = fabric_.compute_cycles(per_tile[t].latency);
+    fabric_.note_busy(t, compute);
+
+    NocPacket resp;
+    resp.src = t;
+    resp.dst = fabric_.host();
+    resp.flits = resp_flits;
+    resp.tag = 2 * t + 1;
+    resp.after = cmd_handle;
+    resp.release = compute;
+    resp.fingerprint =
+        mix_fingerprint(0xB4CAull ^ (t << 8) ^ per_tile[t].matching_rows.size());
+    (void)fabric_.noc().inject(resp);
+  }
+  finish_run(fabric_, before, out.run);
+  for (std::size_t t = 0; t < cams_.size(); ++t)
+    out.run.compute_energy += per_tile[t].energy;
+  return out;
+}
+
+Energy ShardedCamBank::compute_energy() const {
+  Energy total{0.0};
+  for (const CrsCam& c : cams_) total += c.total_energy();
+  return total;
+}
+
+}  // namespace memcim

@@ -60,7 +60,7 @@ TEST(CimMachine, SearchLatencyIsOneWavePlusDispatch) {
   // Tiles search concurrently: 4 tiles cost the same wave latency.
   EXPECT_NEAR(m1.stats().latency.value(), m4.stats().latency.value(), 1e-15);
   // Energy scales with the searched capacity.
-  EXPECT_GT(m4.stats().energy.value(), 3.0 * m1.stats().energy.value());
+  EXPECT_GT(m4.energy().value(), 3.0 * m1.energy().value());
 }
 
 TEST(CimMachine, AddRowsWithinTile) {
@@ -86,7 +86,31 @@ TEST(CimMachine, StatsAccumulateAcrossWaves) {
   (void)m.search(bits_of(7, 16));
   EXPECT_EQ(m.stats().waves, 2u);
   EXPECT_EQ(m.stats().operations, 64u);  // 32 rows compared per wave
-  EXPECT_GT(m.stats().energy.value(), 0.0);
+  EXPECT_GT(m.energy().value(), 0.0);
+}
+
+// The accounting contract: machine energy is exactly the sum of the
+// live per-tile books plus accumulated dispatch overhead — bitwise, not
+// approximately — even when machine waves interleave with direct
+// tile(i) operations (which the old delta-accumulation scheme would
+// have double counted or missed).
+TEST(CimMachine, EnergyReconcilesWithTileBooks) {
+  CimMachine m(machine_cfg());
+  for (std::size_t r = 0; r < 32; ++r) m.store(r, bits_of(r * 7919u, 16));
+  (void)m.search(bits_of(0x0F0F, 16));
+  m.add_rows(0, 1, 2, 16);
+  // Bypass the machine: drive one tile directly between waves.
+  (void)m.tile(2).parallel_compare(bits_of(0x5555, 16));
+  (void)m.search(bits_of(0x3C3C, 16));
+
+  Energy tiles{0.0};
+  for (std::size_t ti = 0; ti < m.config().tiles; ++ti)
+    tiles += m.tile(ti).stats().energy;
+  EXPECT_EQ(m.tile_energy().value(), tiles.value());
+  const double dispatch = 3.0 * m.config().dispatch_energy.value();
+  EXPECT_DOUBLE_EQ(m.dispatch_energy().value(), dispatch);
+  EXPECT_EQ(m.energy().value(),
+            (m.tile_energy() + m.dispatch_energy()).value());
 }
 
 }  // namespace

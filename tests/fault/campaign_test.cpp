@@ -31,6 +31,9 @@ CampaignConfig small_config() {
   config.add_ops = 32;
   config.add_width = 8;
   config.add_adders = 8;
+  config.noc_mesh = 3;
+  config.noc_payload_bits = 8;
+  config.noc_packets = 32;
   return config;
 }
 
@@ -60,7 +63,7 @@ TEST(FaultCampaign, ZeroRateRowsAreAllClean) {
     EXPECT_EQ(t.diff.clean, t.diff.trials) << t.target;
     EXPECT_GT(t.diff.trials, 0u) << t.target;
   }
-  EXPECT_EQ(zero_rows, 8u);  // every target contributes a golden row
+  EXPECT_EQ(zero_rows, 9u);  // every target contributes a golden row
 }
 
 TEST(FaultCampaign, EccCorrectsAllSinglesAndFlagsAllDoubles) {
@@ -94,6 +97,25 @@ TEST(FaultCampaign, FaultsActuallyBite) {
   }
   EXPECT_GT(armed, 0u);
   EXPECT_GT(non_clean, 0u);
+}
+
+TEST(FaultCampaign, NocLinkCampaignDetectsStuckWires) {
+  CampaignConfig config = small_config();
+  // Rate 0: the mesh is clean and every delivery is a clean trial.
+  const CampaignTally clean = run_noc_link_campaign(config, 0.0);
+  EXPECT_EQ(clean.target, "noc_link");
+  EXPECT_EQ(clean.armed_faults, 0u);
+  EXPECT_EQ(clean.diff.trials, config.noc_packets);
+  EXPECT_EQ(clean.diff.clean, clean.diff.trials);
+  // A heavy rate arms stuck wires that corrupt traffic; a single stuck
+  // wire is parity-detected, so detections must dominate. Silent cases
+  // (even flip counts from multiple stuck wires) are possible but the
+  // plumbing must at least see corruption.
+  const CampaignTally hot = run_noc_link_campaign(config, 0.25);
+  EXPECT_GT(hot.armed_faults, 0u);
+  EXPECT_EQ(hot.diff.trials, config.noc_packets);
+  EXPECT_GT(hot.diff.detected, 0u);
+  EXPECT_LT(hot.diff.clean, hot.diff.trials);
 }
 
 TEST(FaultCampaign, SweepIsReproducibleAcrossRuns) {

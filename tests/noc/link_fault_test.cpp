@@ -1,0 +1,118 @@
+// Link-fault model: stuck wires corrupt traversing flits only when the
+// carried bit disagrees, the parity wire catches odd flip counts, and
+// even flip counts are silent — the failure mode the campaign measures.
+#include "noc/mesh.h"
+
+#include <gtest/gtest.h>
+
+namespace memcim {
+namespace {
+
+NocParams tiny_params() {
+  NocParams p;
+  p.flit_payload_bits = 8;  // small word: stuck wires bite often
+  return p;
+}
+
+std::size_t link_id(std::size_t node, NocDir dir) {
+  return node * kNocLinkDirs + static_cast<std::size_t>(dir);
+}
+
+/// Drive one east-bound packet over link (0, E) on a fresh 2×1 mesh
+/// with the given faults armed; returns the delivery record.
+NocDelivery run_one(const std::vector<std::pair<std::size_t, bool>>& faults,
+                    std::uint64_t fingerprint, std::size_t flits = 4) {
+  MeshNoc noc(2, 1, tiny_params());
+  for (const auto& [wire, stuck_one] : faults)
+    noc.set_link_fault(link_id(0, NocDir::kEast), wire, stuck_one);
+  NocPacket pkt;
+  pkt.src = 0;
+  pkt.dst = 1;
+  pkt.flits = flits;
+  pkt.fingerprint = fingerprint;
+  (void)noc.inject(pkt);
+  noc.run_to_completion();
+  return noc.deliveries()[0];
+}
+
+TEST(LinkFault, CleanLinkDeliversCleanFlits) {
+  const NocDelivery d = run_one({}, 0x5EED);
+  EXPECT_TRUE(d.done);
+  EXPECT_EQ(d.corrupted_flits, 0u);
+  EXPECT_EQ(d.undetected_corrupted_flits, 0u);
+}
+
+TEST(LinkFault, SingleStuckWireIsAlwaysParityDetected) {
+  // A single stuck data wire flips at most one bit per flit: every
+  // corrupted flit has an odd flip count, so parity catches all.
+  bool saw_corruption = false;
+  for (std::uint64_t fp = 0; fp < 16; ++fp) {
+    const NocDelivery d = run_one({{3, true}}, fp);
+    EXPECT_EQ(d.undetected_corrupted_flits, 0u) << "fingerprint " << fp;
+    if (d.corrupted()) {
+      saw_corruption = true;
+      EXPECT_TRUE(d.parity_detected());
+    }
+  }
+  EXPECT_TRUE(saw_corruption);  // pseudorandom data must disagree sometimes
+}
+
+TEST(LinkFault, TwoStuckWiresCanCorruptSilently) {
+  // Two stuck wires can flip two bits of one flit — an even count the
+  // parity wire cannot see.  Scan fingerprints until the silent case
+  // materialises (deterministic search, no randomness).
+  bool saw_silent = false;
+  for (std::uint64_t fp = 0; fp < 64 && !saw_silent; ++fp) {
+    const NocDelivery d = run_one({{1, true}, {5, true}}, fp, 8);
+    saw_silent = d.undetected_corrupted_flits > 0;
+  }
+  EXPECT_TRUE(saw_silent);
+}
+
+TEST(LinkFault, StuckParityWireFlagsCleanFlits) {
+  // The last wire is the parity channel; pinning it corrupts the check
+  // bit itself — detected corruption with intact payload.
+  const std::size_t parity_wire = tiny_params().flit_payload_bits;
+  bool saw_corruption = false;
+  for (std::uint64_t fp = 0; fp < 16; ++fp) {
+    const NocDelivery d = run_one({{parity_wire, true}}, fp);
+    EXPECT_EQ(d.undetected_corrupted_flits, 0u);
+    saw_corruption = saw_corruption || d.corrupted();
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST(LinkFault, FaultOffThePathIsInvisible) {
+  // The packet travels east over link (0, E); a fault on the reverse
+  // link never touches it.
+  MeshNoc noc(2, 1, tiny_params());
+  noc.set_link_fault(link_id(1, NocDir::kWest), 2, true);
+  NocPacket pkt;
+  pkt.src = 0;
+  pkt.dst = 1;
+  pkt.flits = 6;
+  pkt.fingerprint = 0xFEED;
+  (void)noc.inject(pkt);
+  noc.run_to_completion();
+  EXPECT_EQ(noc.deliveries()[0].corrupted_flits, 0u);
+}
+
+TEST(LinkFault, EdgeLinksAreNoOpTargets) {
+  // Mesh-edge link ids address no physical wire; arming them must be
+  // harmless (the campaign population is the full rectangle).
+  MeshNoc noc(2, 2, tiny_params());
+  noc.set_link_fault(link_id(0, NocDir::kNorth), 0, true);  // off the top
+  noc.set_link_fault(link_id(0, NocDir::kWest), 0, true);   // off the left
+  NocPacket pkt;
+  pkt.src = 0;
+  pkt.dst = 3;
+  pkt.flits = 2;
+  pkt.fingerprint = 7;
+  (void)noc.inject(pkt);
+  noc.run_to_completion();
+  EXPECT_TRUE(noc.deliveries()[0].done);
+  EXPECT_EQ(noc.deliveries()[0].corrupted_flits, 0u);
+}
+
+}  // namespace
+}  // namespace memcim
