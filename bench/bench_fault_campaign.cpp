@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "fault/campaign.h"
@@ -120,7 +121,9 @@ int main(int argc, char** argv) {
 
   {
     std::ofstream js("BENCH_faults.json");
-    js << campaign_json(config, sweep);
+    js << campaign_json(config, sweep, [](telemetry::JsonWriter& w) {
+      bench::append_provenance(w);
+    });
   }
   std::cout << "Wrote BENCH_faults.json\n\n";
 

@@ -13,24 +13,50 @@
 // BENCH_table2_dna.json into the working directory.
 #pragma once
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
 
 namespace memcim::bench {
 
 /// Envelope version; bump when the outer shape changes.
 inline constexpr const char* kBenchSchema = "memcim-bench-v1";
 
-/// Open the envelope: the outer object plus the schema/bench keys.
-/// The writer must be fresh; the caller appends payload keys next.
+/// Stamp the open object with run provenance, so ledger entries and
+/// baseline diffs are attributable to a commit and a configuration.
+/// MEMCIM_GIT_SHA / MEMCIM_BUILD_TYPE are compile definitions (see
+/// bench/CMakeLists.txt); threads and telemetry reflect the process
+/// environment at the call.
+inline telemetry::JsonWriter& append_provenance(telemetry::JsonWriter& w) {
+#ifndef MEMCIM_GIT_SHA
+#define MEMCIM_GIT_SHA "unknown"
+#endif
+#ifndef MEMCIM_BUILD_TYPE
+#define MEMCIM_BUILD_TYPE "unknown"
+#endif
+  w.key("provenance").begin_object();
+  w.key("git_sha").value(MEMCIM_GIT_SHA);
+  w.key("build_type").value(MEMCIM_BUILD_TYPE);
+  const char* threads = std::getenv("MEMCIM_THREADS");
+  w.key("memcim_threads").value(threads != nullptr ? threads : "default");
+  w.key("telemetry").value(telemetry::enabled());
+  w.end_object();
+  return w;
+}
+
+/// Open the envelope: the outer object plus the schema/bench/provenance
+/// keys.  The writer must be fresh; the caller appends payload keys
+/// next.
 inline telemetry::JsonWriter& begin_bench_json(telemetry::JsonWriter& w,
                                                const std::string& name) {
   w.begin_object();
   w.key("schema").value(kBenchSchema);
   w.key("bench").value(name);
+  append_provenance(w);
   return w;
 }
 

@@ -18,6 +18,7 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "device/presets.h"
+#include "telemetry/attribution.h"
 #include "workloads/sharded.h"
 
 namespace {
@@ -181,8 +182,13 @@ int main(int argc, char** argv) {
             << "thread pool: " << parallel_threads()
             << " workers (override with MEMCIM_THREADS)\n\n";
 
+  // A clean attribution book over exactly the sweep's runs, exported
+  // for `memcim-report attribution` (per-layer/tile/shard breakdown).
+  telemetry::AttributionBook::global().reset();
   const std::vector<ScalePoint> points = run_sweep();
   print_sweep(points);
+  telemetry::write_attribution_json("ATTR_multitile.json");
+  std::cout << "Wrote ATTR_multitile.json\n\n";
 
   double eff16 = 0.0;
   const int failures = check_acceptance(points, &eff16);

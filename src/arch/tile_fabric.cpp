@@ -1,9 +1,12 @@
 #include "arch/tile_fabric.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/error.h"
+#include "telemetry/attribution.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
 
 namespace memcim {
 
@@ -14,8 +17,13 @@ TileFabric::TileFabric(const TileFabricConfig& config)
   MEMCIM_CHECK_MSG(config_.host < noc_.nodes(),
                    "host node must sit on the mesh");
   tiles_.reserve(noc_.nodes());
-  for (std::size_t i = 0; i < noc_.nodes(); ++i)
+  for (std::size_t i = 0; i < noc_.nodes(); ++i) {
     tiles_.emplace_back(config_.tile);
+    telemetry::set_tile_trace_label(
+        static_cast<std::uint32_t>(i),
+        "tile (" + std::to_string(noc_.x_of(i)) + "," +
+            std::to_string(noc_.y_of(i)) + ")");
+  }
 }
 
 CimTile& TileFabric::tile(std::size_t index) {
@@ -34,9 +42,17 @@ NocCycle TileFabric::compute_cycles(Time t) const {
   return static_cast<NocCycle>(cycles);
 }
 
-void TileFabric::note_busy(std::size_t tile, NocCycle cycles) {
+void TileFabric::note_busy(std::size_t tile, NocCycle cycles,
+                           std::uint32_t shard) {
   MEMCIM_CHECK(tile < busy_.size());
   busy_[tile] += cycles;
+  // Occupancy enters the arch attribution row as virtual nanoseconds
+  // (cycles × cycle period) — deterministic, unlike wall-clock spans.
+  const auto ns = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(cycles) *
+                   config_.noc.cycle.value() * 1e9));
+  telemetry::attribute_span_ns(telemetry::AttrLayer::kArch,
+                               static_cast<std::uint32_t>(tile), shard, ns);
 }
 
 NocCycle TileFabric::busy_cycles(std::size_t tile) const {

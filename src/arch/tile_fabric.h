@@ -53,8 +53,11 @@ class TileFabric {
 
   // -- per-tile busy books ----------------------------------------------------
   /// Credit `cycles` of compute occupancy to a tile (workload drivers
-  /// call this once per shard executed there).
-  void note_busy(std::size_t tile, NocCycle cycles);
+  /// call this once per shard executed there).  `shard` keys the
+  /// attribution book's arch row (occupancy as virtual nanoseconds);
+  /// pass telemetry::kNoShard for unsharded occupancy.
+  void note_busy(std::size_t tile, NocCycle cycles,
+                 std::uint32_t shard = 0xFFFFFFFFu);
   [[nodiscard]] NocCycle busy_cycles(std::size_t tile) const;
   /// Mean tile occupancy over the fabric makespan: Σ busy /
   /// (tiles · makespan); 0 before any traffic completes.

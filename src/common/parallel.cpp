@@ -48,6 +48,9 @@ std::size_t default_thread_count() {
 struct Job {
   ChunkFn fn;
   std::size_t begin = 0, end = 0, chunk = 1, n_chunks = 0;
+  /// Submitter's trace context: workers adopt it while draining, so
+  /// their spans parent under the dispatching span.
+  telemetry::TraceContext trace_ctx;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> remaining{0};
   std::mutex m;
@@ -58,6 +61,7 @@ struct Job {
 void drain(Job& job) {
   const bool telem = telemetry::enabled();
   const std::uint64_t t0 = telem ? telemetry::now_ns() : 0;
+  const telemetry::TraceContextScope trace_scope(job.trace_ctx);
   std::size_t executed = 0;
   for (;;) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
@@ -196,6 +200,7 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   const std::size_t chunk = std::max(grain, by_workers);
   auto job = std::make_shared<Job>();
   job->fn = fn;
+  job->trace_ctx = telemetry::current_trace_context();
   job->begin = begin;
   job->end = end;
   job->chunk = chunk;

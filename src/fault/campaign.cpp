@@ -488,7 +488,8 @@ std::vector<CampaignTally> run_full_campaign(const CampaignConfig& config) {
 }
 
 std::string campaign_json(const CampaignConfig& config,
-                          const std::vector<CampaignTally>& sweep) {
+                          const std::vector<CampaignTally>& sweep,
+                          const CampaignJsonExtra& extra) {
   std::uint64_t zero_rate_silent = 0;
   std::uint64_t single_injected = 0, single_corrected = 0;
   std::uint64_t double_injected = 0, double_detected = 0;
@@ -504,6 +505,7 @@ std::string campaign_json(const CampaignConfig& config,
   w.begin_object();
   w.key("schema").value("memcim-bench-v1");
   w.key("bench").value("fault_campaign");
+  if (extra) extra(w);
   w.key("seed").value(config.seed);
   w.key("rates").begin_array();
   for (const double rate : config.rates) w.value(rate);

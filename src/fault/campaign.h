@@ -12,11 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "fault/fault_model.h"
 #include "fault/golden.h"
+#include "telemetry/json_writer.h"
 
 namespace memcim {
 
@@ -80,8 +82,14 @@ struct CampaignTally {
 [[nodiscard]] std::vector<CampaignTally> run_full_campaign(
     const CampaignConfig& config);
 
-/// Serialize a sweep as the BENCH_faults.json document.
+/// Serialize a sweep as the BENCH_faults.json document.  `extra`, when
+/// set, appends additional top-level keys right after the bench name —
+/// the bench binary passes the shared provenance stamper here so the
+/// envelope matches every other memcim-bench-v1 document without this
+/// layer depending on bench headers.
+using CampaignJsonExtra = std::function<void(telemetry::JsonWriter&)>;
 [[nodiscard]] std::string campaign_json(const CampaignConfig& config,
-                                        const std::vector<CampaignTally>& sweep);
+                                        const std::vector<CampaignTally>& sweep,
+                                        const CampaignJsonExtra& extra = {});
 
 }  // namespace memcim

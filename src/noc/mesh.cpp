@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
 
 namespace memcim {
 
@@ -103,6 +106,14 @@ std::size_t MeshNoc::inject(const NocPacket& packet) {
   d.src = packet.src;
   d.dst = packet.dst;
   d.flits = packet.flits;
+  if (packet.trace_id != 0 && telemetry::enabled()) {
+    d.span_id = telemetry::new_span_id();
+    if (telemetry::tracing() && !trace_base_set_) {
+      trace_base_set_ = true;
+      trace_wall_base_ns_ = telemetry::now_ns();
+      trace_cycle_base_ = now_;
+    }
+  }
   deliveries_.push_back(d);
   ++undelivered_;
   ++stats_.packets;
@@ -172,6 +183,25 @@ void MeshNoc::eject(const Flit& flit) {
     d.done = true;
     last_delivery_ = std::max(last_delivery_, now_);
     --undelivered_;
+    if (d.span_id != 0 && trace_base_set_ && telemetry::tracing()) {
+      // Map the packet's virtual lifetime onto the wall-clock axis so
+      // the span lands inside the dispatching span in the export.
+      static const std::string kSpanName = "noc.packet";
+      static telemetry::Counter& traced = telemetry::Registry::global().counter(
+          "trace.noc_packets");
+      const double cycle_ns = params_.cycle.value() * 1e9;
+      const NocCycle start_c = std::max(d.released, trace_cycle_base_);
+      const auto ts = trace_wall_base_ns_ +
+                      static_cast<std::uint64_t>(std::llround(
+                          static_cast<double>(start_c - trace_cycle_base_) *
+                          cycle_ns));
+      const auto dur = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(now_ - start_c) * cycle_ns));
+      telemetry::emit_trace_event(&kSpanName, ts, dur, ps.packet.trace_id,
+                                  d.span_id, ps.packet.parent_span,
+                                  static_cast<std::uint32_t>(d.dst));
+      traced.add(1);
+    }
   }
 }
 
@@ -305,6 +335,24 @@ Energy MeshNoc::dynamic_energy() const {
          power_.buffer_read * static_cast<double>(stats_.buffer_reads) +
          power_.xbar_traversal * static_cast<double>(stats_.xbar_traversals) +
          power_.link_traversal * static_cast<double>(stats_.flit_hops);
+}
+
+std::size_t MeshNoc::hops(std::size_t src, std::size_t dst) const {
+  const std::size_t x1 = x_of(src), y1 = y_of(src);
+  const std::size_t x2 = x_of(dst), y2 = y_of(dst);
+  return (x1 > x2 ? x1 - x2 : x2 - x1) + (y1 > y2 ? y1 - y2 : y2 - y1);
+}
+
+Energy MeshNoc::packet_energy(std::size_t src, std::size_t dst,
+                              std::size_t flits) const {
+  // Each flit enters 1 + h routers (source NIC write plus one write per
+  // hop), is read and crosses the crossbar once per router, and pays h
+  // link traversals — all structural, never affected by stalls.
+  const auto h = static_cast<double>(hops(src, dst));
+  const auto n = static_cast<double>(flits);
+  return (power_.buffer_write + power_.buffer_read + power_.xbar_traversal) *
+             ((1.0 + h) * n) +
+         power_.link_traversal * (h * n);
 }
 
 std::vector<NocLinkUse> MeshNoc::link_utilization() const {

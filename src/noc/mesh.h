@@ -113,6 +113,18 @@ class MeshNoc {
   /// (count × per-event quantum per class; see RouterPowerModel).
   [[nodiscard]] Energy dynamic_energy() const;
 
+  /// XY hop count (link traversals per flit) between two nodes.
+  [[nodiscard]] std::size_t hops(std::size_t src, std::size_t dst) const;
+
+  /// Exact dynamic energy of one (src → dst, flits) packet.  The hop
+  /// count is structural under XY routing, and each flit pays exactly
+  /// (1 + hops) buffer writes, reads and crossbar traversals plus
+  /// `hops` link traversals regardless of stalls — so summing
+  /// packet_energy over all deliveries reproduces dynamic_energy()
+  /// bit for bit.  The per-packet attribution book relies on this.
+  [[nodiscard]] Energy packet_energy(std::size_t src, std::size_t dst,
+                                     std::size_t flits) const;
+
   /// Per-link busy summary over the current makespan.
   [[nodiscard]] std::vector<NocLinkUse> link_utilization() const;
 
@@ -190,6 +202,13 @@ class MeshNoc {
     bool stuck_one;
   };
   std::vector<std::vector<WireFault>> link_faults_;  ///< per link, may be empty
+
+  /// Virtual-to-wall time mapping for trace emission: captured at the
+  /// first traced injection so "noc.packet" spans land inside the
+  /// dispatching wall-clock span in the exported timeline.
+  bool trace_base_set_ = false;
+  std::uint64_t trace_wall_base_ns_ = 0;
+  NocCycle trace_cycle_base_ = 0;
 
   NocCycle now_ = 0;
   NocCycle last_delivery_ = 0;

@@ -39,6 +39,12 @@ struct NocPacket {
   /// Payload digest; seeds the per-flit wire data used by link-fault
   /// corruption modelling.
   std::uint64_t fingerprint = 0;
+  /// Trace-context propagation (see telemetry::TraceContext): the
+  /// request this packet serves and the span that dispatched it.  Both
+  /// 0 outside a trace; the mesh emits a "noc.packet" child span per
+  /// delivery while a trace session is active.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 struct NocDelivery {
@@ -55,6 +61,11 @@ struct NocDelivery {
   /// the per-flit parity wire — silent corruption).
   std::uint64_t corrupted_flits = 0;
   std::uint64_t undetected_corrupted_flits = 0;
+  /// Span id of the "noc.packet" trace span emitted for this delivery
+  /// (0 when the packet carried no trace context).  Consumers chain
+  /// downstream work under it so compute → transport → compute forms
+  /// one causal tree.
+  std::uint64_t span_id = 0;
 
   [[nodiscard]] bool corrupted() const { return corrupted_flits != 0; }
   /// True when every corrupted flit trips the parity check.

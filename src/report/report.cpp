@@ -1,0 +1,435 @@
+#include "report/report.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace memcim::report {
+
+using telemetry::JsonObject;
+using telemetry::JsonValue;
+
+namespace {
+
+void flatten_into(const JsonValue& v, const std::string& path,
+                  std::vector<FlatMetric>& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNumber:
+      out.push_back({path, v.as_double(), v.number_text()});
+      break;
+    case JsonValue::Kind::kBool:
+      out.push_back(
+          {path, v.as_bool() ? 1.0 : 0.0, v.as_bool() ? "true" : "false"});
+      break;
+    case JsonValue::Kind::kArray: {
+      std::size_t i = 0;
+      for (const JsonValue& item : v.as_array())
+        flatten_into(item, path + "[" + std::to_string(i++) + "]", out);
+      break;
+    }
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, value] : v.as_object())
+        flatten_into(value, path.empty() ? key : path + "." + key, out);
+      break;
+    case JsonValue::Kind::kNull:
+    case JsonValue::Kind::kString:
+      break;
+  }
+}
+
+bool read_file(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool parse_file(const std::string& path, JsonValue& out, std::string& error) {
+  std::string text;
+  if (!read_file(path, text, error)) return false;
+  telemetry::JsonParseResult result = telemetry::parse_json(text);
+  if (!result.ok) {
+    error = path + ": " + result.error + " at byte " +
+            std::to_string(result.offset);
+    return false;
+  }
+  out = std::move(result.value);
+  return true;
+}
+
+std::string format_value(double v) {
+  std::ostringstream ss;
+  ss.precision(12);
+  ss << v;
+  return ss.str();
+}
+
+std::string format_delta(double rel) {
+  if (std::isinf(rel)) return rel > 0 ? "+inf%" : "-inf%";
+  std::ostringstream ss;
+  ss.precision(3);
+  ss << (rel >= 0 ? "+" : "") << rel * 100.0 << "%";
+  return ss.str();
+}
+
+}  // namespace
+
+std::vector<FlatMetric> flatten_numeric(const JsonValue& doc) {
+  std::vector<FlatMetric> out;
+  flatten_into(doc, "", out);
+  return out;
+}
+
+bool metric_path_match(std::string_view pattern, std::string_view path) {
+  // Iterative wildcard match with backtracking; '*' matches any run.
+  std::size_t p = 0, s = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (s < path.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == path[s] && pattern[p] != '*')) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+const MetricGate* Thresholds::gate_for(std::string_view path) const {
+  for (const MetricGate& g : gates)
+    if (metric_path_match(g.pattern, path)) return &g;
+  return nullptr;
+}
+
+bool load_thresholds(const JsonValue& doc, std::string_view bench,
+                     Thresholds& out, std::string& error) {
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "memcim-thresholds-v1") {
+    error = "thresholds document is not memcim-thresholds-v1";
+    return false;
+  }
+  if (const JsonValue* tol = doc.find("default_rel_tol")) {
+    if (!tol->is_number()) {
+      error = "default_rel_tol must be a number";
+      return false;
+    }
+    out.default_rel_tol = tol->as_double();
+  }
+  const JsonValue* benches = doc.find("benches");
+  if (benches == nullptr) return true;
+  if (!benches->is_object()) {
+    error = "benches must be an object";
+    return false;
+  }
+  const JsonValue* entry = benches->find(bench);
+  if (entry == nullptr) return true;  // no gates for this bench
+  const JsonValue* metrics = entry->find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    error = "benches." + std::string(bench) + ".metrics must be an array";
+    return false;
+  }
+  for (const JsonValue& m : metrics->as_array()) {
+    const JsonValue* path = m.find("path");
+    if (path == nullptr || !path->is_string()) {
+      error = "every gate needs a string path";
+      return false;
+    }
+    MetricGate gate;
+    gate.pattern = path->as_string();
+    gate.rel_tol = out.default_rel_tol;
+    if (const JsonValue* tol = m.find("rel_tol")) {
+      if (!tol->is_number()) {
+        error = gate.pattern + ": rel_tol must be a number";
+        return false;
+      }
+      gate.rel_tol = tol->as_double();
+    }
+    if (const JsonValue* dir = m.find("direction")) {
+      if (!dir->is_string()) {
+        error = gate.pattern + ": direction must be a string";
+        return false;
+      }
+      const std::string& d = dir->as_string();
+      if (d == "any")
+        gate.direction = DiffDirection::kAny;
+      else if (d == "up")
+        gate.direction = DiffDirection::kUp;
+      else if (d == "down")
+        gate.direction = DiffDirection::kDown;
+      else {
+        error = gate.pattern + ": direction must be any/up/down";
+        return false;
+      }
+    }
+    out.gates.push_back(std::move(gate));
+  }
+  return true;
+}
+
+DiffResult diff_benches(const JsonValue& baseline, const JsonValue& current,
+                        const Thresholds& thresholds) {
+  DiffResult result;
+  if (const JsonValue* bench = current.find("bench");
+      bench != nullptr && bench->is_string())
+    result.bench = bench->as_string();
+
+  const std::vector<FlatMetric> base = flatten_numeric(baseline);
+  const std::vector<FlatMetric> cur = flatten_numeric(current);
+
+  auto find_metric = [](const std::vector<FlatMetric>& metrics,
+                        const std::string& path) -> const FlatMetric* {
+    for (const FlatMetric& m : metrics)
+      if (m.path == path) return &m;
+    return nullptr;
+  };
+
+  auto push = [&result](MetricDiff d) {
+    if (d.breached) result.breaches.push_back(d);
+    result.metrics.push_back(std::move(d));
+  };
+
+  for (const FlatMetric& b : base) {
+    MetricDiff d;
+    d.path = b.path;
+    d.baseline = b.value;
+    const MetricGate* gate = thresholds.gate_for(b.path);
+    d.gated = gate != nullptr;
+    const FlatMetric* c = find_metric(cur, b.path);
+    if (c == nullptr) {
+      d.note = "missing from current";
+      d.breached = d.gated;
+      push(std::move(d));
+      continue;
+    }
+    d.current = c->value;
+    if (b.value == c->value) {
+      d.rel_delta = 0.0;
+    } else if (b.value == 0.0) {
+      d.rel_delta = c->value > 0.0
+                        ? std::numeric_limits<double>::infinity()
+                        : -std::numeric_limits<double>::infinity();
+    } else {
+      d.rel_delta = (c->value - b.value) / std::fabs(b.value);
+    }
+    if (gate != nullptr && d.rel_delta != 0.0) {
+      const bool direction_hit =
+          gate->direction == DiffDirection::kAny ||
+          (gate->direction == DiffDirection::kUp && d.rel_delta > 0.0) ||
+          (gate->direction == DiffDirection::kDown && d.rel_delta < 0.0);
+      d.breached = direction_hit && std::fabs(d.rel_delta) > gate->rel_tol;
+    }
+    push(std::move(d));
+  }
+  for (const FlatMetric& c : cur) {
+    if (find_metric(base, c.path) != nullptr) continue;
+    MetricDiff d;
+    d.path = c.path;
+    d.current = c.value;
+    d.gated = thresholds.gate_for(c.path) != nullptr;
+    d.note = "missing from baseline";
+    d.breached = d.gated;
+    push(std::move(d));
+  }
+  return result;
+}
+
+std::string ledger_line(const JsonValue& envelope) {
+  JsonObject line;
+  line.emplace_back("schema", JsonValue::make_string("memcim-ledger-v1"));
+  if (const JsonValue* bench = envelope.find("bench");
+      bench != nullptr && bench->is_string())
+    line.emplace_back("bench", *bench);
+  if (const JsonValue* prov = envelope.find("provenance"))
+    line.emplace_back("provenance", *prov);
+  JsonObject metrics;
+  for (const FlatMetric& m : flatten_numeric(envelope)) {
+    if (m.path.rfind("provenance.", 0) == 0) continue;  // echoed above
+    metrics.emplace_back(m.path, m.text == "true"
+                                     ? JsonValue::make_bool(true)
+                                 : m.text == "false"
+                                     ? JsonValue::make_bool(false)
+                                     : JsonValue::make_number(m.text));
+  }
+  line.emplace_back("metrics", JsonValue::make_object(std::move(metrics)));
+  return telemetry::to_compact_json(JsonValue::make_object(std::move(line)));
+}
+
+std::string attribution_table(const JsonValue& doc) {
+  auto cell = [](const JsonValue* v) -> std::string {
+    if (v == nullptr || !v->is_number()) return "?";
+    if (v->as_double() == -1.0) return "-";
+    return v->number_text();
+  };
+  TextTable table(
+      {"layer", "tile", "shard", "energy_aj", "pulses", "flits", "span_ns"});
+  if (const JsonValue* rows = doc.find("rows"); rows != nullptr &&
+                                                rows->is_array()) {
+    for (const JsonValue& row : rows->as_array()) {
+      const JsonValue* layer = row.find("layer");
+      table.add_row({layer != nullptr && layer->is_string()
+                         ? layer->as_string()
+                         : "?",
+                     cell(row.find("tile")), cell(row.find("shard")),
+                     cell(row.find("energy_aj")), cell(row.find("pulses")),
+                     cell(row.find("flits")), cell(row.find("span_ns"))});
+    }
+  }
+  if (const JsonValue* totals = doc.find("totals")) {
+    table.add_row({"TOTAL", "", "", cell(totals->find("energy_aj")),
+                   cell(totals->find("pulses")), cell(totals->find("flits")),
+                   cell(totals->find("span_ns"))});
+  }
+  return table.to_text();
+}
+
+int diff_command(const std::vector<std::string>& args, std::string& out) {
+  std::ostringstream os;
+  std::vector<std::string> positional;
+  std::string thresholds_path;
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--thresholds") {
+      if (i + 1 >= args.size()) {
+        out = "--thresholds needs a file argument\n";
+        return 2;
+      }
+      thresholds_path = args[++i];
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 2) {
+    out = "usage: memcim-report diff <baseline.json> <current.json> "
+          "[--thresholds <file>] [--quiet]\n";
+    return 2;
+  }
+
+  std::string error;
+  JsonValue baseline, current;
+  if (!parse_file(positional[0], baseline, error) ||
+      !parse_file(positional[1], current, error)) {
+    out = error + "\n";
+    return 2;
+  }
+
+  Thresholds thresholds;
+  std::string bench;
+  if (const JsonValue* b = current.find("bench");
+      b != nullptr && b->is_string())
+    bench = b->as_string();
+  if (const JsonValue* b = baseline.find("bench");
+      b != nullptr && b->is_string() && b->as_string() != bench) {
+    out = "bench mismatch: baseline is '" + b->as_string() +
+          "', current is '" + bench + "'\n";
+    return 2;
+  }
+  if (!thresholds_path.empty()) {
+    JsonValue tdoc;
+    if (!parse_file(thresholds_path, tdoc, error) ||
+        !load_thresholds(tdoc, bench, thresholds, error)) {
+      out = error + "\n";
+      return 2;
+    }
+  }
+
+  const DiffResult result = diff_benches(baseline, current, thresholds);
+  std::size_t gated = 0;
+  for (const MetricDiff& d : result.metrics) {
+    if (d.gated) ++gated;
+    if (quiet && !d.breached) continue;
+    if (!d.gated && d.rel_delta == 0.0 && d.note.empty()) continue;
+    os << (d.breached ? "FAIL " : d.gated ? "gate " : "     ") << d.path
+       << ": " << format_value(d.baseline) << " -> "
+       << format_value(d.current);
+    if (!d.note.empty())
+      os << " (" << d.note << ")";
+    else if (d.rel_delta != 0.0)
+      os << " (" << format_delta(d.rel_delta) << ")";
+    os << "\n";
+  }
+  os << result.bench << ": " << result.metrics.size() << " metrics, " << gated
+     << " gated, " << result.breaches.size() << " regression(s)\n";
+  out = os.str();
+  return result.ok() ? 0 : 1;
+}
+
+int ledger_command(const std::vector<std::string>& args, std::string& out) {
+  std::vector<std::string> positional;
+  std::string ledger_path = "memcim_ledger.jsonl";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) {
+        out = "--out needs a file argument\n";
+        return 2;
+      }
+      ledger_path = args[++i];
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.empty()) {
+    out = "usage: memcim-report ledger <bench.json>... [--out <file>]\n";
+    return 2;
+  }
+  std::ostringstream os;
+  std::ofstream ledger(ledger_path, std::ios::app);
+  if (!ledger) {
+    out = "cannot open " + ledger_path + " for append\n";
+    return 2;
+  }
+  for (const std::string& path : positional) {
+    std::string error;
+    JsonValue envelope;
+    if (!parse_file(path, envelope, error)) {
+      out = error + "\n";
+      return 2;
+    }
+    ledger << ledger_line(envelope) << "\n";
+    os << "appended " << path << " to " << ledger_path << "\n";
+  }
+  out = os.str();
+  return 0;
+}
+
+int attribution_command(const std::vector<std::string>& args,
+                        std::string& out) {
+  if (args.size() != 1) {
+    out = "usage: memcim-report attribution <attr.json>\n";
+    return 2;
+  }
+  std::string error;
+  JsonValue doc;
+  if (!parse_file(args[0], doc, error)) {
+    out = error + "\n";
+    return 2;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "memcim-attr-v1") {
+    out = args[0] + " is not a memcim-attr-v1 document\n";
+    return 2;
+  }
+  out = attribution_table(doc) + "\n";
+  return 0;
+}
+
+}  // namespace memcim::report

@@ -1,0 +1,129 @@
+// memcim-report's engine: flatten bench envelopes to metric paths,
+// diff them against committed baselines under per-metric thresholds,
+// append run-ledger lines, and render attribution tables.
+//
+// The CLI (tools/memcim_report.cpp) is a thin argv shell over the
+// three *_command entry points so tests drive the exact code CI runs.
+//
+// Metric paths are dotted with [i] array indices ("sweep[3].flits").
+// A thresholds document (memcim-thresholds-v1) names the gated metrics
+// per bench:
+//
+//   {
+//     "schema": "memcim-thresholds-v1",
+//     "default_rel_tol": 0.02,
+//     "benches": {
+//       "program_engine": {
+//         "metrics": [
+//           {"path": "program_engine.speedup", "rel_tol": 0.10,
+//            "direction": "down"},
+//           {"path": "cam_sweep[*].matches_agree", "rel_tol": 0.0}
+//         ]
+//       }
+//     }
+//   }
+//
+// `direction` limits which way a delta counts as a regression: "down"
+// (drops breach — speedups), "up" (rises breach — costs), "any"
+// (default).  `*` in a path matches any run of characters, so one
+// pattern gates a whole sweep column.  Ungated metrics are reported
+// but never fail the diff; a gated metric missing from either side
+// always fails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json_parser.h"
+
+namespace memcim::report {
+
+/// One numeric (or boolean, as 0/1) leaf of a JSON document.
+struct FlatMetric {
+  std::string path;
+  double value = 0.0;
+  std::string text;  ///< source text (numbers) or "true"/"false"
+};
+
+/// Depth-first flatten in document order; strings and nulls are
+/// skipped (they name things, they don't measure them).
+[[nodiscard]] std::vector<FlatMetric> flatten_numeric(
+    const telemetry::JsonValue& doc);
+
+/// `*` matches any (possibly empty) run of characters; everything else
+/// is literal.
+[[nodiscard]] bool metric_path_match(std::string_view pattern,
+                                     std::string_view path);
+
+enum class DiffDirection : std::uint8_t { kAny, kUp, kDown };
+
+struct MetricGate {
+  std::string pattern;
+  double rel_tol = 0.0;
+  DiffDirection direction = DiffDirection::kAny;
+};
+
+/// Parsed thresholds for one bench plus the document default.
+struct Thresholds {
+  double default_rel_tol = 0.02;
+  std::vector<MetricGate> gates;
+
+  /// First gate whose pattern matches, or nullptr (ungated).
+  [[nodiscard]] const MetricGate* gate_for(std::string_view path) const;
+};
+
+/// Extract the gate set for `bench` from a memcim-thresholds-v1
+/// document.  Returns false (with `error` set) on a malformed
+/// document; an absent bench entry succeeds with no gates.
+bool load_thresholds(const telemetry::JsonValue& doc, std::string_view bench,
+                     Thresholds& out, std::string& error);
+
+struct MetricDiff {
+  std::string path;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_delta = 0.0;  ///< (current - baseline) / |baseline|
+  bool gated = false;
+  bool breached = false;
+  std::string note;  ///< "missing from current", ...
+};
+
+struct DiffResult {
+  std::string bench;
+  std::vector<MetricDiff> metrics;   ///< every compared metric
+  std::vector<MetricDiff> breaches;  ///< the gated failures only
+  [[nodiscard]] bool ok() const { return breaches.empty(); }
+};
+
+/// Compare two parsed bench envelopes under `thresholds`.  Wall-clock
+/// policy lives in the thresholds file, not here: gate only metrics
+/// that are deterministic (virtual-clock, count, model-derived).
+[[nodiscard]] DiffResult diff_benches(const telemetry::JsonValue& baseline,
+                                      const telemetry::JsonValue& current,
+                                      const Thresholds& thresholds);
+
+/// One memcim-ledger-v1 JSONL line for a bench envelope: schema, bench
+/// name, provenance echo, and the flattened metrics.
+[[nodiscard]] std::string ledger_line(const telemetry::JsonValue& envelope);
+
+/// Render a parsed memcim-attr-v1 document as the attribution table
+/// (one row per (layer, tile, shard) plus totals).
+[[nodiscard]] std::string attribution_table(const telemetry::JsonValue& doc);
+
+// -- CLI entry points (exit codes: 0 ok, 1 regression, 2 usage/parse) ---------
+
+/// `memcim-report diff <baseline.json> <current.json>
+///                     [--thresholds <file>] [--quiet]`
+int diff_command(const std::vector<std::string>& args, std::string& out);
+
+/// `memcim-report ledger <bench.json> [--out <ledger.jsonl>]`
+/// Appends to the ledger file (default "memcim_ledger.jsonl").
+int ledger_command(const std::vector<std::string>& args, std::string& out);
+
+/// `memcim-report attribution <attr.json>`
+int attribution_command(const std::vector<std::string>& args,
+                        std::string& out);
+
+}  // namespace memcim::report

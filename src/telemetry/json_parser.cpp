@@ -1,0 +1,440 @@
+#include "telemetry/json_parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace memcim::telemetry {
+
+double JsonValue::as_double() const {
+  return std::strtod(string_.c_str(), nullptr);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue JsonValue::make_null() { return {}; }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(std::string text) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.string_ = std::move(text);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(JsonArray a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::make_object(JsonObject o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    JsonValue v;
+    if (!parse_value(v)) {
+      result.error = error_;
+      result.offset = error_pos_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = "trailing data after document";
+      result.offset = pos_;
+      return result;
+    }
+    result.ok = true;
+    result.value = std::move(v);
+    return result;
+  }
+
+ private:
+  bool fail(const char* message) {
+    if (error_.empty()) {
+      error_ = message;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit)
+      return fail("invalid literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (depth_ >= max_depth_) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) return false;
+        out = JsonValue::make_null();
+        return true;
+      case 't':
+        if (!consume_literal("true")) return false;
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        out = JsonValue::make_bool(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case '[':
+        return parse_array(out);
+      case '{':
+        return parse_object(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++pos_;  // '['
+    ++depth_;
+    JsonArray items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    --depth_;
+    out = JsonValue::make_array(std::move(items));
+    return true;
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++pos_;  // '{'
+    ++depth_;
+    JsonObject members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      for (const auto& [k, v] : members)
+        if (k == key) return fail("duplicate object key");
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    --depth_;
+    out = JsonValue::make_object(std::move(members));
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end()) return fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    } else {
+      return fail("invalid number");
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9')
+        return fail("digits required after decimal point");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9')
+        return fail("digits required in exponent");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    out = JsonValue::make_number(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9')
+        digit = static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        digit = static_cast<std::uint32_t>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F')
+        digit = static_cast<std::uint32_t>(c - 'A') + 10;
+      else
+        return fail("invalid hex digit in \\u escape");
+      v = (v << 4) | digit;
+    }
+    pos_ += 4;
+    out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string& s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) return fail("truncated escape");
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              return fail("unpaired high surrogate");
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF)
+              return fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t max_depth_;
+  std::string error_;
+  std::size_t error_pos_ = 0;
+};
+
+void append_compact(std::string& out, const JsonValue& v);
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_compact(std::string& out, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      out += v.number_text();
+      break;
+    case JsonValue::Kind::kString:
+      append_escaped(out, v.as_string());
+      break;
+    case JsonValue::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_compact(out, item);
+      }
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_escaped(out, key);
+        out.push_back(':');
+        append_compact(out, value);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+std::string to_compact_json(const JsonValue& v) {
+  std::string out;
+  append_compact(out, v);
+  return out;
+}
+
+}  // namespace memcim::telemetry

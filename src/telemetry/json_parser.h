@@ -1,0 +1,96 @@
+// Strict JSON parser that round-trips JsonWriter output.
+//
+// memcim-report feeds BENCH_*.json envelopes and metric snapshots back
+// through this parser, so it accepts exactly RFC 8259 JSON — no
+// comments, no trailing commas, no NaN/Infinity, duplicate object keys
+// rejected — and preserves enough structure to re-emit what it read:
+// object members keep insertion order and numbers keep their source
+// text (so a shortest-round-trip double from JsonWriter survives a
+// parse → to_compact_json cycle byte-for-byte).
+//
+// Errors carry a byte offset; parse() either consumes the whole input
+// (trailing whitespace allowed) or fails.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace memcim::telemetry {
+
+class JsonValue;
+
+/// Object members in insertion order.  Keys are unique (duplicates are
+/// a parse error).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  /// Numeric value (strtod of the source text).
+  [[nodiscard]] double as_double() const;
+  /// The number's source text, preserved verbatim for re-emission.
+  [[nodiscard]] const std::string& number_text() const { return string_; }
+  /// Decoded string contents (escapes resolved, \uXXXX → UTF-8).
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const JsonArray& as_array() const { return array_; }
+  [[nodiscard]] const JsonObject& as_object() const { return object_; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(std::string text);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(JsonArray a);
+  static JsonValue make_object(JsonObject o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string string_;  // decoded string, or number source text
+  JsonArray array_;
+  JsonObject object_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;        ///< empty on success
+  std::size_t offset = 0;   ///< byte offset of the error
+};
+
+/// Parse `text` as one JSON document.  Nesting past `max_depth` is an
+/// error (stack safety for untrusted files).
+[[nodiscard]] JsonParseResult parse_json(std::string_view text,
+                                         std::size_t max_depth = 128);
+
+/// Re-emit a parsed value as compact (single-line, no spaces) JSON —
+/// the ledger's JSONL row format.  Numbers re-emit their source text.
+[[nodiscard]] std::string to_compact_json(const JsonValue& v);
+
+}  // namespace memcim::telemetry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 
@@ -58,6 +59,46 @@ std::uint64_t epoch_ns() {
 }  // namespace
 
 std::uint64_t now_ns() { return steady_ns() - epoch_ns(); }
+
+// ---------------------------------------------------------------------------
+// Trace context
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local TraceContext t_trace_context;
+thread_local std::uint32_t t_current_tile = kNoTile;
+
+std::uint64_t next_unique_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceContext current_trace_context() { return t_trace_context; }
+
+TraceContext new_root_context() {
+  if (!enabled()) return {};
+  return {next_unique_id(), 0};
+}
+
+std::uint64_t new_span_id() { return next_unique_id(); }
+
+TraceContextScope::TraceContextScope(TraceContext ctx)
+    : prev_(t_trace_context) {
+  t_trace_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { t_trace_context = prev_; }
+
+std::uint32_t current_tile() { return t_current_tile; }
+
+TileScope::TileScope(std::uint32_t tile) : prev_(t_current_tile) {
+  t_current_tile = tile;
+}
+
+TileScope::~TileScope() { t_current_tile = prev_; }
 
 // ---------------------------------------------------------------------------
 // Histogram
@@ -127,6 +168,37 @@ std::vector<double> exponential_bounds(double start, double factor,
 // ---------------------------------------------------------------------------
 // Snapshot
 // ---------------------------------------------------------------------------
+
+double HistogramSample::percentile(double q) const {
+  if (count == 0) return 0.0;
+  const double fraction = std::min(std::max(q, 0.0), 100.0) / 100.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(fraction * static_cast<double>(count)));
+  rank = std::min(std::max<std::uint64_t>(rank, 1), count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    cumulative += bucket_counts[i];
+    if (cumulative >= rank) {
+      if (i >= upper_bounds.size()) return max;  // overflow bucket
+      return std::min(upper_bounds[i], max);
+    }
+  }
+  return max;  // unreachable when bucket_counts sums to count
+}
+
+bool HistogramSample::merge(const HistogramSample& other) {
+  if (upper_bounds != other.upper_bounds ||
+      bucket_counts.size() != other.bucket_counts.size())
+    return false;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i)
+    bucket_counts[i] += other.bucket_counts[i];
+  count += other.count;
+  if (other.count > 0) {
+    min = count == other.count ? other.min : std::min(min, other.min);
+    max = count == other.count ? other.max : std::max(max, other.max);
+  }
+  return true;
+}
 
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   for (const CounterSample& c : counters)
@@ -304,6 +376,11 @@ SpanSite::SpanSite(std::string name)
 void Span::open(SpanSite& site) {
   site_ = &site;
   depth_ = t_span_depth++;
+  parent_ = t_trace_context;
+  span_id_ = next_unique_id();
+  // Install this span as the context for its extent: child spans, pool
+  // chunks and NoC packets dispatched from inside parent under it.
+  t_trace_context = {parent_.trace_id, span_id_};
   start_ns_ = now_ns();
 }
 
@@ -311,15 +388,28 @@ void Span::close() {
   const std::uint64_t end = now_ns();
   const std::uint64_t dur = end - start_ns_;
   if (t_span_depth > 0) --t_span_depth;
+  t_trace_context = parent_;
   site_->calls_.add(1);
   site_->total_ns_.add(dur);
   if (tracing()) {
     ThreadTraceBuffer& buffer = thread_buffer();
     std::lock_guard<std::mutex> lock(buffer.mutex);
-    buffer.events.push_back(
-        {&site_->name_, start_ns_, dur, buffer.tid, depth_});
+    buffer.events.push_back({&site_->name_, start_ns_, dur, buffer.tid, depth_,
+                             parent_.trace_id, span_id_, parent_.span_id,
+                             t_current_tile});
   }
   site_ = nullptr;
+}
+
+void emit_trace_event(const std::string* name, std::uint64_t ts_ns,
+                      std::uint64_t dur_ns, std::uint64_t trace_id,
+                      std::uint64_t span_id, std::uint64_t parent_span,
+                      std::uint32_t tile) {
+  if (!enabled() || !tracing()) return;
+  ThreadTraceBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back({name, ts_ns, dur_ns, buffer.tid, 0, trace_id,
+                           span_id, parent_span, tile});
 }
 
 }  // namespace memcim::telemetry

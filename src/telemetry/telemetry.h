@@ -82,6 +82,73 @@ void set_enabled(bool on);
 [[nodiscard]] std::uint64_t now_ns();
 
 // ---------------------------------------------------------------------------
+// Trace context
+// ---------------------------------------------------------------------------
+
+/// The causal coordinates of the work currently executing on this
+/// thread: which request/run it belongs to (`trace_id`) and which span
+/// is its direct parent (`span_id`).  Contexts propagate three ways:
+///   * implicitly — every Span adopts the current context as parent and
+///     installs itself for its dynamic extent;
+///   * across the thread pool — parallel_for captures the submitting
+///     thread's context and workers adopt it per chunk, so worker spans
+///     parent under the dispatching span instead of floating free;
+///   * across the NoC — packets carry (trace_id, parent_span) and the
+///     mesh emits a child span per delivery (see noc/message.h).
+/// trace_id 0 means "not part of any trace"; span ids are process-
+/// unique and never 0 for a live span.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+/// The calling thread's current context ({0, 0} outside any span).
+[[nodiscard]] TraceContext current_trace_context();
+
+/// A fresh root context carrying a process-unique trace id (span_id 0:
+/// the next span opened under it becomes the trace's root span).
+/// Returns {0, 0} while telemetry is disabled.
+[[nodiscard]] TraceContext new_root_context();
+
+/// Allocate a process-unique nonzero span id (the mesh uses this for
+/// packet-delivery spans it emits without a Span object).
+[[nodiscard]] std::uint64_t new_span_id();
+
+/// Adopt `ctx` as the calling thread's context for the scope's
+/// lifetime; restores the previous context on destruction.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// "Not executing on behalf of any tile" marker for span/trace events.
+inline constexpr std::uint32_t kNoTile = 0xFFFFFFFFu;
+
+/// The tile id spans closed on this thread are attributed to.
+[[nodiscard]] std::uint32_t current_tile();
+
+/// Tag the calling thread as executing tile `tile`'s work for the
+/// scope's lifetime (sharded workloads wrap per-shard compute in one);
+/// trace events carry the tag so Perfetto can group spans by tile.
+class TileScope {
+ public:
+  explicit TileScope(std::uint32_t tile);
+  ~TileScope();
+  TileScope(const TileScope&) = delete;
+  TileScope& operator=(const TileScope&) = delete;
+
+ private:
+  std::uint32_t prev_;
+};
+
+// ---------------------------------------------------------------------------
 // Metric primitives
 // ---------------------------------------------------------------------------
 
@@ -203,6 +270,21 @@ struct HistogramSample {
   double max = 0.0;
   std::vector<double> upper_bounds;
   std::vector<std::uint64_t> bucket_counts;  // upper_bounds.size() + 1
+
+  /// Exact-bucket quantile: the upper bound of the bucket holding the
+  /// ceil(q/100 · count)-th sample (q in [0, 100]), clamped to the
+  /// observed max.  Samples past the last bound resolve to the max; an
+  /// empty histogram returns 0.  Because bucket tallies are exact u64
+  /// counts, the answer is bitwise deterministic at any thread count.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+  /// Accumulate `other` into this sample (bucket-wise u64 adds,
+  /// min/max union).  Both samples must share identical bounds;
+  /// returns false (and leaves *this untouched) when they don't.
+  bool merge(const HistogramSample& other);
 };
 
 /// A point-in-time copy of every registered metric, sorted by name.
@@ -280,6 +362,12 @@ class SpanSite {
 /// buffer while a trace session is active.  Spans nest (per-thread
 /// depth is tracked), and one branch is the whole cost when telemetry
 /// is disabled.
+///
+/// Each open span adopts the thread's current TraceContext as its
+/// parent, allocates a process-unique span id, and installs itself as
+/// the context for its dynamic extent — so nested spans (and anything
+/// dispatched from inside, including pool chunks and NoC packets) form
+/// a real parent/child tree instead of a flat per-thread stack.
 class Span {
  public:
   explicit Span(SpanSite& site) {
@@ -299,6 +387,8 @@ class Span {
   SpanSite* site_ = nullptr;
   std::uint64_t start_ns_ = 0;
   std::uint32_t depth_ = 0;
+  std::uint64_t span_id_ = 0;
+  TraceContext parent_;  // context restored on close
 };
 
 }  // namespace memcim::telemetry

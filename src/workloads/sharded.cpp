@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "telemetry/attribution.h"
 #include "telemetry/telemetry.h"
 #include "workloads/dna.h"
 
@@ -27,6 +28,34 @@ std::size_t flits_for_bits(std::size_t bits, const NocParams& params) {
 
 /// Command/completion descriptors: opcode + range/tag + checksum.
 constexpr std::size_t kDescriptorBits = 128;
+
+/// The trace context a sharded run executes under: the caller's when
+/// one is already active, otherwise a fresh root (one trace per run).
+telemetry::TraceContext run_root_context() {
+  const telemetry::TraceContext current = telemetry::current_trace_context();
+  return current.valid() ? current : telemetry::new_root_context();
+}
+
+/// The shard-compute span site shared by all three workloads: one span
+/// per (tile, shard) task, parented under the workload span and tagged
+/// with the tile via TileScope.
+telemetry::SpanSite& shard_compute_site() {
+  static telemetry::SpanSite site("workload.shard_compute");
+  return site;
+}
+
+/// Charge one shard's command/response packet pair to the NoC
+/// attribution row of (tile, shard): exact flit counts plus the
+/// structural per-packet energy (see MeshNoc::packet_energy).
+void attribute_packet_pair(const TileFabric& fabric, std::size_t tile,
+                           const NocPacket& cmd, const NocPacket& resp) {
+  if (!telemetry::enabled()) return;
+  const auto t = static_cast<std::uint32_t>(tile);
+  telemetry::attribute_flits(t, t, cmd.flits + resp.flits);
+  const Energy e = fabric.noc().packet_energy(cmd.src, cmd.dst, cmd.flits) +
+                   fabric.noc().packet_energy(resp.src, resp.dst, resp.flits);
+  telemetry::attribute_energy(telemetry::AttrLayer::kNoc, t, t, e.value());
+}
 
 struct NocSnapshot {
   NocStats stats;
@@ -104,7 +133,9 @@ ShardedAddResult sharded_parallel_add(TileFabric& fabric,
   MEMCIM_CHECK(params.operations > 0 && params.adders > 0);
   MEMCIM_CHECK(params.width >= 1 && params.width <= 63);
   static telemetry::SpanSite span_site("workload.sharded_add");
+  const telemetry::TraceContextScope root_scope(run_root_context());
   telemetry::Span span(span_site);
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
 
   // Identical draw order to run_parallel_add: the sharded run consumes
   // the same RNG stream as its single-farm counterpart.
@@ -122,9 +153,13 @@ ShardedAddResult sharded_parallel_add(TileFabric& fabric,
 
   // Compute phase: one task per shard, chunks write disjoint slots.
   std::vector<ParallelAddResult> per_shard(fabric.tiles());
+  std::vector<telemetry::TraceContext> shard_ctx(fabric.tiles());
   parallel_for(0, fabric.tiles(), 1, [&](std::size_t t) {
     const Shard& s = plan.shards[t];
     if (s.empty()) return;
+    const telemetry::TileScope tile_scope(static_cast<std::uint32_t>(t));
+    telemetry::Span compute_span(shard_compute_site());
+    shard_ctx[t] = telemetry::current_trace_context();
     per_shard[t] = run_add_shard(s, params, cell, op_a, op_b);
   });
 
@@ -151,10 +186,12 @@ ShardedAddResult sharded_parallel_add(TileFabric& fabric,
     cmd.tag = 2 * t;
     cmd.release = before.now;
     cmd.fingerprint = mix_fingerprint(0xADD0ull ^ (t << 8) ^ s.begin);
+    cmd.trace_id = ctx.trace_id;
+    cmd.parent_span = ctx.span_id;
     const std::size_t cmd_handle = fabric.noc().inject(cmd);
 
     const NocCycle compute = fabric.compute_cycles(per_shard[t].latency);
-    fabric.note_busy(t, compute);
+    fabric.note_busy(t, compute, static_cast<std::uint32_t>(t));
 
     NocPacket resp;
     resp.src = t;
@@ -164,10 +201,22 @@ ShardedAddResult sharded_parallel_add(TileFabric& fabric,
     resp.after = cmd_handle;
     resp.release = compute;
     resp.fingerprint = mix_fingerprint(0xD0BEull ^ (t << 8) ^ s.end);
+    resp.trace_id = shard_ctx[t].trace_id;
+    resp.parent_span = shard_ctx[t].span_id;
     (void)fabric.noc().inject(resp);
+
+    attribute_packet_pair(fabric, t, cmd, resp);
+    if (telemetry::enabled()) {
+      const auto tid = static_cast<std::uint32_t>(t);
+      telemetry::attribute_energy(telemetry::AttrLayer::kLogic, tid, tid,
+                                  per_shard[t].total_energy.value());
+      telemetry::attribute_pulses(telemetry::AttrLayer::kDevice, tid, tid,
+                                  per_shard[t].total_pulses);
+    }
   }
   finish_run(fabric, before, out.run);
   out.run.compute_energy = out.merged.total_energy;
+  out.run.trace_id = ctx.trace_id;
   return out;
 }
 
@@ -214,7 +263,9 @@ ShardedSearchResult sharded_kmer_search(
   MEMCIM_CHECK_MSG(database.size() == tiles * rows,
                    "database must exactly fill the fabric");
   static telemetry::SpanSite span_site("workload.sharded_search");
+  const telemetry::TraceContextScope root_scope(run_root_context());
   telemetry::Span span(span_site);
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
 
   // Distribute the database row-major (setup, not part of the run).
   for (std::size_t r = 0; r < database.size(); ++r) {
@@ -226,7 +277,11 @@ ShardedSearchResult sharded_kmer_search(
   std::vector<std::vector<std::vector<bool>>> tile_matches(tiles);
   std::vector<std::vector<Time>> tile_latency(tiles);
   std::vector<Energy> tile_delta(tiles, Energy{0.0});
+  std::vector<telemetry::TraceContext> shard_ctx(tiles);
   parallel_for(0, tiles, 1, [&](std::size_t t) {
+    const telemetry::TileScope tile_scope(static_cast<std::uint32_t>(t));
+    telemetry::Span compute_span(shard_compute_site());
+    shard_ctx[t] = telemetry::current_trace_context();
     CimTile& tile = fabric.tile(t);
     const Energy e0 = tile.stats().energy;
     tile_matches[t].reserve(queries.size());
@@ -263,10 +318,12 @@ ShardedSearchResult sharded_kmer_search(
       cmd.after = prev;
       cmd.release = prev == kNoPacket ? before.now : 0;
       cmd.fingerprint = mix_fingerprint(0x5EA4ull ^ (t << 16) ^ q);
+      cmd.trace_id = ctx.trace_id;
+      cmd.parent_span = ctx.span_id;
       const std::size_t cmd_handle = fabric.noc().inject(cmd);
 
       const NocCycle compute = fabric.compute_cycles(tile_latency[t][q]);
-      fabric.note_busy(t, compute);
+      fabric.note_busy(t, compute, static_cast<std::uint32_t>(t));
 
       NocPacket resp;
       resp.src = t;
@@ -276,12 +333,22 @@ ShardedSearchResult sharded_kmer_search(
       resp.after = cmd_handle;
       resp.release = compute;
       resp.fingerprint = mix_fingerprint(0x4E5Full ^ (t << 16) ^ q);
+      resp.trace_id = shard_ctx[t].trace_id;
+      resp.parent_span = shard_ctx[t].span_id;
       prev = fabric.noc().inject(resp);
+
+      attribute_packet_pair(fabric, t, cmd, resp);
+    }
+    if (telemetry::enabled()) {
+      const auto tid = static_cast<std::uint32_t>(t);
+      telemetry::attribute_energy(telemetry::AttrLayer::kCrossbar, tid, tid,
+                                  tile_delta[t].value());
     }
   }
   finish_run(fabric, before, out.run);
   for (std::size_t t = 0; t < tiles; ++t)
     out.run.compute_energy += tile_delta[t];
+  out.run.trace_id = ctx.trace_id;
   return out;
 }
 
@@ -323,11 +390,18 @@ void ShardedCamBank::inject_stuck(std::size_t global_row, std::size_t bit,
 ShardedCamBank::BankSearchResult ShardedCamBank::search(
     const std::vector<bool>& key) {
   static telemetry::SpanSite span_site("workload.sharded_cam");
+  const telemetry::TraceContextScope root_scope(run_root_context());
   telemetry::Span span(span_site);
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
 
   std::vector<CamSearchResult> per_tile(cams_.size());
-  parallel_for(0, cams_.size(), 1,
-               [&](std::size_t t) { per_tile[t] = cams_[t].search(key); });
+  std::vector<telemetry::TraceContext> shard_ctx(cams_.size());
+  parallel_for(0, cams_.size(), 1, [&](std::size_t t) {
+    const telemetry::TileScope tile_scope(static_cast<std::uint32_t>(t));
+    telemetry::Span compute_span(shard_compute_site());
+    shard_ctx[t] = telemetry::current_trace_context();
+    per_tile[t] = cams_[t].search(key);
+  });
 
   BankSearchResult out;
   for (std::size_t t = 0; t < cams_.size(); ++t)
@@ -348,10 +422,12 @@ ShardedCamBank::BankSearchResult ShardedCamBank::search(
     cmd.tag = 2 * t;
     cmd.release = before.now;
     cmd.fingerprint = mix_fingerprint(0xCA4Bull ^ (t << 8));
+    cmd.trace_id = ctx.trace_id;
+    cmd.parent_span = ctx.span_id;
     const std::size_t cmd_handle = fabric_.noc().inject(cmd);
 
     const NocCycle compute = fabric_.compute_cycles(per_tile[t].latency);
-    fabric_.note_busy(t, compute);
+    fabric_.note_busy(t, compute, static_cast<std::uint32_t>(t));
 
     NocPacket resp;
     resp.src = t;
@@ -362,11 +438,21 @@ ShardedCamBank::BankSearchResult ShardedCamBank::search(
     resp.release = compute;
     resp.fingerprint =
         mix_fingerprint(0xB4CAull ^ (t << 8) ^ per_tile[t].matching_rows.size());
+    resp.trace_id = shard_ctx[t].trace_id;
+    resp.parent_span = shard_ctx[t].span_id;
     (void)fabric_.noc().inject(resp);
+
+    attribute_packet_pair(fabric_, t, cmd, resp);
+    if (telemetry::enabled()) {
+      const auto tid = static_cast<std::uint32_t>(t);
+      telemetry::attribute_energy(telemetry::AttrLayer::kLogic, tid, tid,
+                                  per_tile[t].energy.value());
+    }
   }
   finish_run(fabric_, before, out.run);
   for (std::size_t t = 0; t < cams_.size(); ++t)
     out.run.compute_energy += per_tile[t].energy;
+  out.run.trace_id = ctx.trace_id;
   return out;
 }
 

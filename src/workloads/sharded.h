@@ -41,6 +41,8 @@ struct ShardedRunStats {
   std::uint64_t flits = 0;
   std::uint64_t flit_hops = 0;
   double fabric_utilization = 0.0;  ///< Σ tile busy / (tiles · makespan)
+  /// Trace id of the run's span tree (0 when telemetry is disabled).
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] Energy energy() const { return compute_energy + noc_energy; }
 };

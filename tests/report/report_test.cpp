@@ -1,0 +1,265 @@
+// memcim-report engine: metric flattening, wildcard path gates,
+// thresholds parsing, baseline diffs (including the canonical
+// synthetic-10%-regression drill CI runs), ledger lines, and the
+// attribution table renderer.
+#include "report/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json_parser.h"
+
+namespace memcim::report {
+namespace {
+
+using telemetry::JsonValue;
+using telemetry::parse_json;
+
+JsonValue parse_ok(const std::string& text) {
+  telemetry::JsonParseResult r = parse_json(text);
+  EXPECT_TRUE(r.ok) << r.error;
+  return std::move(r.value);
+}
+
+std::string temp_file(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(FlattenNumeric, WalksObjectsArraysAndBools) {
+  const JsonValue doc = parse_ok(
+      R"({"a": 1, "b": {"c": 2.5}, "sweep": [{"x": 3}, {"x": 4}],)"
+      R"( "name": "skipped", "flag": true, "nothing": null})");
+  const std::vector<FlatMetric> metrics = flatten_numeric(doc);
+  ASSERT_EQ(metrics.size(), 5u);
+  EXPECT_EQ(metrics[0].path, "a");
+  EXPECT_EQ(metrics[0].text, "1");
+  EXPECT_EQ(metrics[1].path, "b.c");
+  EXPECT_DOUBLE_EQ(metrics[1].value, 2.5);
+  EXPECT_EQ(metrics[2].path, "sweep[0].x");
+  EXPECT_EQ(metrics[3].path, "sweep[1].x");
+  EXPECT_EQ(metrics[4].path, "flag");
+  EXPECT_EQ(metrics[4].value, 1.0);
+  EXPECT_EQ(metrics[4].text, "true");
+}
+
+TEST(MetricPathMatch, LiteralAndWildcard) {
+  EXPECT_TRUE(metric_path_match("a.b", "a.b"));
+  EXPECT_FALSE(metric_path_match("a.b", "a.bc"));
+  EXPECT_TRUE(metric_path_match("sweep[*].flits", "sweep[3].flits"));
+  EXPECT_FALSE(metric_path_match("sweep[*].flits", "sweep[3].hops"));
+  EXPECT_TRUE(metric_path_match("*", "anything.at[0].all"));
+  EXPECT_TRUE(metric_path_match("a*z", "az"));
+  EXPECT_TRUE(metric_path_match("a*z", "a.middle.z"));
+  EXPECT_FALSE(metric_path_match("a*z", "a.middle.y"));
+  EXPECT_TRUE(metric_path_match("*.energy", "noc.energy"));
+  EXPECT_FALSE(metric_path_match("", "x"));
+}
+
+const char kThresholds[] = R"({
+  "schema": "memcim-thresholds-v1",
+  "default_rel_tol": 0.05,
+  "benches": {
+    "logic": {
+      "metrics": [
+        {"path": "imply.ops", "rel_tol": 0.0},
+        {"path": "sweep[*].speedup", "rel_tol": 0.10, "direction": "down"},
+        {"path": "model.*", "direction": "up"}
+      ]
+    }
+  }
+})";
+
+TEST(Thresholds, ParsesGatesWithDefaults) {
+  Thresholds t;
+  std::string error;
+  ASSERT_TRUE(load_thresholds(parse_ok(kThresholds), "logic", t, error))
+      << error;
+  EXPECT_DOUBLE_EQ(t.default_rel_tol, 0.05);
+  ASSERT_EQ(t.gates.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.gates[0].rel_tol, 0.0);
+  EXPECT_EQ(t.gates[0].direction, DiffDirection::kAny);
+  EXPECT_EQ(t.gates[1].direction, DiffDirection::kDown);
+  EXPECT_DOUBLE_EQ(t.gates[2].rel_tol, 0.05);  // inherits the default
+  EXPECT_EQ(t.gates[2].direction, DiffDirection::kUp);
+
+  ASSERT_NE(t.gate_for("sweep[7].speedup"), nullptr);
+  EXPECT_EQ(t.gate_for("sweep[7].hops"), nullptr);
+  ASSERT_NE(t.gate_for("model.energy"), nullptr);
+}
+
+TEST(Thresholds, AbsentBenchYieldsNoGates) {
+  Thresholds t;
+  std::string error;
+  ASSERT_TRUE(load_thresholds(parse_ok(kThresholds), "solver", t, error));
+  EXPECT_TRUE(t.gates.empty());
+}
+
+TEST(Thresholds, RejectsWrongSchemaAndBadGates) {
+  Thresholds t;
+  std::string error;
+  EXPECT_FALSE(load_thresholds(parse_ok(R"({"schema": "x"})"), "b", t, error));
+  EXPECT_FALSE(load_thresholds(
+      parse_ok(R"({"schema": "memcim-thresholds-v1",
+                   "benches": {"b": {"metrics": [{"path": "p",
+                                                 "direction": "sideways"}]}}})"),
+      "b", t, error));
+}
+
+TEST(DiffBenches, DirectionAndToleranceSemantics) {
+  Thresholds t;
+  std::string error;
+  ASSERT_TRUE(load_thresholds(parse_ok(kThresholds), "logic", t, error));
+
+  const JsonValue baseline = parse_ok(
+      R"({"bench": "logic", "imply": {"ops": 100},
+          "sweep": [{"speedup": 10.0}, {"speedup": 8.0}],
+          "model": {"energy": 50.0}, "wall_ns": 12345})");
+  // speedup[0] drops 20% (breach), speedup[1] *rises* (direction=down,
+  // no breach), model.energy rises 4% (inside 5% default, no breach),
+  // wall_ns doubles (ungated, no breach).
+  const JsonValue current = parse_ok(
+      R"({"bench": "logic", "imply": {"ops": 100},
+          "sweep": [{"speedup": 8.0}, {"speedup": 9.0}],
+          "model": {"energy": 52.0}, "wall_ns": 24690})");
+
+  const DiffResult result = diff_benches(baseline, current, t);
+  EXPECT_EQ(result.bench, "logic");
+  ASSERT_EQ(result.breaches.size(), 1u);
+  EXPECT_EQ(result.breaches[0].path, "sweep[0].speedup");
+  EXPECT_NEAR(result.breaches[0].rel_delta, -0.2, 1e-12);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DiffBenches, GatedMetricMissingEitherSideBreaches) {
+  Thresholds t;
+  t.gates.push_back({"imply.ops", 0.0, DiffDirection::kAny});
+  const JsonValue with = parse_ok(R"({"bench": "logic", "imply": {"ops": 1}})");
+  const JsonValue without = parse_ok(R"({"bench": "logic"})");
+
+  EXPECT_FALSE(diff_benches(with, without, t).ok());
+  EXPECT_FALSE(diff_benches(without, with, t).ok());
+  // Ungated extra metrics are reported, not failed.
+  Thresholds none;
+  EXPECT_TRUE(diff_benches(with, without, none).ok());
+}
+
+TEST(DiffBenches, ZeroBaselineChangeIsInfiniteDelta) {
+  Thresholds t;
+  t.gates.push_back({"count", 0.5, DiffDirection::kAny});
+  const JsonValue baseline = parse_ok(R"({"bench": "b", "count": 0})");
+  const JsonValue current = parse_ok(R"({"bench": "b", "count": 3})");
+  const DiffResult result = diff_benches(baseline, current, t);
+  ASSERT_EQ(result.breaches.size(), 1u);
+  EXPECT_TRUE(std::isinf(result.breaches[0].rel_delta));
+}
+
+TEST(DiffCommand, DetectsSyntheticTenPercentRegression) {
+  // The CI drill: copy BENCH_logic.json, nudge one gated metric 10%,
+  // and the diff must exit 1 naming that metric.
+  const char kBaseline[] = R"({
+    "schema": "memcim-bench-v1", "bench": "logic",
+    "imply_sweep": [{"bits": 8, "pulses": 120, "speedup": 4.0}],
+    "cam": {"searches": 96, "energy_j": 1.5e-9}
+  })";
+  const char kRegressed[] = R"({
+    "schema": "memcim-bench-v1", "bench": "logic",
+    "imply_sweep": [{"bits": 8, "pulses": 132, "speedup": 4.0}],
+    "cam": {"searches": 96, "energy_j": 1.5e-9}
+  })";
+  const char kGates[] = R"({
+    "schema": "memcim-thresholds-v1",
+    "default_rel_tol": 0.02,
+    "benches": {"logic": {"metrics": [
+      {"path": "imply_sweep[*].pulses", "direction": "up"},
+      {"path": "cam.*"}
+    ]}}
+  })";
+  const std::string base = temp_file("report_base.json", kBaseline);
+  const std::string cur = temp_file("report_cur.json", kRegressed);
+  const std::string gates = temp_file("report_gates.json", kGates);
+
+  std::string out;
+  const int code = diff_command({base, cur, "--thresholds", gates}, out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("imply_sweep[0].pulses"), std::string::npos) << out;
+  EXPECT_NE(out.find("FAIL"), std::string::npos) << out;
+
+  // The unmodified copy passes.
+  const int clean = diff_command({base, base, "--thresholds", gates}, out);
+  EXPECT_EQ(clean, 0) << out;
+}
+
+TEST(DiffCommand, UsageAndParseErrorsExitTwo) {
+  std::string out;
+  EXPECT_EQ(diff_command({}, out), 2);
+  EXPECT_EQ(diff_command({"one.json"}, out), 2);
+  const std::string bad = temp_file("report_bad.json", "{nope");
+  const std::string good = temp_file("report_good.json", R"({"bench":"b"})");
+  EXPECT_EQ(diff_command({bad, good}, out), 2);
+  EXPECT_EQ(diff_command({good, "/nonexistent/x.json"}, out), 2);
+}
+
+TEST(LedgerLine, EmitsCompactSchemaLine) {
+  const JsonValue envelope = parse_ok(
+      R"({"schema": "memcim-bench-v1", "bench": "logic",
+          "provenance": {"git_sha": "abc123", "memcim_threads": "4"},
+          "ops": 100, "nested": {"pass": true}})");
+  const std::string line = ledger_line(envelope);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const JsonValue parsed = parse_ok(line);
+  EXPECT_EQ(parsed.find("schema")->as_string(), "memcim-ledger-v1");
+  EXPECT_EQ(parsed.find("bench")->as_string(), "logic");
+  EXPECT_EQ(parsed.find("provenance")->find("git_sha")->as_string(), "abc123");
+  const JsonValue* metrics = parsed.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("ops")->number_text(), "100");
+  EXPECT_EQ(metrics->find("nested.pass")->as_bool(), true);
+}
+
+TEST(LedgerCommand, AppendsOneLinePerEnvelope) {
+  const std::string bench = temp_file(
+      "report_ledger_in.json", R"({"bench": "logic", "ops": 1})");
+  const std::string ledger = ::testing::TempDir() + "report_ledger.jsonl";
+  std::remove(ledger.c_str());
+  std::string out;
+  EXPECT_EQ(ledger_command({bench, "--out", ledger}, out), 0);
+  EXPECT_EQ(ledger_command({bench, "--out", ledger}, out), 0);
+  std::ifstream in(ledger);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(parse_json(line).ok);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(AttributionTable, RendersRowsAndTotals) {
+  const JsonValue doc = parse_ok(R"({
+    "schema": "memcim-attr-v1",
+    "rows": [
+      {"layer": "device", "tile": 0, "shard": 0,
+       "energy_aj": 100, "pulses": 7, "flits": 0, "span_ns": 0},
+      {"layer": "arch", "tile": 1, "shard": -1,
+       "energy_aj": 0, "pulses": 0, "flits": 0, "span_ns": 99}
+    ],
+    "totals": {"energy_aj": 100, "pulses": 7, "flits": 0, "span_ns": 99}
+  })");
+  const std::string table = attribution_table(doc);
+  EXPECT_NE(table.find("device"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  EXPECT_NE(table.find("100"), std::string::npos);
+  // Sentinel -1 renders as "-".
+  EXPECT_NE(table.find(" - "), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace memcim::report

@@ -1,0 +1,232 @@
+// Causal trace propagation: spans form parent/child trees under one
+// trace id, contexts follow work across the thread pool and onto NoC
+// packets, and the Chrome-trace export carries tile process metadata
+// plus flow arrows for cross-thread/cross-tile dispatch edges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/tile_fabric.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "device/presets.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
+#include "workloads/sharded.h"
+
+namespace memcim {
+namespace {
+
+struct StateGuard {
+  std::size_t threads = parallel_threads();
+  ~StateGuard() {
+    telemetry::stop_tracing();
+    telemetry::set_enabled(true);
+    set_parallel_threads(threads);
+  }
+};
+
+std::vector<telemetry::TraceEvent> events_named(
+    const std::vector<telemetry::TraceEvent>& events, std::string_view name) {
+  std::vector<telemetry::TraceEvent> out;
+  for (const telemetry::TraceEvent& e : events)
+    if (*e.name == name) out.push_back(e);
+  return out;
+}
+
+TEST(TraceContext, RootContextAndSpanIdsAreUnique) {
+  StateGuard guard;
+  telemetry::set_enabled(true);
+  const telemetry::TraceContext a = telemetry::new_root_context();
+  const telemetry::TraceContext b = telemetry::new_root_context();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, 0u);
+  EXPECT_NE(telemetry::new_span_id(), telemetry::new_span_id());
+}
+
+TEST(TraceContext, DisabledTelemetryYieldsNoContext) {
+  StateGuard guard;
+  telemetry::set_enabled(false);
+  EXPECT_FALSE(telemetry::new_root_context().valid());
+  EXPECT_FALSE(telemetry::current_trace_context().valid());
+}
+
+TEST(TraceContext, ScopeInstallsAndRestores) {
+  StateGuard guard;
+  telemetry::set_enabled(true);
+  const telemetry::TraceContext before = telemetry::current_trace_context();
+  const telemetry::TraceContext root = telemetry::new_root_context();
+  {
+    const telemetry::TraceContextScope scope(root);
+    EXPECT_EQ(telemetry::current_trace_context().trace_id, root.trace_id);
+  }
+  EXPECT_EQ(telemetry::current_trace_context().trace_id, before.trace_id);
+}
+
+TEST(TraceContext, NestedSpansFormAParentChildTree) {
+  StateGuard guard;
+  telemetry::set_enabled(true);
+  static telemetry::SpanSite outer_site("test.ctx.outer");
+  static telemetry::SpanSite inner_site("test.ctx.inner");
+
+  telemetry::start_tracing();
+  {
+    const telemetry::TraceContextScope root(telemetry::new_root_context());
+    telemetry::Span outer(outer_site);
+    telemetry::Span inner(inner_site);
+  }
+  telemetry::stop_tracing();
+
+  const std::vector<telemetry::TraceEvent> events =
+      telemetry::collected_trace();
+  const auto outer_events = events_named(events, "test.ctx.outer");
+  const auto inner_events = events_named(events, "test.ctx.inner");
+  ASSERT_EQ(outer_events.size(), 1u);
+  ASSERT_EQ(inner_events.size(), 1u);
+  EXPECT_NE(outer_events[0].trace_id, 0u);
+  EXPECT_EQ(outer_events[0].trace_id, inner_events[0].trace_id);
+  EXPECT_EQ(outer_events[0].parent_span, 0u);  // root span of the trace
+  EXPECT_NE(outer_events[0].span_id, 0u);
+  EXPECT_EQ(inner_events[0].parent_span, outer_events[0].span_id);
+  EXPECT_NE(inner_events[0].span_id, outer_events[0].span_id);
+}
+
+TEST(TraceContext, PropagatesAcrossThreadPoolWorkers) {
+  StateGuard guard;
+  telemetry::set_enabled(true);
+  set_parallel_threads(4);
+  static telemetry::SpanSite dispatch_site("test.ctx.dispatch");
+  static telemetry::SpanSite worker_site("test.ctx.worker");
+
+  telemetry::start_tracing();
+  {
+    const telemetry::TraceContextScope root(telemetry::new_root_context());
+    telemetry::Span dispatch(dispatch_site);
+    parallel_for(0, 8, 1, [&](std::size_t) {
+      telemetry::Span work(worker_site);
+    });
+  }
+  telemetry::stop_tracing();
+
+  const std::vector<telemetry::TraceEvent> events =
+      telemetry::collected_trace();
+  const auto dispatch_events = events_named(events, "test.ctx.dispatch");
+  const auto worker_events = events_named(events, "test.ctx.worker");
+  ASSERT_EQ(dispatch_events.size(), 1u);
+  ASSERT_EQ(worker_events.size(), 8u);
+  for (const telemetry::TraceEvent& e : worker_events) {
+    EXPECT_EQ(e.trace_id, dispatch_events[0].trace_id);
+    EXPECT_EQ(e.parent_span, dispatch_events[0].span_id);
+  }
+}
+
+TileFabricConfig small_fabric() {
+  TileFabricConfig cfg;
+  cfg.width = 2;
+  cfg.height = 2;
+  cfg.tile.rows = 4;
+  cfg.tile.row_bits = 16;
+  cfg.tile.cell = presets::crs_cell();
+  return cfg;
+}
+
+TEST(TraceContext, ShardedRunEmitsNocPacketSpansInTheTree) {
+  StateGuard guard;
+  telemetry::set_enabled(true);
+  TileFabric fabric(small_fabric());
+  ParallelAddParams params;
+  params.operations = 64;
+  params.width = 16;
+  params.adders = 16;
+  Rng rng(11);
+
+  telemetry::Registry::global().counter("trace.noc_packets").reset();
+  telemetry::start_tracing();
+  const ShardedAddResult out =
+      sharded_parallel_add(fabric, params, presets::crs_cell(), rng);
+  telemetry::stop_tracing();
+  ASSERT_NE(out.run.trace_id, 0u);
+
+  const std::vector<telemetry::TraceEvent> events =
+      telemetry::collected_trace();
+  const auto workload = events_named(events, "workload.sharded_add");
+  ASSERT_EQ(workload.size(), 1u);
+  EXPECT_EQ(workload[0].trace_id, out.run.trace_id);
+
+  // Shard compute spans: one per tile, tile-tagged, under the workload.
+  const auto compute = events_named(events, "workload.shard_compute");
+  ASSERT_EQ(compute.size(), fabric.tiles());
+  std::vector<std::uint64_t> compute_ids;
+  for (const telemetry::TraceEvent& e : compute) {
+    EXPECT_EQ(e.trace_id, out.run.trace_id);
+    EXPECT_EQ(e.parent_span, workload[0].span_id);
+    EXPECT_LT(e.tile, fabric.tiles());
+    compute_ids.push_back(e.span_id);
+  }
+
+  // NoC packet spans: one per delivered packet (cmd + resp per tile),
+  // parented under the injecting span, on the destination tile.
+  const auto packets = events_named(events, "noc.packet");
+  ASSERT_EQ(packets.size(), 2 * fabric.tiles());
+  std::size_t cmd_like = 0, resp_like = 0;
+  for (const telemetry::TraceEvent& e : packets) {
+    EXPECT_EQ(e.trace_id, out.run.trace_id);
+    if (e.parent_span == workload[0].span_id) {
+      ++cmd_like;  // host -> tile command
+      EXPECT_LT(e.tile, fabric.tiles());
+    } else {
+      // tile -> host response, parented under that tile's compute span.
+      EXPECT_NE(std::find(compute_ids.begin(), compute_ids.end(),
+                          e.parent_span),
+                compute_ids.end());
+      ++resp_like;
+    }
+  }
+  EXPECT_EQ(cmd_like, fabric.tiles());
+  EXPECT_EQ(resp_like, fabric.tiles());
+  EXPECT_EQ(telemetry::Registry::global().counter("trace.noc_packets").value(),
+            0u + 2 * fabric.tiles());
+}
+
+TEST(ChromeTraceExport, EmitsTileProcessMetadataAndFlowArrows) {
+  StateGuard guard;
+  telemetry::set_enabled(true);
+  TileFabric fabric(small_fabric());  // registers tile labels
+  ParallelAddParams params;
+  params.operations = 64;
+  params.width = 16;
+  params.adders = 16;
+  Rng rng(5);
+
+  telemetry::start_tracing();
+  const ShardedAddResult out =
+      sharded_parallel_add(fabric, params, presets::crs_cell(), rng);
+  telemetry::stop_tracing();
+  ASSERT_NE(out.run.trace_id, 0u);
+
+  const std::string json =
+      telemetry::chrome_trace_json(telemetry::collected_trace());
+  // Process metadata: the host plus the tile coordinates.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"host\""), std::string::npos);
+  EXPECT_NE(json.find("tile (0,0)"), std::string::npos);
+  EXPECT_NE(json.find("tile (1,1)"), std::string::npos);
+  // Thread metadata names every worker lane.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("worker "), std::string::npos);
+  // Cross-pid parent/child edges export as s/f flow pairs.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("memcim.flow"), std::string::npos);
+  // Span args carry the tree coordinates.
+  EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,46 @@
+// memcim-report: offline analysis of memcim bench artifacts.
+//
+//   memcim-report diff <baseline.json> <current.json>
+//                      [--thresholds <file>] [--quiet]
+//   memcim-report ledger <bench.json>... [--out <ledger.jsonl>]
+//   memcim-report attribution <attr.json>
+//
+// Exit codes: 0 ok, 1 regression detected, 2 usage or parse error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report/report.h"
+
+namespace {
+
+const char kUsage[] =
+    "usage: memcim-report <diff|ledger|attribution> [args...]\n"
+    "  diff <baseline.json> <current.json> [--thresholds <file>] [--quiet]\n"
+    "  ledger <bench.json>... [--out <ledger.jsonl>]\n"
+    "  attribution <attr.json>\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  std::string out;
+  int code = 2;
+  if (mode == "diff") {
+    code = memcim::report::diff_command(args, out);
+  } else if (mode == "ledger") {
+    code = memcim::report::ledger_command(args, out);
+  } else if (mode == "attribution") {
+    code = memcim::report::attribution_command(args, out);
+  } else {
+    std::cerr << "unknown mode '" << mode << "'\n" << kUsage;
+    return 2;
+  }
+  (code == 2 ? std::cerr : std::cout) << out;
+  return code;
+}
