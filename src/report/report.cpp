@@ -349,6 +349,13 @@ int diff_command(const std::vector<std::string>& args, std::string& out) {
       out = error + "\n";
       return 2;
     }
+    // Zero resolved gates means the gate is silently off — a typo'd or
+    // missing bench name must not read as a clean pass.
+    if (thresholds.gates.empty()) {
+      out = "no gates in " + thresholds_path + " for bench '" + bench +
+            "'; refusing to run an empty gate\n";
+      return 2;
+    }
   }
 
   const DiffResult result = diff_benches(baseline, current, thresholds);
@@ -390,12 +397,11 @@ int ledger_command(const std::vector<std::string>& args, std::string& out) {
     out = "usage: memcim-report ledger <bench.json>... [--out <file>]\n";
     return 2;
   }
+  // Validate every input before appending anything: a parse error on a
+  // later file must not leave a partially-updated ledger behind.
   std::ostringstream os;
-  std::ofstream ledger(ledger_path, std::ios::app);
-  if (!ledger) {
-    out = "cannot open " + ledger_path + " for append\n";
-    return 2;
-  }
+  std::vector<std::string> lines;
+  lines.reserve(positional.size());
   for (const std::string& path : positional) {
     std::string error;
     JsonValue envelope;
@@ -403,8 +409,16 @@ int ledger_command(const std::vector<std::string>& args, std::string& out) {
       out = error + "\n";
       return 2;
     }
-    ledger << ledger_line(envelope) << "\n";
-    os << "appended " << path << " to " << ledger_path << "\n";
+    lines.push_back(ledger_line(envelope));
+  }
+  std::ofstream ledger(ledger_path, std::ios::app);
+  if (!ledger) {
+    out = "cannot open " + ledger_path + " for append\n";
+    return 2;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ledger << lines[i] << "\n";
+    os << "appended " << positional[i] << " to " << ledger_path << "\n";
   }
   out = os.str();
   return 0;

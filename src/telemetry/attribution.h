@@ -40,9 +40,18 @@ inline constexpr std::uint32_t kNoShard = 0xFFFFFFFFu;
 
 /// Quantise joules to attojoules (the repo-wide energy quantum; see
 /// crs_cell.switch_energy_aj).  One rounding per recorded event keeps
-/// per-key sums bitwise reproducible.
+/// per-key sums bitwise reproducible.  Negative and NaN inputs clamp
+/// to 0 (a cost book only holds non-negative charges; wrapping a
+/// negative llround into u64 would inject a ~1.8e19 aJ phantom), and
+/// inputs past the llround-representable range (> ~9.2 J per event)
+/// saturate instead of hitting llround's out-of-range UB.
 [[nodiscard]] inline std::uint64_t to_attojoules(double joules) {
-  return static_cast<std::uint64_t>(std::llround(joules * 1e18));
+  const double aj = joules * 1e18;
+  if (!(aj > 0.0)) return 0;  // negative, -0.0, or NaN
+  // Largest double below 2^63; above it llround is undefined.
+  constexpr double kMaxExact = 9223372036854774784.0;
+  if (aj >= kMaxExact) return static_cast<std::uint64_t>(kMaxExact);
+  return static_cast<std::uint64_t>(std::llround(aj));
 }
 
 struct AttrKey {

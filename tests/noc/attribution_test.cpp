@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,20 @@ ParallelAddParams add_params() {
 void expect_aj_near(std::uint64_t a, std::uint64_t b, std::uint64_t slack) {
   const std::uint64_t delta = a > b ? a - b : b - a;
   EXPECT_LE(delta, slack) << a << " vs " << b;
+}
+
+TEST(Attribution, ToAttojoulesClampsAndSaturates) {
+  EXPECT_EQ(to_attojoules(0.0), 0u);
+  EXPECT_EQ(to_attojoules(-0.0), 0u);
+  EXPECT_EQ(to_attojoules(1e-18), 1u);
+  EXPECT_EQ(to_attojoules(1.5e-18), 2u);  // rounds, not truncates
+  // Negative and NaN inputs clamp to 0 instead of wrapping to ~1.8e19.
+  EXPECT_EQ(to_attojoules(-1e-9), 0u);
+  EXPECT_EQ(to_attojoules(std::numeric_limits<double>::quiet_NaN()), 0u);
+  // Past the llround-representable range (> ~9.2 J) saturates, no UB.
+  const std::uint64_t sat = to_attojoules(100.0);
+  EXPECT_EQ(sat, to_attojoules(std::numeric_limits<double>::infinity()));
+  EXPECT_GT(sat, to_attojoules(9.0));
 }
 
 TEST(Attribution, AddReconcilesAgainstGlobalBooks) {

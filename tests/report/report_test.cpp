@@ -197,6 +197,21 @@ TEST(DiffCommand, DetectsSyntheticTenPercentRegression) {
   EXPECT_EQ(clean, 0) << out;
 }
 
+TEST(DiffCommand, RefusesThresholdsThatResolveZeroGates) {
+  // A typo'd (or missing) bench name must not silently disable gating.
+  const std::string env = temp_file("report_nogate_env.json",
+                                    R"({"bench": "lgoic", "ops": 1})");
+  const std::string gates = temp_file("report_nogate_gates.json", R"({
+    "schema": "memcim-thresholds-v1",
+    "benches": {"logic": {"metrics": [{"path": "ops"}]}}
+  })");
+  std::string out;
+  EXPECT_EQ(diff_command({env, env, "--thresholds", gates}, out), 2);
+  EXPECT_NE(out.find("no gates"), std::string::npos) << out;
+  // Without --thresholds the same diff is an ungated report and passes.
+  EXPECT_EQ(diff_command({env, env}, out), 0) << out;
+}
+
 TEST(DiffCommand, UsageAndParseErrorsExitTwo) {
   std::string out;
   EXPECT_EQ(diff_command({}, out), 2);
@@ -240,6 +255,21 @@ TEST(LedgerCommand, AppendsOneLinePerEnvelope) {
     ++lines;
   }
   EXPECT_EQ(lines, 2u);
+}
+
+TEST(LedgerCommand, ParseErrorAppendsNothing) {
+  // All inputs validate before any line is written: a bad second file
+  // must leave the ledger untouched, not half-appended.
+  const std::string good = temp_file(
+      "report_ledger_good.json", R"({"bench": "logic", "ops": 1})");
+  const std::string bad = temp_file("report_ledger_bad.json", "{nope");
+  const std::string ledger = ::testing::TempDir() + "report_ledger_atomic.jsonl";
+  std::remove(ledger.c_str());
+  std::string out;
+  EXPECT_EQ(ledger_command({good, bad, "--out", ledger}, out), 2);
+  std::ifstream in(ledger);
+  std::string line;
+  EXPECT_FALSE(std::getline(in, line)) << "ledger got a partial append";
 }
 
 TEST(AttributionTable, RendersRowsAndTotals) {
