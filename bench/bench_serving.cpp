@@ -1,0 +1,306 @@
+// Serving front-end bench: replay a seeded 1M-request open-loop
+// arrival trace through the batched WorkloadService and report
+// sustained QPS, per-class p50/p99 latency, shed rate and mean batch
+// occupancy — all derived from the deterministic virtual clock, so
+// every gated number is machine-independent and CI-safe.
+//
+// Besides the interactive table it writes BENCH_serving.json and
+// enforces the serving acceptance inline: request conservation
+// (completed + shed == arrivals), batch-shape invariants, and a
+// scalar-reference spot check (a sub-trace replayed request by
+// request must match the batched payloads bitwise).  The process
+// exits non-zero on any violation.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "device/presets.h"
+#include "serving/service.h"
+#include "serving/trace_gen.h"
+
+namespace {
+
+using namespace memcim;
+using namespace memcim::serving;
+
+constexpr std::uint64_t kSeed = 0x5E4F;
+constexpr std::size_t kRequests = 1'000'000;
+constexpr double kMeanGapNs = 100.0;
+constexpr std::size_t kScalarCheckRequests = 1500;
+constexpr double kMaxShedRate = 0.5;
+
+TileFabricConfig fabric_config() {
+  TileFabricConfig cfg;
+  cfg.width = 2;
+  cfg.height = 2;
+  cfg.tile.rows = 4;
+  cfg.tile.row_bits = 16;
+  cfg.tile.cell = presets::crs_cell();
+  return cfg;
+}
+
+ServingConfig serving_config() {
+  ServingConfig cfg;
+  cfg.queue_capacity = 1024;
+  cfg.workload.add_width = 16;
+  cfg.workload.adders_per_tile = 4;
+  cfg.workload.cam.rows = 4;
+  cfg.workload.cam.word_bits = 16;
+  cfg.workload.cam.cell = presets::crs_cell();
+  return cfg;
+}
+
+TraceParams trace_params(std::size_t requests) {
+  TraceParams p;
+  p.seed = kSeed;
+  p.requests = requests;
+  p.mean_interarrival_ns = kMeanGapNs;
+  p.kmer_key_bits = 16;
+  p.cam_key_bits = 16;
+  p.add_width = 16;
+  return p;
+}
+
+struct World {
+  std::vector<std::vector<bool>> kmer_db;
+  std::vector<std::vector<bool>> cam_rows;
+  World() {
+    Rng rng(kSeed ^ 0xD8);
+    kmer_db = random_words(16, 16, rng);
+    cam_rows = random_words(16, 16, rng);
+  }
+};
+
+struct ClassReport {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+ServiceRunResult run_trace(const World& world,
+                           const std::vector<Request>& trace) {
+  TileFabric fabric(fabric_config());
+  WorkloadService svc(fabric, serving_config(), world.kmer_db, world.cam_rows);
+  return svc.run(trace);
+}
+
+void fill_percentiles(std::array<ClassReport, kRequestClasses>& classes) {
+  const telemetry::MetricsSnapshot snap =
+      telemetry::Registry::global().snapshot();
+  for (std::size_t c = 0; c < kRequestClasses; ++c) {
+    const std::string name =
+        std::string("serving.latency_ns.") +
+        to_string(static_cast<RequestClass>(c));
+    const telemetry::HistogramSample* h = snap.histogram(name);
+    if (h == nullptr) continue;
+    classes[c].p50_ns = h->p50();
+    classes[c].p99_ns = h->p99();
+  }
+}
+
+void print_report(const ServiceRunStats& stats,
+                  const std::array<ClassReport, kRequestClasses>& classes) {
+  std::cout << "sustained QPS (virtual): "
+            << fixed_string(stats.sustained_qps() / 1e6, 3) << " M/s,  "
+            << "shed rate: " << fixed_string(stats.shed_rate(), 4) << ",  "
+            << "mean occupancy: " << fixed_string(stats.mean_occupancy(), 2)
+            << " lanes\n\n";
+  TextTable t({"class", "arrivals", "completed", "shed", "p50 (ns)",
+               "p99 (ns)"});
+  for (std::size_t c = 0; c < kRequestClasses; ++c) {
+    const ClassReport& r = classes[c];
+    t.add_row({to_string(static_cast<RequestClass>(c)),
+               std::to_string(r.arrivals), std::to_string(r.completed),
+               std::to_string(r.shed), fixed_string(r.p50_ns, 0),
+               fixed_string(r.p99_ns, 0)});
+  }
+  std::cout << t.to_text() << '\n';
+}
+
+/// Replay a short sub-trace both batched and request-by-request; every
+/// batched payload must equal the scalar execution bitwise.
+bool scalar_spot_check(const World& world) {
+  TraceParams params = trace_params(kScalarCheckRequests);
+  const std::vector<Request> trace = generate_trace(params);
+  const ServiceRunResult batched = run_trace(world, trace);
+  ServingConfig cfg = serving_config();
+  const std::vector<Response> scalar = scalar_reference(
+      fabric_config(), cfg.workload, world.kmer_db, world.cam_rows, trace);
+  std::map<std::uint64_t, const Response*> golden;
+  for (const Response& r : scalar) golden[r.id] = &r;
+  for (const Response& r : batched.responses) {
+    const auto it = golden.find(r.id);
+    if (it == golden.end() || !payload_equal(r, *it->second)) {
+      std::cerr << "ACCEPTANCE FAIL: batched payload for request " << r.id
+                << " diverges from the scalar reference\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int check_acceptance(const ServiceRunResult& result, const World& world,
+                     bool* scalar_pass) {
+  int failures = 0;
+  const ServiceRunStats& stats = result.stats;
+  if (stats.completed() + stats.shed() != stats.arrivals() ||
+      stats.arrivals() != kRequests) {
+    std::cerr << "ACCEPTANCE FAIL: request conservation violated ("
+              << stats.completed() << " completed + " << stats.shed()
+              << " shed != " << kRequests << " arrivals)\n";
+    ++failures;
+  }
+  if (result.responses.size() != stats.completed()) {
+    std::cerr << "ACCEPTANCE FAIL: response count diverges from stats\n";
+    ++failures;
+  }
+  for (const Response& r : result.responses) {
+    if (r.batch_lanes == 0 || r.batch_lanes > kPackedLanes) {
+      std::cerr << "ACCEPTANCE FAIL: batch of " << r.batch_lanes
+                << " lanes (limit " << kPackedLanes << ")\n";
+      ++failures;
+      break;
+    }
+  }
+  if (stats.shed_rate() > kMaxShedRate) {
+    std::cerr << "ACCEPTANCE FAIL: shed rate " << stats.shed_rate() << " > "
+              << kMaxShedRate << "\n";
+    ++failures;
+  }
+  *scalar_pass = scalar_spot_check(world);
+  if (!*scalar_pass) ++failures;
+  return failures;
+}
+
+void write_json(const ServiceRunStats& stats,
+                const std::array<ClassReport, kRequestClasses>& classes,
+                bool scalar_pass, bool pass) {
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "serving");
+  w.key("seed").value(kSeed);
+  w.key("requests").value(static_cast<std::uint64_t>(kRequests));
+  w.key("mean_interarrival_ns").value(kMeanGapNs);
+  const ServingConfig cfg = serving_config();
+  const TileFabricConfig fab = fabric_config();
+  w.key("workload").begin_object();
+  w.key("fabric_tiles").value(static_cast<std::uint64_t>(fab.width * fab.height));
+  w.key("tile_rows").value(static_cast<std::uint64_t>(fab.tile.rows));
+  w.key("row_bits").value(static_cast<std::uint64_t>(fab.tile.row_bits));
+  w.key("cam_rows").value(static_cast<std::uint64_t>(cfg.workload.cam.rows));
+  w.key("add_width").value(static_cast<std::uint64_t>(cfg.workload.add_width));
+  w.key("queue_capacity").value(static_cast<std::uint64_t>(cfg.queue_capacity));
+  w.key("window_timeout_ns").value(cfg.coalescer.window_timeout);
+  w.key("max_lanes").value(static_cast<std::uint64_t>(cfg.coalescer.max_lanes));
+  w.end_object();
+  w.key("totals").begin_object();
+  w.key("arrivals").value(stats.arrivals());
+  w.key("completed").value(stats.completed());
+  w.key("shed").value(stats.shed());
+  w.key("batches").value(stats.batches);
+  w.key("partial_batches").value(stats.partial_batches);
+  w.key("flits").value(stats.flits);
+  w.key("makespan_ns").value(stats.makespan);
+  w.key("busy_ns").value(stats.busy_ns);
+  w.key("sustained_qps").value(stats.sustained_qps());
+  w.key("shed_rate").value(stats.shed_rate());
+  w.key("mean_batch_occupancy").value(stats.mean_occupancy());
+  w.key("compute_energy_j").value(stats.compute_energy.value());
+  w.key("noc_energy_j").value(stats.noc_energy.value());
+  w.end_object();
+  w.key("classes").begin_array();
+  for (std::size_t c = 0; c < kRequestClasses; ++c) {
+    const ClassReport& r = classes[c];
+    w.begin_object();
+    w.key("class").value(to_string(static_cast<RequestClass>(c)));
+    w.key("arrivals").value(r.arrivals);
+    w.key("completed").value(r.completed);
+    w.key("shed").value(r.shed);
+    w.key("p50_ns").value(r.p50_ns);
+    w.key("p99_ns").value(r.p99_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("acceptance").begin_object();
+  w.key("scalar_check_requests")
+      .value(static_cast<std::uint64_t>(kScalarCheckRequests));
+  w.key("scalar_check_pass").value(scalar_pass);
+  w.key("max_shed_rate").value(kMaxShedRate);
+  w.key("pass").value(pass);
+  w.end_object();
+  bench::write_bench_json(w, "serving");
+}
+
+void BM_ServeTrace(benchmark::State& state) {
+  const std::size_t requests = static_cast<std::size_t>(state.range(0));
+  const World world;
+  const std::vector<Request> trace = generate_trace(trace_params(requests));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_trace(world, trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(requests));
+}
+BENCHMARK(BM_ServeTrace)->Arg(1000)->Arg(10000);
+
+void BM_ScalarReference(benchmark::State& state) {
+  const std::size_t requests = static_cast<std::size_t>(state.range(0));
+  const World world;
+  const std::vector<Request> trace = generate_trace(trace_params(requests));
+  const ServingConfig cfg = serving_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scalar_reference(fabric_config(), cfg.workload,
+                                              world.kmer_db, world.cam_rows,
+                                              trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(requests));
+}
+BENCHMARK(BM_ScalarReference)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Batched request serving (1M-request trace replay) ===\n"
+            << "thread pool: " << parallel_threads()
+            << " workers (override with MEMCIM_THREADS)\n\n";
+
+  telemetry::set_enabled(true);
+  telemetry::Registry::global().reset();
+
+  const World world;
+  const std::vector<Request> trace = generate_trace(trace_params(kRequests));
+  const ServiceRunResult result = run_trace(world, trace);
+
+  std::array<ClassReport, kRequestClasses> classes{};
+  for (std::size_t c = 0; c < kRequestClasses; ++c) {
+    classes[c].arrivals = result.stats.per_class[c].arrivals;
+    classes[c].completed = result.stats.per_class[c].completed;
+    classes[c].shed = result.stats.per_class[c].shed;
+  }
+  fill_percentiles(classes);
+  print_report(result.stats, classes);
+
+  bool scalar_pass = false;
+  const int failures = check_acceptance(result, world, &scalar_pass);
+  write_json(result.stats, classes, scalar_pass, failures == 0);
+  if (failures > 0) {
+    std::cerr << failures << " acceptance violation(s)\n";
+    return 1;
+  }
+  std::cout << "Acceptance: conservation holds, batches well-formed, "
+            << "scalar spot check (" << kScalarCheckRequests
+            << " requests) bitwise equal\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

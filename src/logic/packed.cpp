@@ -147,8 +147,7 @@ PackedRunResult run_program_packed(
                      "program expects " << compiled.inputs << " inputs, got "
                                         << inputs.size());
 
-  const std::size_t blocks =
-      (windows + kPackedLanes - 1) / kPackedLanes;
+  const std::size_t blocks = packed_lane_blocks(windows);
   std::vector<BlockResult> per_block(blocks);
 
   parallel_for_chunks(0, blocks, 1, [&](std::size_t b0, std::size_t b1) {

@@ -42,6 +42,14 @@ namespace memcim {
 /// Windows per machine word: one bit lane each.
 inline constexpr std::size_t kPackedLanes = 64;
 
+/// Whole 64-lane blocks needed to pack `windows` independent register
+/// windows (zero for zero windows).  The packed engines size their
+/// block loops with this; the serving coalescer caps batches at
+/// kPackedLanes so every dispatched batch is exactly one lane block.
+[[nodiscard]] constexpr std::size_t packed_lane_blocks(std::size_t windows) {
+  return (windows + kPackedLanes - 1) / kPackedLanes;
+}
+
 /// A validated, cost-annotated program ready for packed replay.
 /// Compiling once hoists the per-instruction bounds checks and the
 /// per-window step/write totals out of the execution loop.

@@ -61,7 +61,7 @@ PackedAddOutcome PackedTcAdderFarm::run(const std::vector<std::uint64_t>& a,
   out.sums.assign(n_ops, 0);
   out.energies.assign(n_ops, 0.0);
 
-  const std::size_t blocks = (slots_ + kPackedLanes - 1) / kPackedLanes;
+  const std::size_t blocks = packed_lane_blocks(slots_);
   out.lane_blocks = blocks;
   // The caller's grain is expressed in ops; a lane block covers up to
   // kPackedLanes ops per batch, so convert to whole blocks.

@@ -121,7 +121,7 @@ std::size_t MeshNoc::inject(const NocPacket& packet) {
 }
 
 void MeshNoc::resolve_releases() {
-  for (std::size_t h = 0; h < packets_.size(); ++h) {
+  for (std::size_t h = release_frontier_; h < packets_.size(); ++h) {
     PacketState& ps = packets_[h];
     if (ps.release_resolved) continue;
     if (ps.packet.after == kNoPacket) {
@@ -135,6 +135,9 @@ void MeshNoc::resolve_releases() {
     deliveries_[h].released = ps.released;
     nics_[ps.packet.src].push_back(h);
   }
+  while (release_frontier_ < packets_.size() &&
+         packets_[release_frontier_].release_resolved)
+    ++release_frontier_;
 }
 
 bool MeshNoc::idle() const {

@@ -193,6 +193,12 @@ class MeshNoc {
   std::vector<Router> routers_;
   std::vector<PacketState> packets_;
   std::vector<NocDelivery> deliveries_;
+  /// First handle whose release may still be unresolved.  Handles are
+  /// resolved in (eventually) ascending prefix order once their
+  /// dependencies deliver, so resolve_releases() never needs to rescan
+  /// the prefix — keeping it O(active window) even when one MeshNoc
+  /// hosts millions of packets across many injection/run sessions.
+  std::size_t release_frontier_ = 0;
   /// Per-node NIC: handles of queued packets, kept in (release, handle)
   /// order; the front packet streams its flits first.
   std::vector<std::deque<std::size_t>> nics_;

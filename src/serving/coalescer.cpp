@@ -1,0 +1,78 @@
+#include "serving/coalescer.h"
+
+#include "common/error.h"
+
+namespace memcim::serving {
+
+namespace {
+
+/// Saturating deadline: arrival + timeout without u64 wrap.
+VirtualNs deadline_of(VirtualNs arrival, VirtualNs timeout) {
+  return arrival > kNever - timeout ? kNever : arrival + timeout;
+}
+
+}  // namespace
+
+Coalescer::Coalescer(const CoalescerPolicy& policy) : policy_(policy) {
+  MEMCIM_CHECK_MSG(policy_.max_lanes >= 1 && policy_.max_lanes <= kPackedLanes,
+                   "coalescer max_lanes must be 1.." << kPackedLanes);
+}
+
+std::optional<RequestClass> Coalescer::ready(
+    const std::vector<AdmissionQueue>& queues, VirtualNs now) const {
+  MEMCIM_CHECK(queues.size() == kRequestClasses);
+  // Full windows first, then timed-out partial windows; within each
+  // tier the earliest head arrival wins, ties on the smaller class id
+  // (strict < keeps the first hit).
+  std::optional<RequestClass> pick;
+  VirtualNs pick_arrival = kNever;
+  for (std::size_t c = 0; c < kRequestClasses; ++c) {
+    if (queues[c].size() < policy_.max_lanes) continue;
+    if (queues[c].oldest_arrival() < pick_arrival) {
+      pick = static_cast<RequestClass>(c);
+      pick_arrival = queues[c].oldest_arrival();
+    }
+  }
+  if (pick.has_value()) return pick;
+  for (std::size_t c = 0; c < kRequestClasses; ++c) {
+    if (queues[c].empty()) continue;
+    const VirtualNs oldest = queues[c].oldest_arrival();
+    if (deadline_of(oldest, policy_.window_timeout) > now) continue;
+    if (oldest < pick_arrival) {
+      pick = static_cast<RequestClass>(c);
+      pick_arrival = oldest;
+    }
+  }
+  return pick;
+}
+
+VirtualNs Coalescer::next_deadline(
+    const std::vector<AdmissionQueue>& queues) const {
+  MEMCIM_CHECK(queues.size() == kRequestClasses);
+  VirtualNs earliest = kNever;
+  for (const AdmissionQueue& q : queues) {
+    if (q.empty()) continue;
+    const VirtualNs d = deadline_of(q.oldest_arrival(), policy_.window_timeout);
+    if (d < earliest) earliest = d;
+  }
+  return earliest;
+}
+
+Batch Coalescer::close(std::vector<AdmissionQueue>& queues, RequestClass cls,
+                       VirtualNs now) {
+  MEMCIM_CHECK(queues.size() == kRequestClasses);
+  AdmissionQueue& queue = queues[static_cast<std::size_t>(cls)];
+  MEMCIM_CHECK_MSG(!queue.empty(), "close() on an empty class queue");
+  Batch batch;
+  batch.cls = cls;
+  batch.seq = next_seq_++;
+  batch.formed = now;
+  const std::size_t lanes = std::min(queue.size(), policy_.max_lanes);
+  batch.partial = lanes < policy_.max_lanes;
+  batch.requests.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i)
+    batch.requests.push_back(queue.pop());
+  return batch;
+}
+
+}  // namespace memcim::serving

@@ -1,0 +1,78 @@
+// Request coalescer: packs compatible queued requests into execution
+// windows of at most kPackedLanes (64) lanes — the width one packed
+// lane block executes in a single pass (logic/packed.h).
+//
+// Scheduling policy (all decisions are pure functions of queue state
+// and the virtual clock, so the schedule is bitwise deterministic):
+//
+//   * a window closes FULL the instant its class has max_lanes queued;
+//   * a window closes PARTIAL once the class's oldest request has
+//     waited window_timeout — the starvation guard: a lone request
+//     with no co-arrivals never waits longer than the timeout for
+//     lane-mates that are not coming;
+//   * when several classes are dispatchable, the one whose head
+//     request arrived earliest wins; ties break on the smaller class
+//     id.  Full windows outrank partial ones at the same instant.
+//   * windows never mix classes and requests leave in FIFO order, so
+//     batching preserves per-class arrival order end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "logic/packed.h"
+#include "serving/queue.h"
+#include "serving/request.h"
+
+namespace memcim::serving {
+
+struct CoalescerPolicy {
+  /// Lanes per window, 1..kPackedLanes (one packed lane block).
+  std::size_t max_lanes = kPackedLanes;
+  /// Partial-window timeout: the longest the oldest queued request of
+  /// a class waits before its window dispatches under-full.
+  VirtualNs window_timeout = 20'000;
+};
+
+/// One closed execution window: `requests.size()` <= max_lanes lanes
+/// of a single class, in FIFO order.
+struct Batch {
+  RequestClass cls = RequestClass::kAddition;
+  std::uint64_t seq = 0;     ///< monotone batch sequence number
+  VirtualNs formed = 0;      ///< instant the window closed
+  bool partial = false;      ///< closed by timeout, not by a full window
+  std::vector<Request> requests;
+
+  [[nodiscard]] std::size_t lanes() const { return requests.size(); }
+};
+
+class Coalescer {
+ public:
+  explicit Coalescer(const CoalescerPolicy& policy);
+
+  [[nodiscard]] const CoalescerPolicy& policy() const { return policy_; }
+
+  /// The class whose window should dispatch at `now`, if any.
+  /// `queues` is indexed by RequestClass value and must have
+  /// kRequestClasses entries.
+  [[nodiscard]] std::optional<RequestClass> ready(
+      const std::vector<AdmissionQueue>& queues, VirtualNs now) const;
+
+  /// Earliest future instant at which some currently-queued partial
+  /// window times out (kNever when every queue is empty).  ready() at
+  /// that instant is guaranteed to return a class.
+  [[nodiscard]] VirtualNs next_deadline(
+      const std::vector<AdmissionQueue>& queues) const;
+
+  /// Close a window of `cls` from its queue at `now`: pop up to
+  /// max_lanes requests in FIFO order.  The queue must be non-empty.
+  [[nodiscard]] Batch close(std::vector<AdmissionQueue>& queues,
+                            RequestClass cls, VirtualNs now);
+
+ private:
+  CoalescerPolicy policy_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace memcim::serving

@@ -1,0 +1,322 @@
+#include "serving/dispatcher.h"
+
+#include <algorithm>
+
+#include "arch/partitioner.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "workloads/parallel_add.h"
+
+namespace memcim::serving {
+
+namespace {
+
+/// splitmix64 finalizer — packet payload fingerprints (same scheme as
+/// the sharded workloads).
+std::uint64_t mix_fingerprint(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::size_t flits_for_bits(std::size_t bits, const NocParams& params) {
+  return std::max<std::size_t>(
+      1, (bits + params.flit_payload_bits - 1) / params.flit_payload_bits);
+}
+
+/// Command/completion descriptor overhead: opcode + window tag +
+/// checksum, on top of the request payload bits.
+constexpr std::size_t kDescriptorBits = 64;
+
+telemetry::SpanSite& dispatch_site() {
+  static telemetry::SpanSite site("serving.dispatch");
+  return site;
+}
+
+telemetry::SpanSite& shard_site() {
+  static telemetry::SpanSite site("serving.shard_compute");
+  return site;
+}
+
+}  // namespace
+
+BatchDispatcher::BatchDispatcher(
+    TileFabric& fabric, const ServingWorkloadConfig& config,
+    const std::vector<std::vector<bool>>& kmer_database,
+    const std::vector<std::vector<bool>>& cam_rows)
+    : fabric_(fabric), config_(config), cam_rows_(cam_rows.size()) {
+  MEMCIM_CHECK_MSG(config_.add_width >= 1 && config_.add_width <= 63,
+                   "serving add_width must be 1..63");
+  MEMCIM_CHECK(config_.adders_per_tile >= 1);
+
+  const std::size_t tiles = fabric_.tiles();
+  const std::size_t rows = fabric_.config().tile.rows;
+  const std::size_t row_bits = fabric_.config().tile.row_bits;
+  MEMCIM_CHECK_MSG(kmer_database.size() == tiles * rows,
+                   "k-mer database must exactly fill the fabric ("
+                       << tiles * rows << " rows)");
+  for (std::size_t r = 0; r < kmer_database.size(); ++r) {
+    MEMCIM_CHECK(kmer_database[r].size() == row_bits);
+    fabric_.tile(r / rows).store_row(r % rows, kmer_database[r]);
+  }
+
+  MEMCIM_CHECK_MSG(cam_rows.size() <= tiles * config_.cam.rows,
+                   "CAM rows exceed the bank capacity");
+  cams_.reserve(tiles);
+  for (std::size_t t = 0; t < tiles; ++t) cams_.emplace_back(config_.cam);
+  for (std::size_t r = 0; r < cam_rows.size(); ++r) {
+    MEMCIM_CHECK(cam_rows[r].size() == config_.cam.word_bits);
+    cams_[r / config_.cam.rows].write_row(r % config_.cam.rows, cam_rows[r]);
+  }
+}
+
+std::uint64_t BatchDispatcher::inject_pair(
+    std::size_t tile, std::size_t cmd_bits, std::size_t resp_bits,
+    NocCycle release_base, NocCycle compute_cycles, std::uint64_t fingerprint,
+    const telemetry::TraceContext& cmd_ctx,
+    const telemetry::TraceContext& resp_ctx) {
+  const NocParams& noc = fabric_.config().noc;
+  NocPacket cmd;
+  cmd.src = fabric_.host();
+  cmd.dst = tile;
+  cmd.flits = flits_for_bits(cmd_bits, noc);
+  cmd.tag = 2 * tile;
+  cmd.release = release_base;
+  cmd.fingerprint = mix_fingerprint(fingerprint);
+  cmd.trace_id = cmd_ctx.trace_id;
+  cmd.parent_span = cmd_ctx.span_id;
+  const std::size_t cmd_handle = fabric_.noc().inject(cmd);
+
+  fabric_.note_busy(tile, compute_cycles, static_cast<std::uint32_t>(tile));
+
+  NocPacket resp;
+  resp.src = tile;
+  resp.dst = fabric_.host();
+  resp.flits = flits_for_bits(resp_bits, noc);
+  resp.tag = 2 * tile + 1;
+  resp.after = cmd_handle;
+  resp.release = compute_cycles;
+  resp.fingerprint = mix_fingerprint(fingerprint ^ 0xFEEDull);
+  resp.trace_id = resp_ctx.trace_id;
+  resp.parent_span = resp_ctx.span_id;
+  (void)fabric_.noc().inject(resp);
+  return cmd.flits + resp.flits;
+}
+
+BatchExecution BatchDispatcher::execute(const Batch& batch) {
+  MEMCIM_CHECK_MSG(!batch.requests.empty(), "cannot execute an empty batch");
+  MEMCIM_CHECK(batch.requests.size() <= kPackedLanes);
+  // The batch executes under the first request's trace context (the
+  // window's root); every response still echoes its own request's
+  // trace id, so per-request causality survives coalescing.
+  const telemetry::TraceContextScope scope(
+      batch.requests.front().trace.valid()
+          ? batch.requests.front().trace
+          : telemetry::current_trace_context());
+  telemetry::Span span(dispatch_site());
+
+  BatchExecution out;
+  out.responses.resize(batch.requests.size());
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const Request& r = batch.requests[i];
+    Response& resp = out.responses[i];
+    resp.id = r.id;
+    resp.cls = r.cls;
+    resp.arrival = r.arrival;
+    resp.batch_seq = batch.seq;
+    resp.batch_lanes = static_cast<std::uint32_t>(batch.requests.size());
+    resp.trace_id = r.trace.trace_id;
+  }
+
+  switch (batch.cls) {
+    case RequestClass::kKmerQuery:
+      execute_kmer(batch, out);
+      break;
+    case RequestClass::kCamSearch:
+      execute_cam(batch, out);
+      break;
+    case RequestClass::kAddition:
+      execute_add(batch, out);
+      break;
+  }
+  ++dispatched_batches_;
+  return out;
+}
+
+void BatchDispatcher::execute_kmer(const Batch& batch, BatchExecution& out) {
+  const std::size_t tiles = fabric_.tiles();
+  const std::size_t rows = fabric_.config().tile.rows;
+  const std::size_t row_bits = fabric_.config().tile.row_bits;
+  const std::size_t queries = batch.requests.size();
+  for (const Request& r : batch.requests)
+    MEMCIM_CHECK_MSG(r.key.size() == row_bits,
+                     "k-mer query key must be row_bits wide");
+
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
+  const NocCycle noc_before = fabric_.noc().now();
+  const Energy noc_e_before = fabric_.noc().dynamic_energy();
+
+  // Compute: every tile matches the whole window against its rows.
+  std::vector<std::vector<std::vector<bool>>> tile_matches(tiles);
+  std::vector<Time> tile_latency(tiles, Time{0.0});
+  std::vector<Energy> tile_energy(tiles, Energy{0.0});
+  std::vector<telemetry::TraceContext> shard_ctx(tiles);
+  parallel_for(0, tiles, 1, [&](std::size_t t) {
+    const telemetry::TileScope tile_scope(static_cast<std::uint32_t>(t));
+    telemetry::Span compute_span(shard_site());
+    shard_ctx[t] = telemetry::current_trace_context();
+    CimTile& tile = fabric_.tile(t);
+    const Time l0 = tile.stats().latency;
+    const Energy e0 = tile.stats().energy;
+    tile_matches[t].reserve(queries);
+    for (const Request& r : batch.requests)
+      tile_matches[t].push_back(tile.parallel_compare(r.key));
+    tile_latency[t] = tile.stats().latency - l0;
+    tile_energy[t] = tile.stats().energy - e0;
+  });
+
+  // Merge: global row = tile · rows + local row, ascending.
+  for (std::size_t q = 0; q < queries; ++q) {
+    std::vector<std::size_t>& matches = out.responses[q].matches;
+    for (std::size_t t = 0; t < tiles; ++t)
+      for (std::size_t r = 0; r < rows; ++r)
+        if (tile_matches[t][q][r]) matches.push_back(t * rows + r);
+  }
+
+  // Traffic: one command (all Q keys) and one completion (Q match
+  // bitmaps) per tile, completion released after the tile's compute.
+  const std::size_t cmd_bits = kDescriptorBits + queries * row_bits;
+  const std::size_t resp_bits = kDescriptorBits + queries * rows;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const NocCycle compute = fabric_.compute_cycles(tile_latency[t]);
+    out.flits += inject_pair(t, cmd_bits, resp_bits, noc_before, compute,
+                             0x5E4Bull ^ (batch.seq << 8) ^ t, ctx,
+                             shard_ctx[t]);
+    out.compute_energy += tile_energy[t];
+  }
+  fabric_.noc().run_to_completion();
+  const NocCycle makespan = fabric_.noc().makespan();
+  out.service_cycles = makespan > noc_before ? makespan - noc_before : 0;
+  out.noc_energy = fabric_.noc().dynamic_energy() - noc_e_before;
+}
+
+void BatchDispatcher::execute_cam(const Batch& batch, BatchExecution& out) {
+  const std::size_t tiles = fabric_.tiles();
+  const std::size_t rows = config_.cam.rows;
+  const std::size_t queries = batch.requests.size();
+  for (const Request& r : batch.requests)
+    MEMCIM_CHECK_MSG(r.key.size() == config_.cam.word_bits,
+                     "CAM search key must be word_bits wide");
+
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
+  const NocCycle noc_before = fabric_.noc().now();
+  const Energy noc_e_before = fabric_.noc().dynamic_energy();
+
+  std::vector<std::vector<CamSearchResult>> per_tile(tiles);
+  std::vector<Time> tile_latency(tiles, Time{0.0});
+  std::vector<telemetry::TraceContext> shard_ctx(tiles);
+  parallel_for(0, tiles, 1, [&](std::size_t t) {
+    const telemetry::TileScope tile_scope(static_cast<std::uint32_t>(t));
+    telemetry::Span compute_span(shard_site());
+    shard_ctx[t] = telemetry::current_trace_context();
+    per_tile[t].reserve(queries);
+    for (const Request& r : batch.requests) {
+      per_tile[t].push_back(cams_[t].search(r.key));
+      tile_latency[t] += per_tile[t].back().latency;
+    }
+  });
+
+  for (std::size_t q = 0; q < queries; ++q) {
+    std::vector<std::size_t>& matches = out.responses[q].matches;
+    for (std::size_t t = 0; t < tiles; ++t)
+      for (const std::size_t r : per_tile[t][q].matching_rows)
+        matches.push_back(t * rows + r);
+  }
+
+  const std::size_t cmd_bits = kDescriptorBits + queries * config_.cam.word_bits;
+  const std::size_t resp_bits = kDescriptorBits + queries * rows;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const NocCycle compute = fabric_.compute_cycles(tile_latency[t]);
+    out.flits += inject_pair(t, cmd_bits, resp_bits, noc_before, compute,
+                             0xCA4Bull ^ (batch.seq << 8) ^ t, ctx,
+                             shard_ctx[t]);
+    for (const CamSearchResult& r : per_tile[t]) out.compute_energy += r.energy;
+  }
+  fabric_.noc().run_to_completion();
+  const NocCycle makespan = fabric_.noc().makespan();
+  out.service_cycles = makespan > noc_before ? makespan - noc_before : 0;
+  out.noc_energy = fabric_.noc().dynamic_energy() - noc_e_before;
+}
+
+void BatchDispatcher::execute_add(const Batch& batch, BatchExecution& out) {
+  const std::size_t tiles = fabric_.tiles();
+  const std::size_t ops = batch.requests.size();
+  const std::uint64_t mask =
+      (std::uint64_t{1} << config_.add_width) - 1;
+  for (const Request& r : batch.requests)
+    MEMCIM_CHECK_MSG((r.add_a | r.add_b) <= mask,
+                     "addition operands exceed add_width");
+
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
+  const NocCycle noc_before = fabric_.noc().now();
+  const Energy noc_e_before = fabric_.noc().dynamic_energy();
+
+  std::vector<std::uint64_t> op_a(ops), op_b(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    op_a[i] = batch.requests[i].add_a;
+    op_b[i] = batch.requests[i].add_b;
+  }
+
+  // Batch-aligned shards keep each op's physical adder slot, exactly
+  // like the sharded workload layer.
+  const ShardPlan plan =
+      Partitioner::batch_aligned(ops, tiles, config_.adders_per_tile);
+  std::vector<ParallelAddResult> per_shard(tiles);
+  std::vector<telemetry::TraceContext> shard_ctx(tiles);
+  parallel_for(0, tiles, 1, [&](std::size_t t) {
+    const Shard& s = plan.shards[t];
+    if (s.empty()) return;
+    const telemetry::TileScope tile_scope(static_cast<std::uint32_t>(t));
+    telemetry::Span compute_span(shard_site());
+    shard_ctx[t] = telemetry::current_trace_context();
+    ParallelAddParams params;
+    params.operations = s.size();
+    params.width = config_.add_width;
+    params.adders = config_.adders_per_tile;
+    const std::vector<std::uint64_t> a(
+        op_a.begin() + static_cast<std::ptrdiff_t>(s.begin),
+        op_a.begin() + static_cast<std::ptrdiff_t>(s.end));
+    const std::vector<std::uint64_t> b(
+        op_b.begin() + static_cast<std::ptrdiff_t>(s.begin),
+        op_b.begin() + static_cast<std::ptrdiff_t>(s.end));
+    per_shard[t] = run_parallel_add_ops(params, fabric_.config().tile.cell, a, b);
+  });
+
+  for (const Shard& s : plan.shards) {
+    if (s.empty()) continue;
+    const ParallelAddResult& r = per_shard[s.tile];
+    MEMCIM_CHECK(r.mismatches == 0);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      out.responses[s.begin + i].sum = r.sums[i];
+    out.compute_energy += r.total_energy;
+  }
+
+  const std::size_t w = config_.add_width;
+  for (const Shard& s : plan.shards) {
+    if (s.empty()) continue;
+    const std::size_t cmd_bits = kDescriptorBits + s.size() * 2 * w;
+    const std::size_t resp_bits = kDescriptorBits + s.size() * w;
+    const NocCycle compute =
+        fabric_.compute_cycles(per_shard[s.tile].latency);
+    out.flits += inject_pair(s.tile, cmd_bits, resp_bits, noc_before, compute,
+                             0xADD0ull ^ (batch.seq << 8) ^ s.tile, ctx,
+                             shard_ctx[s.tile]);
+  }
+  fabric_.noc().run_to_completion();
+  const NocCycle makespan = fabric_.noc().makespan();
+  out.service_cycles = makespan > noc_before ? makespan - noc_before : 0;
+  out.noc_energy = fabric_.noc().dynamic_energy() - noc_e_before;
+}
+
+}  // namespace memcim::serving

@@ -1,0 +1,35 @@
+#include "serving/queue.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace memcim::serving {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  MEMCIM_CHECK_MSG(capacity_ >= 1, "admission queue capacity must be >= 1");
+}
+
+bool AdmissionQueue::try_push(Request&& request) {
+  if (full()) return false;
+  fifo_.push_back(std::move(request));
+  return true;
+}
+
+const Request& AdmissionQueue::front() const {
+  MEMCIM_CHECK_MSG(!fifo_.empty(), "front() on an empty admission queue");
+  return fifo_.front();
+}
+
+VirtualNs AdmissionQueue::oldest_arrival() const {
+  return fifo_.empty() ? kNever : fifo_.front().arrival;
+}
+
+Request AdmissionQueue::pop() {
+  MEMCIM_CHECK_MSG(!fifo_.empty(), "pop() on an empty admission queue");
+  Request r = std::move(fifo_.front());
+  fifo_.pop_front();
+  return r;
+}
+
+}  // namespace memcim::serving

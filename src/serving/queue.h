@@ -1,0 +1,48 @@
+// Bounded per-class admission queue with a typed shed policy.
+//
+// The backpressure contract (tested in tests/serving/queue_test.cpp):
+//   * capacity is a hard bound — try_push on a full queue refuses the
+//     request, leaves the queue untouched, and the caller records a
+//     typed ShedRecord (never a silent drop, never a block);
+//   * work that was accepted is never dropped — the only way out of
+//     the queue is pop(), in FIFO order;
+//   * FIFO order within the class is the service's ordering guarantee
+//     (cross-class order is the coalescer's scheduling decision).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "serving/request.h"
+
+namespace memcim::serving {
+
+class AdmissionQueue {
+ public:
+  /// A queue admitting at most `capacity` (>= 1) requests at once.
+  explicit AdmissionQueue(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return fifo_.size(); }
+  [[nodiscard]] bool empty() const { return fifo_.empty(); }
+  [[nodiscard]] bool full() const { return fifo_.size() >= capacity_; }
+
+  /// Admit `request`, or refuse it (returning false) when full.  A
+  /// refused request leaves the queue bit-for-bit unchanged.
+  [[nodiscard]] bool try_push(Request&& request);
+
+  /// Oldest queued request; queue must be non-empty.
+  [[nodiscard]] const Request& front() const;
+  /// Arrival instant of the oldest queued request (kNever when empty)
+  /// — the coalescer's partial-window timeout anchor.
+  [[nodiscard]] VirtualNs oldest_arrival() const;
+
+  /// Remove and return the oldest request; queue must be non-empty.
+  [[nodiscard]] Request pop();
+
+ private:
+  std::size_t capacity_;
+  std::deque<Request> fifo_;
+};
+
+}  // namespace memcim::serving

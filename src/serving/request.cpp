@@ -1,0 +1,25 @@
+#include "serving/request.h"
+
+namespace memcim::serving {
+
+const char* to_string(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kKmerQuery:
+      return "kmer";
+    case RequestClass::kCamSearch:
+      return "cam";
+    case RequestClass::kAddition:
+      return "add";
+  }
+  return "?";
+}
+
+const char* to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return "queue_full";
+  }
+  return "?";
+}
+
+}  // namespace memcim::serving

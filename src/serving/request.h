@@ -1,0 +1,103 @@
+// Typed requests and responses of the batched serving front end.
+//
+// The serving layer makes the ROADMAP's "millions of users" literal:
+// independent user requests stream into the host controller, and the
+// paper's CIM value proposition — massively parallel in-memory queries
+// — only pays off when the host coalesces compatible requests onto the
+// packed 64-lane execution windows the fabric natively provides.
+// Three request classes map onto the three resident workloads:
+//
+//   kKmerQuery — match one encoded k-mer against the tile-resident
+//                DNA database (Section III.B.1),
+//   kCamSearch — one key against the per-tile CRS CAM bank (IV.C),
+//   kAddition  — one TC-adder addition from the parallel-math class
+//                (III.B.2; batches of 64 fill one packed lane block).
+//
+// Everything here is plain data on the service's deterministic virtual
+// clock (VirtualNs): admission stamps `arrival`, dispatch/completion
+// stamps come from the NoC co-simulation, so every latency is bitwise
+// reproducible at any MEMCIM_THREADS setting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace memcim::serving {
+
+/// Virtual nanoseconds on the service clock (starts at 0 per run).
+using VirtualNs = std::uint64_t;
+
+/// "No such instant" sentinel (the event loop's +infinity).
+inline constexpr VirtualNs kNever = ~VirtualNs{0};
+
+enum class RequestClass : std::uint8_t {
+  kKmerQuery = 0,
+  kCamSearch = 1,
+  kAddition = 2,
+};
+inline constexpr std::size_t kRequestClasses = 3;
+
+[[nodiscard]] const char* to_string(RequestClass cls);
+
+/// One user request.  Payload fields are class-specific: `key` carries
+/// the k-mer/CAM search word, `add_a`/`add_b` the addition operands.
+struct Request {
+  RequestClass cls = RequestClass::kAddition;
+  std::uint64_t id = 0;       ///< caller correlation id (unique per trace)
+  VirtualNs arrival = 0;      ///< open-loop arrival instant
+  std::uint64_t add_a = 0;
+  std::uint64_t add_b = 0;
+  std::vector<bool> key;
+  /// Stamped at admission (telemetry::new_root_context); propagated
+  /// through dispatch packets and echoed on the response.
+  telemetry::TraceContext trace{};
+};
+
+/// Why an arrival was refused at admission.  The typed shed error is
+/// the backpressure contract: a full queue rejects *new* work loudly
+/// and never drops work it already accepted.
+enum class ShedReason : std::uint8_t {
+  kQueueFull,
+};
+
+[[nodiscard]] const char* to_string(ShedReason reason);
+
+/// Record of one shed arrival (the service's error return channel).
+struct ShedRecord {
+  std::uint64_t id = 0;
+  RequestClass cls = RequestClass::kAddition;
+  ShedReason reason = ShedReason::kQueueFull;
+  VirtualNs at = 0;            ///< arrival instant of the refusal
+  std::size_t queue_depth = 0; ///< class-queue depth at the refusal
+};
+
+/// One completed request.  `sum` answers kAddition; `matches` lists
+/// global database/CAM rows (ascending) for the two search classes.
+struct Response {
+  std::uint64_t id = 0;
+  RequestClass cls = RequestClass::kAddition;
+  std::uint64_t sum = 0;
+  std::vector<std::size_t> matches;
+
+  VirtualNs arrival = 0;
+  VirtualNs dispatched = 0;  ///< instant the request's batch launched
+  VirtualNs completed = 0;   ///< dispatch + batch service time
+
+  std::uint64_t batch_seq = 0;   ///< which batch served this request
+  std::uint32_t batch_lanes = 0; ///< occupancy of that batch
+  std::uint64_t trace_id = 0;    ///< echo of the admission TraceContext
+
+  [[nodiscard]] VirtualNs latency() const { return completed - arrival; }
+};
+
+/// Semantic payload equality: the fields the batched-vs-scalar bitwise
+/// contract covers (ids, class, and result values; timestamps and
+/// batch/trace bookkeeping legitimately differ between executions).
+[[nodiscard]] inline bool payload_equal(const Response& a, const Response& b) {
+  return a.id == b.id && a.cls == b.cls && a.sum == b.sum &&
+         a.matches == b.matches;
+}
+
+}  // namespace memcim::serving

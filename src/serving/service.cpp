@@ -1,0 +1,224 @@
+#include "serving/service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "telemetry/telemetry.h"
+
+namespace memcim::serving {
+
+namespace {
+
+struct ServingMetrics {
+  telemetry::Counter& arrivals;
+  telemetry::Counter& admitted;
+  telemetry::Counter& shed;
+  telemetry::Counter& completed;
+  telemetry::Counter& batches;
+  telemetry::Counter& batches_partial;
+  telemetry::Counter& batch_lanes;
+  telemetry::Counter& flits;
+  telemetry::Histogram& occupancy;
+  std::array<telemetry::Histogram*, kRequestClasses> latency;
+  ServingMetrics()
+      : arrivals(telemetry::Registry::global().counter("serving.arrivals")),
+        admitted(telemetry::Registry::global().counter("serving.admitted")),
+        shed(telemetry::Registry::global().counter("serving.shed")),
+        completed(telemetry::Registry::global().counter("serving.completed")),
+        batches(telemetry::Registry::global().counter("serving.batches")),
+        batches_partial(
+            telemetry::Registry::global().counter("serving.batches_partial")),
+        batch_lanes(
+            telemetry::Registry::global().counter("serving.batch_lanes")),
+        flits(telemetry::Registry::global().counter("serving.flits")),
+        occupancy(telemetry::Registry::global().histogram(
+            "serving.batch.occupancy",
+            telemetry::exponential_bounds(1.0, 2.0, 7))) {
+    for (std::size_t c = 0; c < kRequestClasses; ++c)
+      latency[c] = &telemetry::Registry::global().histogram(
+          std::string("serving.latency_ns.") +
+              to_string(static_cast<RequestClass>(c)),
+          telemetry::exponential_bounds(64.0, 2.0, 28));
+  }
+};
+
+ServingMetrics& serving_metrics() {
+  static ServingMetrics m;
+  return m;
+}
+
+telemetry::SpanSite& run_site() {
+  static telemetry::SpanSite site("serving.run");
+  return site;
+}
+
+}  // namespace
+
+std::uint64_t ServiceRunStats::arrivals() const {
+  std::uint64_t n = 0;
+  for (const ClassStats& c : per_class) n += c.arrivals;
+  return n;
+}
+
+std::uint64_t ServiceRunStats::completed() const {
+  std::uint64_t n = 0;
+  for (const ClassStats& c : per_class) n += c.completed;
+  return n;
+}
+
+std::uint64_t ServiceRunStats::shed() const {
+  std::uint64_t n = 0;
+  for (const ClassStats& c : per_class) n += c.shed;
+  return n;
+}
+
+double ServiceRunStats::mean_occupancy() const {
+  return batches == 0 ? 0.0
+                      : static_cast<double>(total_lanes) /
+                            static_cast<double>(batches);
+}
+
+double ServiceRunStats::sustained_qps() const {
+  return makespan == 0 ? 0.0
+                       : static_cast<double>(completed()) * 1e9 /
+                             static_cast<double>(makespan);
+}
+
+double ServiceRunStats::shed_rate() const {
+  const std::uint64_t n = arrivals();
+  return n == 0 ? 0.0 : static_cast<double>(shed()) / static_cast<double>(n);
+}
+
+WorkloadService::WorkloadService(
+    TileFabric& fabric, const ServingConfig& config,
+    const std::vector<std::vector<bool>>& kmer_database,
+    const std::vector<std::vector<bool>>& cam_rows)
+    : fabric_(fabric),
+      config_(config),
+      coalescer_(config.coalescer),
+      dispatcher_(fabric, config.workload, kmer_database, cam_rows) {
+  MEMCIM_CHECK_MSG(config_.queue_capacity >= 1,
+                   "admission queues need capacity >= 1");
+  const long long ns = std::llround(fabric_.config().noc.cycle.value() * 1e9);
+  cycle_ns_ = ns < 1 ? VirtualNs{1} : static_cast<VirtualNs>(ns);
+}
+
+VirtualNs WorkloadService::cycles_to_ns(NocCycle cycles) const {
+  return cycles * cycle_ns_;
+}
+
+VirtualNs WorkloadService::dispatch(std::vector<AdmissionQueue>& queues,
+                                    RequestClass cls, VirtualNs now,
+                                    ServiceRunResult& out) {
+  ServingMetrics& m = serving_metrics();
+  Batch batch = coalescer_.close(queues, cls, now);
+  BatchExecution exec = dispatcher_.execute(batch);
+  const VirtualNs service_ns = cycles_to_ns(exec.service_cycles);
+  const VirtualNs completed_at = now + service_ns;
+
+  ServiceRunStats& stats = out.stats;
+  ++stats.batches;
+  if (batch.partial) ++stats.partial_batches;
+  stats.total_lanes += batch.lanes();
+  stats.flits += exec.flits;
+  stats.busy_ns += service_ns;
+  stats.compute_energy += exec.compute_energy;
+  stats.noc_energy += exec.noc_energy;
+  if (completed_at > stats.makespan) stats.makespan = completed_at;
+
+  m.batches.add(1);
+  if (batch.partial) m.batches_partial.add(1);
+  m.batch_lanes.add(batch.lanes());
+  m.flits.add(exec.flits);
+  if (telemetry::enabled())
+    m.occupancy.record(static_cast<double>(batch.lanes()));
+
+  const std::size_t ci = static_cast<std::size_t>(cls);
+  for (Response& resp : exec.responses) {
+    resp.dispatched = now;
+    resp.completed = completed_at;
+    ++stats.per_class[ci].completed;
+    m.completed.add(1);
+    if (telemetry::enabled())
+      m.latency[ci]->record(static_cast<double>(resp.latency()));
+    out.responses.push_back(std::move(resp));
+  }
+  return completed_at;
+}
+
+ServiceRunResult WorkloadService::run(const std::vector<Request>& trace) {
+  telemetry::Span span(run_site());
+  ServingMetrics& m = serving_metrics();
+  ServiceRunResult out;
+  out.responses.reserve(trace.size());
+
+  std::vector<AdmissionQueue> queues;
+  queues.reserve(kRequestClasses);
+  for (std::size_t c = 0; c < kRequestClasses; ++c)
+    queues.emplace_back(config_.queue_capacity);
+
+  const auto queues_empty = [&queues] {
+    for (const AdmissionQueue& q : queues)
+      if (!q.empty()) return false;
+    return true;
+  };
+
+  VirtualNs now = 0;
+  VirtualNs idle_at = 0;  // instant the fabric is next free
+  std::size_t next = 0;   // next un-admitted trace index
+
+  while (next < trace.size() || !queues_empty()) {
+    // 1. Admit every arrival due at or before `now` (trace order =
+    //    arrival order; ties keep trace order).
+    while (next < trace.size() && trace[next].arrival <= now) {
+      const Request& incoming = trace[next];
+      MEMCIM_CHECK_MSG(next == 0 || trace[next - 1].arrival <= incoming.arrival,
+                       "arrival trace must be sorted by arrival instant");
+      const std::size_t ci = static_cast<std::size_t>(incoming.cls);
+      ++out.stats.per_class[ci].arrivals;
+      m.arrivals.add(1);
+      Request admitted = incoming;
+      admitted.trace = telemetry::new_root_context();
+      if (queues[ci].try_push(std::move(admitted))) {
+        ++out.stats.per_class[ci].admitted;
+        m.admitted.add(1);
+      } else {
+        ShedRecord rec;
+        rec.id = incoming.id;
+        rec.cls = incoming.cls;
+        rec.reason = ShedReason::kQueueFull;
+        rec.at = incoming.arrival;
+        rec.queue_depth = queues[ci].size();
+        out.shed.push_back(rec);
+        ++out.stats.per_class[ci].shed;
+        m.shed.add(1);
+      }
+      ++next;
+    }
+
+    // 2. Fabric free and a window ready → dispatch exactly one batch
+    //    (the fabric is one shared resource; idle_at serialises it).
+    if (now >= idle_at) {
+      if (const auto cls = coalescer_.ready(queues, now); cls.has_value()) {
+        idle_at = dispatch(queues, *cls, now, out);
+        continue;
+      }
+    }
+
+    // 3. Advance the clock to the next event: the next arrival, the
+    //    fabric freeing up, or the earliest partial-window timeout.
+    VirtualNs when = kNever;
+    if (next < trace.size() && trace[next].arrival < when)
+      when = trace[next].arrival;
+    if (idle_at > now && idle_at < when) when = idle_at;
+    const VirtualNs deadline = coalescer_.next_deadline(queues);
+    if (deadline > now && deadline < when) when = deadline;
+    MEMCIM_CHECK_MSG(when != kNever && when > now,
+                     "serving event loop stalled (no future event)");
+    now = when;
+  }
+  return out;
+}
+
+}  // namespace memcim::serving

@@ -1,0 +1,112 @@
+// The batched request-serving front end: a long-running workload
+// service over the tile fabric.
+//
+//   arrivals ──▶ per-class AdmissionQueues (bounded, typed shed)
+//            ──▶ Coalescer (64-lane windows, partial-window timeout)
+//            ──▶ BatchDispatcher (NoC co-simulated fabric execution)
+//            ──▶ Responses + per-request latency telemetry
+//
+// The whole service runs on one deterministic virtual clock
+// (VirtualNs), advanced by a single-threaded event loop with fixed
+// tie-breaks: at each instant, arrivals admit first, then at most one
+// window dispatches (the fabric is one shared resource; a new window
+// launches only when the previous batch's last completion has ejected).
+// Parallelism lives only *inside* a batch — the per-tile compute fan
+// out — where every path is already bitwise thread-invariant.  The
+// result: responses, shed records, stats, and every serving.* metric
+// are bitwise identical at any MEMCIM_THREADS setting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "serving/coalescer.h"
+#include "serving/dispatcher.h"
+#include "serving/queue.h"
+#include "serving/request.h"
+
+namespace memcim::serving {
+
+struct ServingConfig {
+  /// Per-class admission queue bound (the backpressure knob).
+  std::size_t queue_capacity = 256;
+  CoalescerPolicy coalescer{};
+  ServingWorkloadConfig workload{};
+};
+
+/// Per-class admission/completion books of one run.
+struct ClassStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+};
+
+struct ServiceRunStats {
+  std::array<ClassStats, kRequestClasses> per_class{};
+  std::uint64_t batches = 0;
+  std::uint64_t partial_batches = 0;
+  std::uint64_t total_lanes = 0;  ///< Σ batch occupancy
+  std::uint64_t flits = 0;
+  /// Virtual instant the last batch completed (0 with no completions).
+  VirtualNs makespan = 0;
+  /// Σ per-batch service time — fabric busy time on the virtual clock.
+  VirtualNs busy_ns = 0;
+  Energy compute_energy{0.0};
+  Energy noc_energy{0.0};
+
+  [[nodiscard]] std::uint64_t arrivals() const;
+  [[nodiscard]] std::uint64_t completed() const;
+  [[nodiscard]] std::uint64_t shed() const;
+  /// Mean lanes per dispatched batch (0 with no batches).
+  [[nodiscard]] double mean_occupancy() const;
+  /// Completed requests per virtual second (0 with zero makespan).
+  [[nodiscard]] double sustained_qps() const;
+  /// Shed arrivals / total arrivals (0 with no arrivals).
+  [[nodiscard]] double shed_rate() const;
+};
+
+/// One finished run: responses in completion order (batch sequence,
+/// then lane order within the batch), shed records in arrival order.
+struct ServiceRunResult {
+  std::vector<Response> responses;
+  std::vector<ShedRecord> shed;
+  ServiceRunStats stats;
+};
+
+class WorkloadService {
+ public:
+  /// `kmer_database` / `cam_rows` shapes as in BatchDispatcher.
+  WorkloadService(TileFabric& fabric, const ServingConfig& config,
+                  const std::vector<std::vector<bool>>& kmer_database,
+                  const std::vector<std::vector<bool>>& cam_rows);
+
+  [[nodiscard]] const ServingConfig& config() const { return config_; }
+  [[nodiscard]] const BatchDispatcher& dispatcher() const {
+    return dispatcher_;
+  }
+
+  /// Replay an open-loop arrival trace (nondecreasing `arrival`
+  /// stamps) through the service to completion.  Admission stamps a
+  /// fresh root trace context on every admitted request.
+  [[nodiscard]] ServiceRunResult run(const std::vector<Request>& trace);
+
+ private:
+  /// NoC cycles → whole virtual nanoseconds (cycle period rounded to
+  /// >= 1 ns keeps the clock integral, hence bitwise deterministic).
+  [[nodiscard]] VirtualNs cycles_to_ns(NocCycle cycles) const;
+
+  /// Close and execute one window of `cls` at `now`; returns the
+  /// batch's completion instant (the fabric's next-free time).
+  VirtualNs dispatch(std::vector<AdmissionQueue>& queues, RequestClass cls,
+                     VirtualNs now, ServiceRunResult& out);
+
+  TileFabric& fabric_;
+  ServingConfig config_;
+  Coalescer coalescer_;
+  BatchDispatcher dispatcher_;
+  VirtualNs cycle_ns_;
+};
+
+}  // namespace memcim::serving

@@ -197,6 +197,48 @@ TEST(DiffCommand, DetectsSyntheticTenPercentRegression) {
   EXPECT_EQ(clean, 0) << out;
 }
 
+TEST(DiffCommand, ServingQpsDropOfTenPercentFailsTheGate) {
+  // The serving drill: the committed thresholds gate sustained_qps with
+  // direction=down and the per-class p99 with direction=up.  A synthetic
+  // 10% QPS regression (and the p99 inflation that comes with it) must
+  // exit 1 naming the throughput metric; the faithful copy passes.
+  const char kBaseline[] = R"({
+    "schema": "memcim-bench-v1", "bench": "serving",
+    "totals": {"completed": 998000, "sustained_qps": 9.8e6,
+               "makespan_ns": 101836734},
+    "classes": [{"class": "add", "p50_ns": 2048, "p99_ns": 16384}]
+  })";
+  const char kRegressed[] = R"({
+    "schema": "memcim-bench-v1", "bench": "serving",
+    "totals": {"completed": 998000, "sustained_qps": 8.82e6,
+               "makespan_ns": 113152000},
+    "classes": [{"class": "add", "p50_ns": 2048, "p99_ns": 18500}]
+  })";
+  const char kGates[] = R"({
+    "schema": "memcim-thresholds-v1",
+    "default_rel_tol": 0.02,
+    "benches": {"serving": {"metrics": [
+      {"path": "totals.completed", "rel_tol": 0.0},
+      {"path": "totals.sustained_qps", "rel_tol": 0.05, "direction": "down"},
+      {"path": "classes[*].p99_ns", "rel_tol": 0.05, "direction": "up"}
+    ]}}
+  })";
+  const std::string base = temp_file("report_serving_base.json", kBaseline);
+  const std::string cur = temp_file("report_serving_cur.json", kRegressed);
+  const std::string gates = temp_file("report_serving_gates.json", kGates);
+
+  std::string out;
+  const int code = diff_command({base, cur, "--thresholds", gates}, out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("totals.sustained_qps"), std::string::npos) << out;
+  EXPECT_NE(out.find("classes[0].p99_ns"), std::string::npos) << out;
+
+  // A QPS *improvement* is not a breach under direction=down.
+  const int improved = diff_command({cur, base, "--thresholds", gates}, out);
+  EXPECT_EQ(improved, 0) << out;
+  EXPECT_EQ(diff_command({base, base, "--thresholds", gates}, out), 0) << out;
+}
+
 TEST(DiffCommand, RefusesThresholdsThatResolveZeroGates) {
   // A typo'd (or missing) bench name must not silently disable gating.
   const std::string env = temp_file("report_nogate_env.json",

@@ -1,0 +1,161 @@
+// Coalescer: window-close policy — full windows close instantly,
+// partial windows on the starvation timeout, deterministic class
+// selection, FIFO ordering, monotone sequence numbers.
+#include "serving/coalescer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "serving_test_util.h"
+
+namespace memcim::serving {
+namespace {
+
+using testutil::make_request;
+
+std::vector<AdmissionQueue> make_queues(std::size_t capacity = 256) {
+  std::vector<AdmissionQueue> queues;
+  for (std::size_t c = 0; c < kRequestClasses; ++c)
+    queues.emplace_back(capacity);
+  return queues;
+}
+
+void fill(std::vector<AdmissionQueue>& queues, RequestClass cls,
+          std::size_t count, VirtualNs first_arrival,
+          std::uint64_t first_id = 0) {
+  auto& q = queues[static_cast<std::size_t>(cls)];
+  for (std::size_t i = 0; i < count; ++i)
+    ASSERT_TRUE(q.try_push(
+        make_request(cls, first_id + i, first_arrival + i)));
+}
+
+TEST(Coalescer, FullWindowClosesImmediately) {
+  Coalescer co(CoalescerPolicy{});
+  auto queues = make_queues();
+  fill(queues, RequestClass::kAddition, kPackedLanes, 1000);
+  const auto cls = co.ready(queues, 1000 + kPackedLanes - 1);
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_EQ(*cls, RequestClass::kAddition);
+}
+
+TEST(Coalescer, PartialWindowWaitsForTheTimeout) {
+  CoalescerPolicy policy;
+  policy.window_timeout = 500;
+  Coalescer co(policy);
+  auto queues = make_queues();
+  fill(queues, RequestClass::kKmerQuery, 3, 1000);
+  EXPECT_FALSE(co.ready(queues, 1000).has_value());
+  EXPECT_FALSE(co.ready(queues, 1499).has_value());
+  const auto cls = co.ready(queues, 1500);  // head waited the timeout
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_EQ(*cls, RequestClass::kKmerQuery);
+}
+
+TEST(Coalescer, NextDeadlineIsHeadArrivalPlusTimeout) {
+  CoalescerPolicy policy;
+  policy.window_timeout = 700;
+  Coalescer co(policy);
+  auto queues = make_queues();
+  EXPECT_EQ(co.next_deadline(queues), kNever);
+  fill(queues, RequestClass::kCamSearch, 2, 2000);
+  fill(queues, RequestClass::kAddition, 1, 1500);
+  EXPECT_EQ(co.next_deadline(queues), 1500u + 700u);
+  // ready() at the deadline instant is guaranteed to fire.
+  EXPECT_TRUE(co.ready(queues, co.next_deadline(queues)).has_value());
+}
+
+TEST(Coalescer, FullWindowsOutrankTimedOutPartials) {
+  CoalescerPolicy policy;
+  policy.window_timeout = 100;
+  Coalescer co(policy);
+  auto queues = make_queues();
+  // kmer head is older and long past its timeout; the add window is
+  // full — the full window still wins the dispatch slot.
+  fill(queues, RequestClass::kKmerQuery, 1, 0);
+  fill(queues, RequestClass::kAddition, kPackedLanes, 5000);
+  const auto cls = co.ready(queues, 6000);
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_EQ(*cls, RequestClass::kAddition);
+}
+
+TEST(Coalescer, EarliestHeadArrivalWinsTiesOnClassId) {
+  CoalescerPolicy policy;
+  policy.window_timeout = 10;
+  Coalescer co(policy);
+  auto queues = make_queues();
+  // Both partial, both timed out; cam's head is older → cam wins.
+  fill(queues, RequestClass::kCamSearch, 2, 100);
+  fill(queues, RequestClass::kAddition, 2, 200);
+  auto cls = co.ready(queues, 100000);
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_EQ(*cls, RequestClass::kCamSearch);
+  // Same head arrival in kmer (class 0) and add (class 2) → class 0.
+  auto tie_queues = make_queues();
+  fill(tie_queues, RequestClass::kAddition, 2, 100);
+  fill(tie_queues, RequestClass::kKmerQuery, 2, 100);
+  cls = co.ready(tie_queues, 100000);
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_EQ(*cls, RequestClass::kKmerQuery);
+}
+
+TEST(Coalescer, CloseRespectsMaxLanesAndFifo) {
+  Coalescer co(CoalescerPolicy{});
+  auto queues = make_queues();
+  fill(queues, RequestClass::kAddition, 100, 0);
+  const Batch batch = co.close(queues, RequestClass::kAddition, 4000);
+  EXPECT_EQ(batch.lanes(), kPackedLanes);
+  EXPECT_FALSE(batch.partial);
+  EXPECT_EQ(batch.formed, 4000u);
+  for (std::size_t i = 0; i < batch.lanes(); ++i)
+    EXPECT_EQ(batch.requests[i].id, i);
+  EXPECT_EQ(queues[2].size(), 100u - kPackedLanes);
+  EXPECT_EQ(queues[2].front().id, kPackedLanes);
+}
+
+TEST(Coalescer, CloseUnderFullMarksThePartialFlag) {
+  Coalescer co(CoalescerPolicy{});
+  auto queues = make_queues();
+  fill(queues, RequestClass::kCamSearch, 5, 0);
+  const Batch batch = co.close(queues, RequestClass::kCamSearch, 100);
+  EXPECT_EQ(batch.lanes(), 5u);
+  EXPECT_TRUE(batch.partial);
+  EXPECT_TRUE(queues[1].empty());
+}
+
+TEST(Coalescer, BatchSequenceNumbersAreMonotone) {
+  Coalescer co(CoalescerPolicy{});
+  auto queues = make_queues();
+  fill(queues, RequestClass::kAddition, 10, 0);
+  fill(queues, RequestClass::kKmerQuery, 10, 0);
+  const Batch b0 = co.close(queues, RequestClass::kAddition, 50);
+  const Batch b1 = co.close(queues, RequestClass::kKmerQuery, 60);
+  EXPECT_EQ(b0.seq, 0u);
+  EXPECT_EQ(b1.seq, 1u);
+}
+
+TEST(Coalescer, SmallerMaxLanesPolicyIsHonoured) {
+  CoalescerPolicy policy;
+  policy.max_lanes = 8;
+  Coalescer co(policy);
+  auto queues = make_queues();
+  fill(queues, RequestClass::kAddition, 8, 0);
+  EXPECT_TRUE(co.ready(queues, 0).has_value());  // full at 8 lanes
+  const Batch batch = co.close(queues, RequestClass::kAddition, 0);
+  EXPECT_EQ(batch.lanes(), 8u);
+  EXPECT_FALSE(batch.partial);
+}
+
+TEST(Coalescer, InvalidPolicyAndMisuseThrow) {
+  CoalescerPolicy zero;
+  zero.max_lanes = 0;
+  EXPECT_THROW(Coalescer{zero}, Error);
+  CoalescerPolicy wide;
+  wide.max_lanes = kPackedLanes + 1;
+  EXPECT_THROW(Coalescer{wide}, Error);
+  Coalescer co(CoalescerPolicy{});
+  auto queues = make_queues();
+  EXPECT_THROW((void)co.close(queues, RequestClass::kAddition, 0), Error);
+}
+
+}  // namespace
+}  // namespace memcim::serving

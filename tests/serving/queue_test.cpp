@@ -1,0 +1,86 @@
+// AdmissionQueue: the backpressure contract — hard capacity bound,
+// typed refusal that leaves the queue untouched, FIFO-only drain.
+#include "serving/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "serving_test_util.h"
+
+namespace memcim::serving {
+namespace {
+
+using testutil::make_request;
+
+TEST(AdmissionQueue, CapacityIsAHardBound) {
+  AdmissionQueue q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    EXPECT_TRUE(q.try_push(make_request(RequestClass::kAddition, i, i)));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(make_request(RequestClass::kAddition, 99, 99)));
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(AdmissionQueue, RefusedPushLeavesQueueUntouched) {
+  AdmissionQueue q(2);
+  ASSERT_TRUE(q.try_push(make_request(RequestClass::kAddition, 10, 100)));
+  ASSERT_TRUE(q.try_push(make_request(RequestClass::kAddition, 11, 200)));
+  ASSERT_FALSE(q.try_push(make_request(RequestClass::kAddition, 12, 300)));
+  // Head and depth are bit-for-bit what they were before the refusal.
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.front().id, 10u);
+  EXPECT_EQ(q.oldest_arrival(), 100u);
+}
+
+TEST(AdmissionQueue, DrainsInFifoOrder) {
+  AdmissionQueue q(8);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ASSERT_TRUE(q.try_push(make_request(RequestClass::kCamSearch, i, 10 * i)));
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(q.front().id, i);
+    EXPECT_EQ(q.pop().id, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(AdmissionQueue, OldestArrivalTracksTheHead) {
+  AdmissionQueue q(4);
+  EXPECT_EQ(q.oldest_arrival(), kNever);
+  ASSERT_TRUE(q.try_push(make_request(RequestClass::kKmerQuery, 0, 500)));
+  ASSERT_TRUE(q.try_push(make_request(RequestClass::kKmerQuery, 1, 900)));
+  EXPECT_EQ(q.oldest_arrival(), 500u);
+  (void)q.pop();
+  EXPECT_EQ(q.oldest_arrival(), 900u);
+  (void)q.pop();
+  EXPECT_EQ(q.oldest_arrival(), kNever);
+}
+
+TEST(AdmissionQueue, EmptyAccessThrows) {
+  AdmissionQueue q(1);
+  EXPECT_THROW((void)q.front(), Error);
+  EXPECT_THROW((void)q.pop(), Error);
+}
+
+TEST(AdmissionQueue, ZeroCapacityIsRejected) {
+  EXPECT_THROW(AdmissionQueue{0}, Error);
+}
+
+TEST(AdmissionQueue, AcceptedWorkSurvivesShedPressure) {
+  // Interleave refused pushes with accepted ones: everything accepted
+  // drains exactly once, nothing refused ever appears.
+  AdmissionQueue q(4);
+  std::vector<std::uint64_t> accepted;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    if (q.try_push(make_request(RequestClass::kAddition, i, i))) {
+      accepted.push_back(i);
+    }
+  }
+  EXPECT_EQ(accepted.size(), 4u);
+  std::vector<std::uint64_t> drained;
+  while (!q.empty()) drained.push_back(q.pop().id);
+  EXPECT_EQ(drained, accepted);
+}
+
+}  // namespace
+}  // namespace memcim::serving

@@ -1,0 +1,247 @@
+// WorkloadService: end-to-end request flow on the virtual clock —
+// correct payloads per class, backpressure, starvation guard, FIFO
+// ordering, stats books, and the serving.* telemetry contract.
+#include "serving/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "serving_test_util.h"
+#include "telemetry/telemetry.h"
+
+namespace memcim::serving {
+namespace {
+
+using testutil::bits_of;
+using testutil::make_request;
+using testutil::SmallWorld;
+
+TEST(WorkloadService, AdditionResponsesMatchNativeSums) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  WorkloadService svc(fabric, testutil::small_config(), world.kmer_db,
+                      world.cam_rows);
+  std::vector<Request> trace;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    trace.push_back(make_request(RequestClass::kAddition, i, 100));
+  const ServiceRunResult result = svc.run(trace);
+  ASSERT_EQ(result.responses.size(), 20u);
+  std::map<std::uint64_t, const Request*> by_id;
+  for (const Request& r : trace) by_id[r.id] = &r;
+  for (const Response& resp : result.responses) {
+    const Request& req = *by_id.at(resp.id);
+    EXPECT_EQ(resp.sum, (req.add_a + req.add_b) & 0xFFFFu);
+    EXPECT_TRUE(resp.matches.empty());
+  }
+}
+
+TEST(WorkloadService, KmerQueryReportsPlantedGlobalRows) {
+  TileFabric fabric(testutil::small_fabric());
+  SmallWorld world;
+  const std::vector<bool> needle = bits_of(0xBEEF, 16);
+  world.kmer_db[3] = needle;   // tile 0, row 3
+  world.kmer_db[9] = needle;   // tile 2, row 1
+  world.kmer_db[14] = needle;  // tile 3, row 2
+  WorkloadService svc(fabric, testutil::small_config(), world.kmer_db,
+                      world.cam_rows);
+  Request query = make_request(RequestClass::kKmerQuery, 0, 50);
+  query.key = needle;
+  const ServiceRunResult result = svc.run({query});
+  ASSERT_EQ(result.responses.size(), 1u);
+  EXPECT_EQ(result.responses[0].matches,
+            (std::vector<std::size_t>{3, 9, 14}));
+}
+
+TEST(WorkloadService, CamSearchReportsPlantedGlobalRows) {
+  TileFabric fabric(testutil::small_fabric());
+  SmallWorld world;
+  const std::vector<bool> needle = bits_of(0xCAFE, 16);
+  world.cam_rows[2] = needle;   // CAM bank 0, row 2
+  world.cam_rows[13] = needle;  // CAM bank 3, row 1
+  WorkloadService svc(fabric, testutil::small_config(), world.kmer_db,
+                      world.cam_rows);
+  Request query = make_request(RequestClass::kCamSearch, 7, 50);
+  query.key = needle;
+  const ServiceRunResult result = svc.run({query});
+  ASSERT_EQ(result.responses.size(), 1u);
+  EXPECT_EQ(result.responses[0].matches, (std::vector<std::size_t>{2, 13}));
+}
+
+TEST(WorkloadService, FullQueueShedsTypedErrorAndKeepsAcceptedWork) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  ServingConfig cfg = testutil::small_config();
+  cfg.queue_capacity = 8;
+  WorkloadService svc(fabric, cfg, world.kmer_db, world.cam_rows);
+  std::vector<Request> trace;
+  for (std::uint64_t i = 0; i < 30; ++i)
+    trace.push_back(make_request(RequestClass::kAddition, i, 100));
+  const ServiceRunResult result = svc.run(trace);
+  // The first 8 same-instant arrivals are admitted, the rest shed with
+  // the typed reason; every admitted request still completes.
+  ASSERT_EQ(result.responses.size(), 8u);
+  ASSERT_EQ(result.shed.size(), 22u);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(result.responses[i].id, i);
+  for (std::size_t i = 0; i < result.shed.size(); ++i) {
+    EXPECT_EQ(result.shed[i].id, 8 + i);
+    EXPECT_EQ(result.shed[i].reason, ShedReason::kQueueFull);
+    EXPECT_EQ(result.shed[i].queue_depth, 8u);
+    EXPECT_EQ(result.shed[i].at, 100u);
+  }
+  EXPECT_EQ(result.stats.arrivals(), 30u);
+  EXPECT_EQ(result.stats.shed(), 22u);
+  EXPECT_EQ(result.stats.completed(), 8u);
+  EXPECT_DOUBLE_EQ(result.stats.shed_rate(), 22.0 / 30.0);
+}
+
+TEST(WorkloadService, LoneRequestDispatchesAtThePartialWindowTimeout) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  ServingConfig cfg = testutil::small_config();
+  cfg.coalescer.window_timeout = 5000;
+  WorkloadService svc(fabric, cfg, world.kmer_db, world.cam_rows);
+  const ServiceRunResult result =
+      svc.run({make_request(RequestClass::kAddition, 0, 100)});
+  ASSERT_EQ(result.responses.size(), 1u);
+  const Response& resp = result.responses[0];
+  // No co-arrivals ever show up: the starvation guard dispatches the
+  // singleton window exactly when its head has waited the timeout.
+  EXPECT_EQ(resp.dispatched, 100u + 5000u);
+  EXPECT_GT(resp.completed, resp.dispatched);
+  EXPECT_EQ(resp.batch_lanes, 1u);
+  EXPECT_EQ(result.stats.partial_batches, 1u);
+}
+
+TEST(WorkloadService, FifoOrderWithinAClassIsPreserved) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  WorkloadService svc(fabric, testutil::small_config(), world.kmer_db,
+                      world.cam_rows);
+  std::vector<Request> trace;
+  for (std::uint64_t i = 0; i < 150; ++i)
+    trace.push_back(make_request(RequestClass::kAddition, i, 10 * i));
+  const ServiceRunResult result = svc.run(trace);
+  ASSERT_EQ(result.responses.size(), 150u);
+  for (std::size_t i = 0; i < result.responses.size(); ++i)
+    EXPECT_EQ(result.responses[i].id, i);
+  for (std::size_t i = 1; i < result.responses.size(); ++i)
+    EXPECT_LE(result.responses[i - 1].dispatched,
+              result.responses[i].dispatched);
+}
+
+TEST(WorkloadService, FullWindowDispatchesAtItsArrivalInstant) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  WorkloadService svc(fabric, testutil::small_config(), world.kmer_db,
+                      world.cam_rows);
+  std::vector<Request> trace;
+  for (std::uint64_t i = 0; i < kPackedLanes; ++i)
+    trace.push_back(make_request(RequestClass::kAddition, i, 500));
+  const ServiceRunResult result = svc.run(trace);
+  ASSERT_EQ(result.responses.size(), kPackedLanes);
+  for (const Response& resp : result.responses) {
+    EXPECT_EQ(resp.dispatched, 500u);  // no timeout wait for full windows
+    EXPECT_EQ(resp.batch_lanes, kPackedLanes);
+  }
+  EXPECT_EQ(result.stats.batches, 1u);
+  EXPECT_EQ(result.stats.partial_batches, 0u);
+  EXPECT_DOUBLE_EQ(result.stats.mean_occupancy(),
+                   static_cast<double>(kPackedLanes));
+}
+
+TEST(WorkloadService, StatsBooksAreInternallyConsistent) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  WorkloadService svc(fabric, testutil::small_config(), world.kmer_db,
+                      world.cam_rows);
+  TraceParams params = testutil::small_trace_params();
+  params.requests = 500;
+  params.mean_interarrival_ns = 200.0;
+  const std::vector<Request> trace = generate_trace(params);
+  const ServiceRunResult result = svc.run(trace);
+  const ServiceRunStats& stats = result.stats;
+  EXPECT_EQ(stats.arrivals(), 500u);
+  EXPECT_EQ(stats.arrivals(), stats.completed() + stats.shed());
+  EXPECT_EQ(stats.completed(), result.responses.size());
+  EXPECT_EQ(stats.shed(), result.shed.size());
+  EXPECT_EQ(stats.total_lanes, stats.completed());
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.makespan, 0u);
+  EXPECT_LE(stats.busy_ns, stats.makespan);
+  EXPECT_GT(stats.sustained_qps(), 0.0);
+  EXPECT_GT(stats.flits, 0u);
+  EXPECT_GT(stats.compute_energy.value(), 0.0);
+  EXPECT_GT(stats.noc_energy.value(), 0.0);
+}
+
+TEST(WorkloadService, ServingCountersMatchTheRunStats) {
+  telemetry::set_enabled(true);
+  telemetry::Registry::global().reset();
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  ServingConfig cfg = testutil::small_config();
+  cfg.queue_capacity = 32;
+  WorkloadService svc(fabric, cfg, world.kmer_db, world.cam_rows);
+  TraceParams params = testutil::small_trace_params();
+  params.requests = 300;
+  params.mean_interarrival_ns = 50.0;  // hot enough to shed
+  const ServiceRunResult result = svc.run(generate_trace(params));
+  const telemetry::MetricsSnapshot snap =
+      telemetry::Registry::global().snapshot();
+  EXPECT_EQ(snap.counter("serving.arrivals"), result.stats.arrivals());
+  EXPECT_EQ(snap.counter("serving.admitted"), result.stats.completed());
+  EXPECT_EQ(snap.counter("serving.shed"), result.stats.shed());
+  EXPECT_EQ(snap.counter("serving.completed"), result.stats.completed());
+  EXPECT_EQ(snap.counter("serving.batches"), result.stats.batches);
+  EXPECT_EQ(snap.counter("serving.batches_partial"),
+            result.stats.partial_batches);
+  EXPECT_EQ(snap.counter("serving.batch_lanes"), result.stats.total_lanes);
+  EXPECT_EQ(snap.counter("serving.flits"), result.stats.flits);
+  EXPECT_EQ(snap.counter("serving.dispatch.calls"), result.stats.batches);
+  const telemetry::HistogramSample* occupancy =
+      snap.histogram("serving.batch.occupancy");
+  ASSERT_NE(occupancy, nullptr);
+  EXPECT_EQ(occupancy->count, result.stats.batches);
+  std::uint64_t latency_count = 0;
+  for (const char* name :
+       {"serving.latency_ns.kmer", "serving.latency_ns.cam",
+        "serving.latency_ns.add"}) {
+    const telemetry::HistogramSample* h = snap.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    latency_count += h->count;
+  }
+  EXPECT_EQ(latency_count, result.stats.completed());
+}
+
+TEST(WorkloadService, UnsortedTraceIsRejected) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  WorkloadService svc(fabric, testutil::small_config(), world.kmer_db,
+                      world.cam_rows);
+  std::vector<Request> trace;
+  trace.push_back(make_request(RequestClass::kAddition, 0, 900));
+  trace.push_back(make_request(RequestClass::kAddition, 1, 100));
+  EXPECT_THROW((void)svc.run(trace), Error);
+}
+
+TEST(WorkloadService, MismatchedDatabaseShapesAreRejected) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  std::vector<std::vector<bool>> short_db = world.kmer_db;
+  short_db.pop_back();  // 15 rows for a 16-row fabric
+  EXPECT_THROW(WorkloadService(fabric, testutil::small_config(), short_db,
+                               world.cam_rows),
+               Error);
+  std::vector<std::vector<bool>> wide_cam = world.cam_rows;
+  wide_cam[0].push_back(true);  // 17-bit word in a 16-bit CAM
+  EXPECT_THROW(WorkloadService(fabric, testutil::small_config(), world.kmer_db,
+                               wide_cam),
+               Error);
+}
+
+}  // namespace
+}  // namespace memcim::serving

@@ -1,0 +1,82 @@
+// Shared fixtures for the serving suite: a small 2×2 fabric, matching
+// workload shapes, and seeded database/trace builders.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/presets.h"
+#include "serving/service.h"
+#include "serving/trace_gen.h"
+
+namespace memcim::serving::testutil {
+
+inline TileFabricConfig small_fabric() {
+  TileFabricConfig cfg;
+  cfg.width = 2;
+  cfg.height = 2;
+  cfg.tile.rows = 4;
+  cfg.tile.row_bits = 16;
+  cfg.tile.cell = presets::crs_cell();
+  return cfg;
+}
+
+inline ServingWorkloadConfig small_workload() {
+  ServingWorkloadConfig w;
+  w.add_width = 16;
+  w.adders_per_tile = 4;
+  w.cam.rows = 4;
+  w.cam.word_bits = 16;
+  w.cam.cell = presets::crs_cell();
+  return w;
+}
+
+inline ServingConfig small_config() {
+  ServingConfig cfg;
+  cfg.queue_capacity = 256;
+  cfg.workload = small_workload();
+  return cfg;
+}
+
+inline TraceParams small_trace_params() {
+  TraceParams p;
+  p.kmer_key_bits = 16;
+  p.cam_key_bits = 16;
+  p.add_width = 16;
+  return p;
+}
+
+inline std::vector<bool> bits_of(std::uint64_t v, std::size_t n) {
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = (v >> i) & 1u;
+  return bits;
+}
+
+/// Seeded content for the small fabric (16 k-mer rows, 16 CAM rows).
+struct SmallWorld {
+  std::vector<std::vector<bool>> kmer_db;
+  std::vector<std::vector<bool>> cam_rows;
+  explicit SmallWorld(std::uint64_t seed = 0xD8) {
+    Rng rng(seed);
+    kmer_db = random_words(16, 16, rng);
+    cam_rows = random_words(16, 16, rng);
+  }
+};
+
+inline Request make_request(RequestClass cls, std::uint64_t id,
+                            VirtualNs arrival) {
+  Request r;
+  r.cls = cls;
+  r.id = id;
+  r.arrival = arrival;
+  if (cls == RequestClass::kAddition) {
+    r.add_a = (id * 7919u) & 0xFFFFu;
+    r.add_b = (id * 104729u) & 0xFFFFu;
+  } else {
+    r.key = bits_of(id * 2654435761u, 16);
+  }
+  return r;
+}
+
+}  // namespace memcim::serving::testutil

@@ -1,0 +1,187 @@
+// Deterministic soak: a 100k-request virtual-clock run is bitwise
+// identical under MEMCIM_THREADS 1 vs 4 — responses, shed records,
+// run stats, and the deterministic telemetry slice all match exactly.
+// CI reruns this suite under ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/parallel.h"
+#include "serving/service.h"
+#include "serving/trace_gen.h"
+#include "serving_test_util.h"
+#include "telemetry/telemetry.h"
+
+namespace memcim::serving {
+namespace {
+
+using testutil::SmallWorld;
+
+TraceParams soak_params(std::size_t requests) {
+  TraceParams p = testutil::small_trace_params();
+  p.requests = requests;
+  p.mean_interarrival_ns = 100.0;
+  return p;
+}
+
+ServingConfig soak_config() {
+  ServingConfig cfg = testutil::small_config();
+  cfg.queue_capacity = 1024;
+  return cfg;
+}
+
+ServiceRunResult run_soak(const std::vector<Request>& trace) {
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  WorkloadService svc(fabric, soak_config(), world.kmer_db, world.cam_rows);
+  return svc.run(trace);
+}
+
+/// Full-field response equality minus trace_id (root-context ids are
+/// process-unique, not run-reproducible).
+bool identical_response(const Response& a, const Response& b) {
+  return payload_equal(a, b) && a.arrival == b.arrival &&
+         a.dispatched == b.dispatched && a.completed == b.completed &&
+         a.batch_seq == b.batch_seq && a.batch_lanes == b.batch_lanes;
+}
+
+bool identical_shed(const ShedRecord& a, const ShedRecord& b) {
+  return a.id == b.id && a.cls == b.cls && a.reason == b.reason &&
+         a.at == b.at && a.queue_depth == b.queue_depth;
+}
+
+/// Every counter except the schedule-dependent ones (thread-pool
+/// bookkeeping under "parallel." and wall-time aggregates "*.ns").
+std::map<std::string, std::uint64_t> deterministic_counters(
+    const telemetry::MetricsSnapshot& snap) {
+  std::map<std::string, std::uint64_t> out;
+  for (const telemetry::CounterSample& c : snap.counters) {
+    if (c.name.rfind("parallel.", 0) == 0) continue;
+    if (c.name.size() >= 3 &&
+        c.name.compare(c.name.size() - 3, 3, ".ns") == 0)
+      continue;
+    out[c.name] = c.value;
+  }
+  return out;
+}
+
+/// The serving.* histograms (all virtual-clock valued → deterministic).
+std::map<std::string, std::vector<std::uint64_t>> serving_histograms(
+    const telemetry::MetricsSnapshot& snap) {
+  std::map<std::string, std::vector<std::uint64_t>> out;
+  for (const telemetry::HistogramSample& h : snap.histograms)
+    if (h.name.rfind("serving.", 0) == 0) out[h.name] = h.bucket_counts;
+  return out;
+}
+
+TEST(ServingSoak, HundredThousandRequestsBitwiseInvariantAcrossThreads) {
+  TraceParams params = soak_params(100'000);
+  params.seed = 0xDEE9;
+  const std::vector<Request> trace = generate_trace(params);
+
+  telemetry::set_enabled(true);
+  const std::size_t prev_threads = parallel_threads();
+
+  set_parallel_threads(1);
+  telemetry::Registry::global().reset();
+  const ServiceRunResult one = run_soak(trace);
+  const telemetry::MetricsSnapshot snap_one =
+      telemetry::Registry::global().snapshot();
+
+  set_parallel_threads(4);
+  telemetry::Registry::global().reset();
+  const ServiceRunResult four = run_soak(trace);
+  const telemetry::MetricsSnapshot snap_four =
+      telemetry::Registry::global().snapshot();
+
+  set_parallel_threads(prev_threads);
+
+  // Responses: same count, same order, every field identical.
+  ASSERT_EQ(one.responses.size(), four.responses.size());
+  for (std::size_t i = 0; i < one.responses.size(); ++i)
+    ASSERT_TRUE(identical_response(one.responses[i], four.responses[i]))
+        << "response " << i << " diverged across thread counts";
+
+  // Shed records: identical stream.
+  ASSERT_EQ(one.shed.size(), four.shed.size());
+  for (std::size_t i = 0; i < one.shed.size(); ++i)
+    ASSERT_TRUE(identical_shed(one.shed[i], four.shed[i]))
+        << "shed record " << i << " diverged across thread counts";
+
+  // Run stats: the ledger-able metrics are bit-for-bit equal.
+  EXPECT_EQ(one.stats.batches, four.stats.batches);
+  EXPECT_EQ(one.stats.partial_batches, four.stats.partial_batches);
+  EXPECT_EQ(one.stats.total_lanes, four.stats.total_lanes);
+  EXPECT_EQ(one.stats.flits, four.stats.flits);
+  EXPECT_EQ(one.stats.makespan, four.stats.makespan);
+  EXPECT_EQ(one.stats.busy_ns, four.stats.busy_ns);
+  EXPECT_EQ(one.stats.compute_energy, four.stats.compute_energy);
+  EXPECT_EQ(one.stats.noc_energy, four.stats.noc_energy);
+  for (std::size_t c = 0; c < kRequestClasses; ++c) {
+    EXPECT_EQ(one.stats.per_class[c].arrivals, four.stats.per_class[c].arrivals);
+    EXPECT_EQ(one.stats.per_class[c].admitted, four.stats.per_class[c].admitted);
+    EXPECT_EQ(one.stats.per_class[c].shed, four.stats.per_class[c].shed);
+    EXPECT_EQ(one.stats.per_class[c].completed,
+              four.stats.per_class[c].completed);
+  }
+  EXPECT_EQ(one.stats.sustained_qps(), four.stats.sustained_qps());
+  EXPECT_EQ(one.stats.mean_occupancy(), four.stats.mean_occupancy());
+
+  // Telemetry: the deterministic counter slice and every serving.*
+  // histogram are identical.
+  EXPECT_EQ(deterministic_counters(snap_one), deterministic_counters(snap_four));
+  EXPECT_EQ(serving_histograms(snap_one), serving_histograms(snap_four));
+}
+
+TEST(ServingSoak, LedgerMetricsStayInSaneRanges) {
+  TraceParams params = soak_params(10'000);
+  params.seed = 0x10AD;
+  const ServiceRunResult result = run_soak(generate_trace(params));
+  const ServiceRunStats& stats = result.stats;
+  EXPECT_EQ(stats.arrivals(), 10'000u);
+  EXPECT_GT(stats.completed(), 0u);
+  EXPECT_GT(stats.sustained_qps(), 0.0);
+  EXPECT_GT(stats.mean_occupancy(), 0.0);
+  EXPECT_LE(stats.mean_occupancy(), 64.0);
+  EXPECT_GE(stats.shed_rate(), 0.0);
+  EXPECT_LT(stats.shed_rate(), 1.0);
+  EXPECT_LE(stats.busy_ns, stats.makespan);
+  telemetry::set_enabled(true);
+  telemetry::Registry::global().reset();
+  (void)run_soak(generate_trace(params));
+  const telemetry::MetricsSnapshot snap =
+      telemetry::Registry::global().snapshot();
+  for (const char* name :
+       {"serving.latency_ns.kmer", "serving.latency_ns.cam",
+        "serving.latency_ns.add"}) {
+    const telemetry::HistogramSample* h = snap.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    if (h->count == 0) continue;
+    EXPECT_LE(h->p50(), h->p95()) << name;
+    EXPECT_LE(h->p95(), h->p99()) << name;
+    EXPECT_GE(h->p50(), h->min) << name;
+    EXPECT_LE(h->p99(), h->max) << name;
+  }
+}
+
+TEST(ServingSoak, OverloadNeverDeadlocksAndAlwaysDrains) {
+  // A deliberately tiny queue under a hot arrival stream: the service
+  // must shed loudly, never stall, and drain every admitted request.
+  TraceParams params = soak_params(10'000);
+  params.seed = 0xF100D;
+  params.mean_interarrival_ns = 20.0;
+  const std::vector<Request> trace = generate_trace(params);
+  TileFabric fabric(testutil::small_fabric());
+  const SmallWorld world;
+  ServingConfig cfg = soak_config();
+  cfg.queue_capacity = 8;
+  WorkloadService svc(fabric, cfg, world.kmer_db, world.cam_rows);
+  const ServiceRunResult result = svc.run(trace);
+  EXPECT_GT(result.stats.shed(), 0u);
+  EXPECT_EQ(result.stats.completed() + result.stats.shed(), 10'000u);
+  EXPECT_EQ(result.responses.size(), result.stats.completed());
+}
+
+}  // namespace
+}  // namespace memcim::serving
