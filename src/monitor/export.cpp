@@ -1,0 +1,191 @@
+#include "monitor/export.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json_writer.h"
+
+namespace memcim::monitor {
+
+namespace {
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  out << contents;
+}
+
+/// "serving.latency_ns.kmer" → "memcim_serving_latency_ns_kmer".
+std::string sanitize(const std::string& name) {
+  std::string out = "memcim_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Exposition-format number: exact integer text when integral (bucket
+/// bounds are powers of two, counts are u64), shortest-round-trip
+/// otherwise.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.2e18) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string timeseries_json(const TimeSeriesSampler& sampler,
+                            const SloEngine* engine) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("memcim-timeseries-v1");
+  w.key("period_ns").value(sampler.config().period_ns);
+  w.key("capacity").value(static_cast<std::uint64_t>(sampler.config().capacity));
+  w.key("total_intervals").value(sampler.total_intervals());
+  w.key("dropped").value(sampler.dropped());
+  w.key("samples").begin_array();
+  for (const Sample& s : sampler.samples()) {
+    w.begin_object();
+    w.key("interval").value(s.interval);
+    w.key("begin_ns").value(s.begin);
+    w.key("end_ns").value(s.end);
+    w.key("arrivals").value(s.arrivals);
+    w.key("admitted").value(s.admitted);
+    w.key("shed").value(s.shed);
+    w.key("completed").value(s.completed);
+    w.key("batches").value(s.batches);
+    w.key("partial_batches").value(s.partial_batches);
+    w.key("batch_lanes").value(s.batch_lanes);
+    w.key("flits").value(s.flits);
+    w.key("energy_aj").value(s.energy_aj);
+    w.key("pulses").value(s.pulses);
+    w.key("qps").value(s.qps);
+    w.key("shed_rate").value(s.shed_rate);
+    w.key("occupancy").value(s.occupancy);
+    w.key("queue_depth").begin_array();
+    for (const std::size_t depth : s.queue_depth)
+      w.value(static_cast<std::uint64_t>(depth));
+    w.end_array();
+    w.key("classes").begin_array();
+    for (std::size_t c = 0; c < kRequestClasses; ++c) {
+      const Sample::PerClass& pc = s.classes[c];
+      w.begin_object();
+      w.key("class").value(
+          serving::to_string(static_cast<RequestClass>(c)));
+      w.key("admitted").value(pc.admitted);
+      w.key("shed").value(pc.shed);
+      w.key("completed").value(pc.completed);
+      w.key("p50_ns").value(pc.p50_ns);
+      w.key("p95_ns").value(pc.p95_ns);
+      w.key("p99_ns").value(pc.p99_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  if (engine != nullptr) {
+    w.key("slo").begin_object();
+    w.key("objectives").begin_array();
+    for (const SloObjective& o : engine->config().objectives) {
+      w.begin_object();
+      w.key("name").value(o.name);
+      w.key("kind").value(to_string(o.kind));
+      if (o.kind == SloKind::kLatency) {
+        w.key("class").value(serving::to_string(o.cls));
+        w.key("latency_target_ns").value(o.latency_target_ns);
+      }
+      w.key("target_ratio").value(o.target_ratio);
+      w.key("burn_threshold").value(o.burn_threshold);
+      w.key("fast_window").value(static_cast<std::uint64_t>(o.fast_window));
+      w.key("slow_window").value(static_cast<std::uint64_t>(o.slow_window));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("alerts_fired").value(engine->alerts_fired());
+    w.key("active").value(engine->any_active());
+    w.key("events").begin_array();
+    for (const HealthEvent& e : engine->events()) {
+      w.begin_object();
+      w.key("kind").value(to_string(e.kind));
+      w.key("rule").value(e.rule);
+      w.key("at_ns").value(e.at);
+      w.key("interval").value(e.interval);
+      w.key("value").value(e.value);
+      w.key("threshold").value(e.threshold);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+void write_timeseries_json(const std::string& path,
+                           const TimeSeriesSampler& sampler,
+                           const SloEngine* engine) {
+  write_file(path, timeseries_json(sampler, engine));
+}
+
+std::string openmetrics_text(const telemetry::MetricsSnapshot& snapshot,
+                             const std::vector<Exemplar>& exemplars) {
+  std::ostringstream out;
+  for (const telemetry::CounterSample& c : snapshot.counters) {
+    const std::string name = sanitize(c.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << "_total " << c.value << '\n';
+  }
+  for (const telemetry::GaugeSample& g : snapshot.gauges) {
+    const std::string name = sanitize(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << format_number(g.value) << '\n';
+  }
+  for (const telemetry::HistogramSample& h : snapshot.histograms) {
+    const std::string name = sanitize(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    // OpenMetrics buckets are cumulative; the registry's are disjoint.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      const bool overflow = i >= h.upper_bounds.size();
+      out << name << "_bucket{le=\""
+          << (overflow ? std::string("+Inf")
+                       : format_number(h.upper_bounds[i]))
+          << "\"} " << cumulative;
+      // First exemplar landing in this bucket: smallest bound >= value.
+      for (const Exemplar& ex : exemplars) {
+        if (ex.metric != h.name || ex.trace_id == 0) continue;
+        const bool above_prev =
+            i == 0 || ex.value > h.upper_bounds[i - 1];
+        const bool within = overflow || ex.value <= h.upper_bounds[i];
+        if (above_prev && within) {
+          out << " # {trace_id=\"" << ex.trace_id << "\"} "
+              << format_number(ex.value) << ' ' << ex.timestamp_ns;
+          break;
+        }
+      }
+      out << '\n';
+    }
+    out << name << "_count " << h.count << '\n';
+  }
+  out << "# EOF\n";
+  return out.str();
+}
+
+void write_openmetrics(const std::string& path,
+                       const telemetry::MetricsSnapshot& snapshot,
+                       const std::vector<Exemplar>& exemplars) {
+  write_file(path, openmetrics_text(snapshot, exemplars));
+}
+
+}  // namespace memcim::monitor

@@ -1,0 +1,63 @@
+// Exporters for the monitoring plane:
+//
+//   * timeseries_json — the "memcim-timeseries-v1" envelope: sampler
+//     config echo, the ring's samples, and (when an SloEngine is
+//     wired) the objective set, every HealthEvent, and the alert
+//     tally.  Parseable by the strict RFC 8259 parser
+//     (telemetry/json_parser.h) and rendered by `memcim-report
+//     monitor`.  Deliberately free of trace/span ids: those are
+//     process-unique, so omitting them keeps the document bitwise
+//     identical across runs and MEMCIM_THREADS settings.
+//
+//   * openmetrics_text — Prometheus/OpenMetrics text exposition of a
+//     metrics snapshot (counters → `_total`, gauges, histograms →
+//     cumulative `_bucket{le=...}`/`_count`), with optional exemplars
+//     carrying trace ids so a scraped latency bucket links back to a
+//     concrete request's trace.  Histogram `_sum` is omitted: the
+//     telemetry histograms track exact bucket tallies, not a sample
+//     sum, and inventing one would break the "no estimated numbers"
+//     contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/sampler.h"
+#include "telemetry/telemetry.h"
+
+namespace memcim::monitor {
+
+/// The memcim-timeseries-v1 document.  `engine` may be nullptr (series
+/// without an SLO block); when the sampler owns a wired engine, pass
+/// `sampler.slo()`.
+[[nodiscard]] std::string timeseries_json(const TimeSeriesSampler& sampler,
+                                          const SloEngine* engine);
+
+/// timeseries_json written to `path`.
+void write_timeseries_json(const std::string& path,
+                           const TimeSeriesSampler& sampler,
+                           const SloEngine* engine);
+
+/// One OpenMetrics exemplar: attaches to the smallest bucket of
+/// histogram `metric` whose bound is >= `value` (dots in `metric` as
+/// in the registry; the writer sanitises).
+struct Exemplar {
+  std::string metric;
+  double value = 0.0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t timestamp_ns = 0;  ///< virtual instant, echoed as-is
+};
+
+/// OpenMetrics text exposition of `snapshot`, terminated by `# EOF`.
+/// Metric names are sanitised (dots → underscores, `memcim_` prefix).
+[[nodiscard]] std::string openmetrics_text(
+    const telemetry::MetricsSnapshot& snapshot,
+    const std::vector<Exemplar>& exemplars = {});
+
+/// openmetrics_text written to `path`.
+void write_openmetrics(const std::string& path,
+                       const telemetry::MetricsSnapshot& snapshot,
+                       const std::vector<Exemplar>& exemplars = {});
+
+}  // namespace memcim::monitor

@@ -80,6 +80,77 @@ std::string format_delta(double rel) {
   return ss.str();
 }
 
+/// Resolve a dotted path with [i] indices ("classes[1].p99_ns") inside
+/// a parsed document; nullptr when any step is missing.
+const JsonValue* resolve_path(const JsonValue& root, std::string_view path) {
+  const JsonValue* v = &root;
+  std::size_t i = 0;
+  while (i < path.size() && v != nullptr) {
+    if (path[i] == '.') {
+      ++i;
+      continue;
+    }
+    if (path[i] == '[') {
+      const std::size_t close = path.find(']', i);
+      if (close == std::string_view::npos || !v->is_array()) return nullptr;
+      std::size_t idx = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (path[j] < '0' || path[j] > '9') return nullptr;
+        idx = idx * 10 + static_cast<std::size_t>(path[j] - '0');
+      }
+      const telemetry::JsonArray& arr = v->as_array();
+      if (idx >= arr.size()) return nullptr;
+      v = &arr[idx];
+      i = close + 1;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < path.size() && path[end] != '.' && path[end] != '[') ++end;
+    if (!v->is_object()) return nullptr;
+    v = v->find(path.substr(i, end - i));
+    i = end;
+  }
+  return v;
+}
+
+/// The number of trailing samples diff --series and monitor print.
+constexpr std::size_t kSeriesTail = 10;
+
+/// Append the last kSeriesTail samples' values of one series column
+/// for a breached metric.
+void print_series_tail(const JsonValue& series, const std::string& path,
+                       const std::string& column, std::ostringstream& os) {
+  const JsonValue* samples = series.find("samples");
+  if (samples == nullptr || !samples->is_array() ||
+      samples->as_array().empty()) {
+    os << "  (no samples in the time series)\n";
+    return;
+  }
+  const telemetry::JsonArray& arr = samples->as_array();
+  const std::size_t n = std::min(kSeriesTail, arr.size());
+  os << "  recent series for " << path << " (column " << column << ", last "
+     << n << " of " << arr.size() << " samples):\n";
+  TextTable table({"interval", "end_ns", column});
+  for (std::size_t i = arr.size() - n; i < arr.size(); ++i) {
+    const JsonValue& s = arr[i];
+    const JsonValue* interval = s.find("interval");
+    const JsonValue* end_ns = s.find("end_ns");
+    const JsonValue* value = resolve_path(s, column);
+    table.add_row({interval != nullptr && interval->is_number()
+                       ? interval->number_text()
+                       : "?",
+                   end_ns != nullptr && end_ns->is_number()
+                       ? end_ns->number_text()
+                       : "?",
+                   value != nullptr && value->is_number()
+                       ? value->number_text()
+                       : "?"});
+  }
+  std::istringstream lines(table.to_text());
+  std::string line;
+  while (std::getline(lines, line)) os << "  " << line << "\n";
+}
+
 }  // namespace
 
 std::vector<FlatMetric> flatten_numeric(const JsonValue& doc) {
@@ -299,10 +370,33 @@ std::string attribution_table(const JsonValue& doc) {
   return table.to_text();
 }
 
+std::string series_column_for(std::string_view path) {
+  static constexpr std::pair<std::string_view, std::string_view> kMap[] = {
+      {"totals.sustained_qps", "qps"},
+      {"totals.shed_rate", "shed_rate"},
+      {"totals.mean_batch_occupancy", "occupancy"},
+      {"totals.arrivals", "arrivals"},
+      {"totals.completed", "completed"},
+      {"totals.shed", "shed"},
+      {"totals.batches", "batches"},
+      {"totals.partial_batches", "partial_batches"},
+      {"totals.flits", "flits"},
+  };
+  for (const auto& [from, to] : kMap)
+    if (path == from) return std::string(to);
+  // Per-class quantiles and counts share the sample layout:
+  // classes[i].{p50_ns,p95_ns,p99_ns,admitted,shed,completed}.
+  if (path.rfind("classes[", 0) == 0 &&
+      path.find("arrivals") == std::string_view::npos)
+    return std::string(path);
+  return {};
+}
+
 int diff_command(const std::vector<std::string>& args, std::string& out) {
   std::ostringstream os;
   std::vector<std::string> positional;
   std::string thresholds_path;
+  std::string series_path;
   bool quiet = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--thresholds") {
@@ -311,6 +405,12 @@ int diff_command(const std::vector<std::string>& args, std::string& out) {
         return 2;
       }
       thresholds_path = args[++i];
+    } else if (args[i] == "--series") {
+      if (i + 1 >= args.size()) {
+        out = "--series needs a file argument\n";
+        return 2;
+      }
+      series_path = args[++i];
     } else if (args[i] == "--quiet") {
       quiet = true;
     } else {
@@ -319,7 +419,7 @@ int diff_command(const std::vector<std::string>& args, std::string& out) {
   }
   if (positional.size() != 2) {
     out = "usage: memcim-report diff <baseline.json> <current.json> "
-          "[--thresholds <file>] [--quiet]\n";
+          "[--thresholds <file>] [--series <timeseries.json>] [--quiet]\n";
     return 2;
   }
 
@@ -375,8 +475,163 @@ int diff_command(const std::vector<std::string>& args, std::string& out) {
   }
   os << result.bench << ": " << result.metrics.size() << " metrics, " << gated
      << " gated, " << result.breaches.size() << " regression(s)\n";
+
+  // Diagnostic context for breaches: the offending metric's recent
+  // time-series, so the CI log alone shows *when* in the run the
+  // regression shape appeared.
+  if (!result.ok() && !series_path.empty()) {
+    std::string series_error;
+    JsonValue series;
+    if (!parse_file(series_path, series, series_error)) {
+      os << "(cannot load --series " << series_path << ": " << series_error
+         << ")\n";
+    } else {
+      const JsonValue* schema = series.find("schema");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->as_string() != "memcim-timeseries-v1") {
+        os << "(--series " << series_path
+           << " is not a memcim-timeseries-v1 document)\n";
+      } else {
+        for (const MetricDiff& breach : result.breaches) {
+          const std::string column = series_column_for(breach.path);
+          if (column.empty()) continue;
+          print_series_tail(series, breach.path, column, os);
+        }
+      }
+    }
+  }
   out = os.str();
   return result.ok() ? 0 : 1;
+}
+
+int monitor_command(const std::vector<std::string>& args, std::string& out) {
+  std::vector<std::string> positional;
+  std::size_t last = kSeriesTail;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--last") {
+      if (i + 1 >= args.size()) {
+        out = "--last needs a count argument\n";
+        return 2;
+      }
+      last = static_cast<std::size_t>(std::strtoull(args[++i].c_str(),
+                                                    nullptr, 10));
+      if (last == 0) {
+        out = "--last needs a positive count\n";
+        return 2;
+      }
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 1) {
+    out = "usage: memcim-report monitor <timeseries.json> [--last <n>]\n";
+    return 2;
+  }
+  std::string error;
+  JsonValue doc;
+  if (!parse_file(positional[0], doc, error)) {
+    out = error + "\n";
+    return 2;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "memcim-timeseries-v1") {
+    out = positional[0] + " is not a memcim-timeseries-v1 document\n";
+    return 2;
+  }
+
+  std::ostringstream os;
+  const auto number = [&doc](const char* key) -> std::string {
+    const JsonValue* v = doc.find(key);
+    return v != nullptr && v->is_number() ? v->number_text() : "?";
+  };
+  os << "time series: " << number("total_intervals") << " interval(s) at "
+     << number("period_ns") << " virtual ns (" << number("dropped")
+     << " dropped from the ring)\n\n";
+
+  const JsonValue* samples = doc.find("samples");
+  if (samples != nullptr && samples->is_array() &&
+      !samples->as_array().empty()) {
+    const telemetry::JsonArray& arr = samples->as_array();
+    const std::size_t n = std::min(last, arr.size());
+    os << "last " << n << " sample(s):\n";
+    TextTable table({"interval", "end_ns", "completed", "shed", "qps",
+                     "shed_rate", "occupancy", "max_qdepth"});
+    for (std::size_t i = arr.size() - n; i < arr.size(); ++i) {
+      const JsonValue& s = arr[i];
+      const auto cell = [&s](const char* key) -> std::string {
+        const JsonValue* v = s.find(key);
+        return v != nullptr && v->is_number() ? v->number_text() : "?";
+      };
+      std::uint64_t deepest = 0;
+      if (const JsonValue* depth = s.find("queue_depth");
+          depth != nullptr && depth->is_array()) {
+        for (const JsonValue& d : depth->as_array())
+          if (d.is_number() && d.as_double() > static_cast<double>(deepest))
+            deepest = static_cast<std::uint64_t>(d.as_double());
+      }
+      table.add_row({cell("interval"), cell("end_ns"), cell("completed"),
+                     cell("shed"), cell("qps"), cell("shed_rate"),
+                     cell("occupancy"), std::to_string(deepest)});
+    }
+    os << table.to_text() << "\n";
+  } else {
+    os << "(no samples recorded)\n\n";
+  }
+
+  const JsonValue* slo = doc.find("slo");
+  if (slo == nullptr || !slo->is_object()) {
+    os << "no SLO block in the document\n";
+    out = os.str();
+    return 0;
+  }
+  if (const JsonValue* objectives = slo->find("objectives");
+      objectives != nullptr && objectives->is_array()) {
+    os << "objectives:\n";
+    TextTable table({"name", "kind", "target", "burn_thresh", "windows"});
+    for (const JsonValue& o : objectives->as_array()) {
+      const auto cell = [&o](const char* key) -> std::string {
+        const JsonValue* v = o.find(key);
+        if (v == nullptr) return "-";
+        return v->is_string() ? v->as_string()
+                              : v->is_number() ? v->number_text() : "?";
+      };
+      table.add_row({cell("name"), cell("kind"), cell("target_ratio"),
+                     cell("burn_threshold"),
+                     cell("fast_window") + "/" + cell("slow_window")});
+    }
+    os << table.to_text() << "\n";
+  }
+
+  std::uint64_t alerts = 0;
+  if (const JsonValue* fired = slo->find("alerts_fired");
+      fired != nullptr && fired->is_number())
+    alerts = static_cast<std::uint64_t>(fired->as_double());
+  if (const JsonValue* events = slo->find("events");
+      events != nullptr && events->is_array() &&
+      !events->as_array().empty()) {
+    os << "health events:\n";
+    TextTable table({"interval", "at_ns", "kind", "rule", "value",
+                     "threshold"});
+    for (const JsonValue& e : events->as_array()) {
+      const auto cell = [&e](const char* key) -> std::string {
+        const JsonValue* v = e.find(key);
+        if (v == nullptr) return "?";
+        return v->is_string() ? v->as_string()
+                              : v->is_number() ? v->number_text() : "?";
+      };
+      table.add_row({cell("interval"), cell("at_ns"), cell("kind"),
+                     cell("rule"), cell("value"), cell("threshold")});
+    }
+    os << table.to_text() << "\n";
+  }
+  os << "SLO verdict: "
+     << (alerts == 0 ? "PASS (no alerts fired)"
+                     : "FAIL (" + std::to_string(alerts) +
+                           " alert(s) fired)")
+     << "\n";
+  out = os.str();
+  return alerts == 0 ? 0 : 1;
 }
 
 int ledger_command(const std::vector<std::string>& args, std::string& out) {

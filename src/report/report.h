@@ -112,11 +112,27 @@ struct DiffResult {
 /// (one row per (layer, tile, shard) plus totals).
 [[nodiscard]] std::string attribution_table(const telemetry::JsonValue& doc);
 
+/// Map a gated serving-bench metric path to the matching
+/// memcim-timeseries-v1 sample column ("totals.sustained_qps" → "qps",
+/// "classes[1].p99_ns" → itself); empty when the metric has no series
+/// column.
+[[nodiscard]] std::string series_column_for(std::string_view path);
+
 // -- CLI entry points (exit codes: 0 ok, 1 regression, 2 usage/parse) ---------
 
 /// `memcim-report diff <baseline.json> <current.json>
-///                     [--thresholds <file>] [--quiet]`
+///                     [--thresholds <file>] [--quiet]
+///                     [--series <timeseries.json>]`
+/// With --series, each breached serving metric prints its recent
+/// time-series (last 10 samples) so a QPS/latency regression is
+/// diagnosable from the CI log alone.
 int diff_command(const std::vector<std::string>& args, std::string& out);
+
+/// `memcim-report monitor <timeseries.json> [--last <n>]`
+/// Renders the sample table (last n, default 10), the SLO objective
+/// set, and every fired health event.  Exit 1 when the document
+/// records any fired alert, 2 on parse/schema errors.
+int monitor_command(const std::vector<std::string>& args, std::string& out);
 
 /// `memcim-report ledger <bench.json> [--out <ledger.jsonl>]`
 /// Appends to the ledger file (default "memcim_ledger.jsonl").

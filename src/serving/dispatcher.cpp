@@ -5,6 +5,7 @@
 #include "arch/partitioner.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "telemetry/attribution.h"
 #include "workloads/parallel_add.h"
 
 namespace memcim::serving {
@@ -101,6 +102,19 @@ std::uint64_t BatchDispatcher::inject_pair(
   resp.trace_id = resp_ctx.trace_id;
   resp.parent_span = resp_ctx.span_id;
   (void)fabric_.noc().inject(resp);
+
+  // Charge the transport to the NoC layer of the attribution book —
+  // same discipline as workloads/sharded.cpp, but serving batches are
+  // not shard-scoped so the shard column stays the sentinel.
+  if (telemetry::enabled()) {
+    const auto t = static_cast<std::uint32_t>(tile);
+    telemetry::attribute_flits(t, telemetry::kNoShard, cmd.flits + resp.flits);
+    const Energy e = fabric_.noc().packet_energy(cmd.src, cmd.dst, cmd.flits) +
+                     fabric_.noc().packet_energy(resp.src, resp.dst,
+                                                 resp.flits);
+    telemetry::attribute_energy(telemetry::AttrLayer::kNoc, t,
+                                telemetry::kNoShard, e.value());
+  }
   return cmd.flits + resp.flits;
 }
 
@@ -194,6 +208,9 @@ void BatchDispatcher::execute_kmer(const Batch& batch, BatchExecution& out) {
                              0x5E4Bull ^ (batch.seq << 8) ^ t, ctx,
                              shard_ctx[t]);
     out.compute_energy += tile_energy[t];
+    telemetry::attribute_energy(telemetry::AttrLayer::kCrossbar,
+                                static_cast<std::uint32_t>(t),
+                                telemetry::kNoShard, tile_energy[t].value());
   }
   fabric_.noc().run_to_completion();
   const NocCycle makespan = fabric_.noc().makespan();
@@ -241,7 +258,12 @@ void BatchDispatcher::execute_cam(const Batch& batch, BatchExecution& out) {
     out.flits += inject_pair(t, cmd_bits, resp_bits, noc_before, compute,
                              0xCA4Bull ^ (batch.seq << 8) ^ t, ctx,
                              shard_ctx[t]);
-    for (const CamSearchResult& r : per_tile[t]) out.compute_energy += r.energy;
+    Energy tile_e{0.0};
+    for (const CamSearchResult& r : per_tile[t]) tile_e += r.energy;
+    out.compute_energy += tile_e;
+    telemetry::attribute_energy(telemetry::AttrLayer::kLogic,
+                                static_cast<std::uint32_t>(t),
+                                telemetry::kNoShard, tile_e.value());
   }
   fabric_.noc().run_to_completion();
   const NocCycle makespan = fabric_.noc().makespan();
@@ -300,6 +322,11 @@ void BatchDispatcher::execute_add(const Batch& batch, BatchExecution& out) {
     for (std::size_t i = 0; i < s.size(); ++i)
       out.responses[s.begin + i].sum = r.sums[i];
     out.compute_energy += r.total_energy;
+    const auto tid = static_cast<std::uint32_t>(s.tile);
+    telemetry::attribute_energy(telemetry::AttrLayer::kLogic, tid,
+                                telemetry::kNoShard, r.total_energy.value());
+    telemetry::attribute_pulses(telemetry::AttrLayer::kDevice, tid,
+                                telemetry::kNoShard, r.total_pulses);
   }
 
   const std::size_t w = config_.add_width;

@@ -21,6 +21,11 @@ struct ServingMetrics {
   telemetry::Counter& flits;
   telemetry::Histogram& occupancy;
   std::array<telemetry::Histogram*, kRequestClasses> latency;
+  // Per-class admission books ("serving.admitted.kmer", ...) — the
+  // monitoring plane's sampler deltas these per interval.
+  std::array<telemetry::Counter*, kRequestClasses> admitted_cls;
+  std::array<telemetry::Counter*, kRequestClasses> shed_cls;
+  std::array<telemetry::Counter*, kRequestClasses> completed_cls;
   ServingMetrics()
       : arrivals(telemetry::Registry::global().counter("serving.arrivals")),
         admitted(telemetry::Registry::global().counter("serving.admitted")),
@@ -35,11 +40,18 @@ struct ServingMetrics {
         occupancy(telemetry::Registry::global().histogram(
             "serving.batch.occupancy",
             telemetry::exponential_bounds(1.0, 2.0, 7))) {
-    for (std::size_t c = 0; c < kRequestClasses; ++c)
+    for (std::size_t c = 0; c < kRequestClasses; ++c) {
+      const std::string cls = to_string(static_cast<RequestClass>(c));
       latency[c] = &telemetry::Registry::global().histogram(
-          std::string("serving.latency_ns.") +
-              to_string(static_cast<RequestClass>(c)),
+          "serving.latency_ns." + cls,
           telemetry::exponential_bounds(64.0, 2.0, 28));
+      admitted_cls[c] =
+          &telemetry::Registry::global().counter("serving.admitted." + cls);
+      shed_cls[c] =
+          &telemetry::Registry::global().counter("serving.shed." + cls);
+      completed_cls[c] =
+          &telemetry::Registry::global().counter("serving.completed." + cls);
+    }
   }
 };
 
@@ -140,6 +152,7 @@ VirtualNs WorkloadService::dispatch(std::vector<AdmissionQueue>& queues,
     resp.completed = completed_at;
     ++stats.per_class[ci].completed;
     m.completed.add(1);
+    m.completed_cls[ci]->add(1);
     if (telemetry::enabled())
       m.latency[ci]->record(static_cast<double>(resp.latency()));
     out.responses.push_back(std::move(resp));
@@ -168,6 +181,18 @@ ServiceRunResult WorkloadService::run(const std::vector<Request>& trace) {
   VirtualNs idle_at = 0;  // instant the fabric is next free
   std::size_t next = 0;   // next un-admitted trace index
 
+  const VirtualNs period = probe_ != nullptr ? probe_->sample_period() : 0;
+  MEMCIM_CHECK_MSG(probe_ == nullptr || period >= 1,
+                   "probe sample period must be >= 1 virtual ns");
+  VirtualNs next_boundary = period;  // first interval is [0, period)
+  const auto probe_state = [&queues] {
+    ProbeState state;
+    for (std::size_t c = 0; c < kRequestClasses; ++c)
+      state.queue_depth[c] = queues[c].size();
+    return state;
+  };
+  if (probe_ != nullptr) probe_->on_run_start(probe_state());
+
   while (next < trace.size() || !queues_empty()) {
     // 1. Admit every arrival due at or before `now` (trace order =
     //    arrival order; ties keep trace order).
@@ -183,6 +208,7 @@ ServiceRunResult WorkloadService::run(const std::vector<Request>& trace) {
       if (queues[ci].try_push(std::move(admitted))) {
         ++out.stats.per_class[ci].admitted;
         m.admitted.add(1);
+        m.admitted_cls[ci]->add(1);
       } else {
         ShedRecord rec;
         rec.id = incoming.id;
@@ -193,6 +219,7 @@ ServiceRunResult WorkloadService::run(const std::vector<Request>& trace) {
         out.shed.push_back(rec);
         ++out.stats.per_class[ci].shed;
         m.shed.add(1);
+        m.shed_cls[ci]->add(1);
       }
       ++next;
     }
@@ -216,7 +243,27 @@ ServiceRunResult WorkloadService::run(const std::vector<Request>& trace) {
     if (deadline > now && deadline < when) when = deadline;
     MEMCIM_CHECK_MSG(when != kNever && when > now,
                      "serving event loop stalled (no future event)");
+    // Fire every boundary the clock is about to cross.  Boundaries are
+    // exclusive interval ends: events at exactly `b` (including the
+    // admissions and dispatch about to happen at `when`) belong to the
+    // next interval, so a boundary equal to `when` fires now.
+    if (probe_ != nullptr)
+      while (next_boundary <= when) {
+        probe_->on_sample(next_boundary, probe_state());
+        next_boundary += period;
+      }
     now = when;
+  }
+  if (probe_ != nullptr) {
+    // Drain boundaries up to the makespan (completions were booked at
+    // dispatch instants, but the series should still span the full
+    // virtual run), then close the final partial interval.
+    const VirtualNs end = std::max(out.stats.makespan, now);
+    while (next_boundary <= end) {
+      probe_->on_sample(next_boundary, probe_state());
+      next_boundary += period;
+    }
+    probe_->on_run_end(end, probe_state());
   }
   return out;
 }

@@ -75,6 +75,42 @@ struct ServiceRunResult {
   ServiceRunStats stats;
 };
 
+/// Instantaneous service state handed to a probe at each sample
+/// boundary.  Everything here is derived from the virtual clock and
+/// the single-threaded event loop, so it is bitwise deterministic at
+/// any MEMCIM_THREADS setting.
+struct ProbeState {
+  std::array<std::size_t, kRequestClasses> queue_depth{};
+};
+
+/// Observer driven by the serving event loop's virtual clock — the
+/// monitoring plane's attachment point (see src/monitor/sampler.h).
+///
+/// Boundaries fire at multiples of sample_period(): on_sample(b, ...)
+/// covers the half-open interval [b - period, b) — telemetry recorded
+/// at exactly instant b belongs to the *next* interval.  Completion
+/// metrics are booked at the dispatch instant (the completion instant
+/// is known deterministically then), so a batch dispatched in an
+/// interval counts toward that interval even when its completion lands
+/// later.  After the trace drains, boundaries fire up to the makespan
+/// and on_run_end() closes the final (possibly short) interval.
+class ServiceProbe {
+ public:
+  virtual ~ServiceProbe() = default;
+  /// Sampling period in virtual ns; must be >= 1.
+  [[nodiscard]] virtual VirtualNs sample_period() const = 0;
+  /// run() is entering its event loop at virtual instant 0 — the
+  /// sampler captures its baseline telemetry snapshot here so fabric
+  /// setup costs don't leak into the first interval.
+  virtual void on_run_start(const ProbeState& state) { (void)state; }
+  /// One interval boundary crossed: `boundary` is the interval's
+  /// exclusive end instant.
+  virtual void on_sample(VirtualNs boundary, const ProbeState& state) = 0;
+  /// The run drained at `end` (== stats.makespan); closes the last
+  /// partial interval.
+  virtual void on_run_end(VirtualNs end, const ProbeState& state) = 0;
+};
+
 class WorkloadService {
  public:
   /// `kmer_database` / `cam_rows` shapes as in BatchDispatcher.
@@ -86,6 +122,10 @@ class WorkloadService {
   [[nodiscard]] const BatchDispatcher& dispatcher() const {
     return dispatcher_;
   }
+
+  /// Attach (or detach with nullptr) a sample-boundary observer; the
+  /// caller keeps ownership and the probe must outlive run().
+  void set_probe(ServiceProbe* probe) { probe_ = probe; }
 
   /// Replay an open-loop arrival trace (nondecreasing `arrival`
   /// stamps) through the service to completion.  Admission stamps a
@@ -107,6 +147,7 @@ class WorkloadService {
   Coalescer coalescer_;
   BatchDispatcher dispatcher_;
   VirtualNs cycle_ns_;
+  ServiceProbe* probe_ = nullptr;
 };
 
 }  // namespace memcim::serving

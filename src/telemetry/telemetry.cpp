@@ -200,6 +200,68 @@ bool HistogramSample::merge(const HistogramSample& other) {
   return true;
 }
 
+bool MetricsSnapshot::delta(const MetricsSnapshot& earlier,
+                            MetricsSnapshot& out, std::string& error) const {
+  MetricsSnapshot result;
+  result.counters.reserve(counters.size());
+  for (const CounterSample& later : counters) {
+    const std::uint64_t before = earlier.counter(later.name);
+    if (before > later.value) {
+      error = "counter '" + later.name +
+              "' went backwards (registry reset between snapshots?)";
+      return false;
+    }
+    result.counters.push_back({later.name, later.value - before});
+  }
+  // A nonzero counter that vanished means the "later" snapshot predates
+  // the "earlier" one (or came from a different registry).
+  for (const CounterSample& before : earlier.counters) {
+    if (before.value == 0) continue;
+    bool present = false;
+    for (const CounterSample& later : counters)
+      if (later.name == before.name) {
+        present = true;
+        break;
+      }
+    if (!present) {
+      error = "counter '" + before.name +
+              "' present earlier but missing later (snapshots swapped?)";
+      return false;
+    }
+  }
+  result.gauges = gauges;
+  result.histograms.reserve(histograms.size());
+  for (const HistogramSample& later : histograms) {
+    const HistogramSample* before = earlier.histogram(later.name);
+    HistogramSample d = later;  // keeps bounds and the later min/max
+    if (before != nullptr) {
+      if (before->upper_bounds != later.upper_bounds ||
+          before->bucket_counts.size() != later.bucket_counts.size()) {
+        error = "histogram '" + later.name +
+                "' changed bounds between snapshots";
+        return false;
+      }
+      if (before->count > later.count) {
+        error = "histogram '" + later.name +
+                "' count went backwards (registry reset between snapshots?)";
+        return false;
+      }
+      for (std::size_t i = 0; i < d.bucket_counts.size(); ++i) {
+        if (before->bucket_counts[i] > later.bucket_counts[i]) {
+          error = "histogram '" + later.name + "' bucket " +
+                  std::to_string(i) + " went backwards";
+          return false;
+        }
+        d.bucket_counts[i] -= before->bucket_counts[i];
+      }
+      d.count -= before->count;
+    }
+    result.histograms.push_back(std::move(d));
+  }
+  out = std::move(result);
+  return true;
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   for (const CounterSample& c : counters)
     if (c.name == name) return c.value;
@@ -410,6 +472,15 @@ void emit_trace_event(const std::string* name, std::uint64_t ts_ns,
   std::lock_guard<std::mutex> lock(buffer.mutex);
   buffer.events.push_back({name, ts_ns, dur_ns, buffer.tid, 0, trace_id,
                            span_id, parent_span, tile});
+}
+
+void emit_instant_event(const std::string* name, std::uint64_t ts_ns,
+                        std::uint64_t trace_id, std::uint32_t tile) {
+  if (!enabled() || !tracing()) return;
+  ThreadTraceBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      {name, ts_ns, 0, buffer.tid, 0, trace_id, 0, 0, tile, 'i'});
 }
 
 }  // namespace memcim::telemetry

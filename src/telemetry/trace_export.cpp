@@ -100,6 +100,22 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
     w.begin_object();
     w.key("name").value(*e.name);
     w.key("cat").value("memcim");
+    if (e.phase == 'i') {
+      // Instant event (health alert marker): global scope draws the
+      // vertical line across every track.
+      w.key("ph").value("i");
+      w.key("s").value("g");
+      w.key("pid").value(pid);
+      w.key("tid").value(static_cast<std::uint64_t>(e.tid));
+      w.key("ts").value(static_cast<double>(e.ts_ns) / 1000.0);
+      if (e.trace_id != 0) {
+        w.key("args").begin_object();
+        w.key("trace_id").value(e.trace_id);
+        w.end_object();
+      }
+      w.end_object();
+      continue;
+    }
     w.key("ph").value("X");
     w.key("pid").value(pid);
     w.key("tid").value(static_cast<std::uint64_t>(e.tid));

@@ -34,6 +34,10 @@ struct TraceEvent {
   std::uint64_t span_id = 0;
   std::uint64_t parent_span = 0;
   std::uint32_t tile = kNoTile;
+  /// Chrome-trace phase: 'X' (complete span) or 'i' (instant event —
+  /// health alerts and other zero-duration markers).  Last member so
+  /// the span-closing brace initialisers stay valid.
+  char phase = 'X';
 };
 
 /// Append a fully-formed event to the calling thread's trace buffer —
@@ -44,6 +48,13 @@ void emit_trace_event(const std::string* name, std::uint64_t ts_ns,
                       std::uint64_t dur_ns, std::uint64_t trace_id,
                       std::uint64_t span_id, std::uint64_t parent_span,
                       std::uint32_t tile);
+
+/// Append a zero-duration instant event ("ph":"i", global scope) —
+/// the monitoring plane stamps health alerts onto the timeline with
+/// these.  `name` must have static lifetime.  No-op unless
+/// enabled() && tracing().
+void emit_instant_event(const std::string* name, std::uint64_t ts_ns,
+                        std::uint64_t trace_id, std::uint32_t tile);
 
 /// Register a human-readable label for a tile id ("tile (1,2)") —
 /// exported as a Chrome-trace process_name metadata event so Perfetto

@@ -1,0 +1,115 @@
+// The monitoring plane's headline guarantee: the whole time series —
+// every interval delta, every derived rate, every SLO verdict — is
+// bitwise identical at any MEMCIM_THREADS setting, because every
+// input is an exact u64 tally on the virtual clock.  A 100k-request
+// soak at 1 vs 4 worker threads must produce byte-identical
+// memcim-timeseries-v1 documents and identical HealthEvent sequences.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../serving/serving_test_util.h"
+#include "common/parallel.h"
+#include "monitor/export.h"
+#include "monitor/sampler.h"
+#include "monitor/slo.h"
+
+namespace memcim::monitor {
+namespace {
+
+using serving::ServingConfig;
+using serving::TraceParams;
+using serving::WorkloadService;
+namespace testutil = serving::testutil;
+
+constexpr std::size_t kSoakRequests = 100'000;
+
+struct SoakResult {
+  std::string timeseries;  ///< full memcim-timeseries-v1 document
+  std::vector<HealthEvent> events;
+  std::uint64_t alerts = 0;
+};
+
+SoakResult run_soak(std::size_t threads, std::size_t queue_capacity,
+                    double mean_gap_ns) {
+  set_parallel_threads(threads);
+  TileFabric fabric(testutil::small_fabric());
+  const testutil::SmallWorld world;
+  ServingConfig cfg = testutil::small_config();
+  cfg.queue_capacity = queue_capacity;
+  WorkloadService svc(fabric, cfg, world.kmer_db, world.cam_rows);
+  SloEngine engine(default_serving_slos(queue_capacity));
+  TimeSeriesSampler sampler({10'000, 1 << 14}, &engine);
+  svc.set_probe(&sampler);
+  TraceParams params = testutil::small_trace_params();
+  params.seed = 0x50AC;
+  params.requests = kSoakRequests;
+  params.mean_interarrival_ns = mean_gap_ns;
+  const serving::ServiceRunResult result =
+      svc.run(serving::generate_trace(params));
+  (void)result;
+  SoakResult out;
+  out.timeseries = timeseries_json(sampler, &engine);
+  out.events = engine.events();
+  out.alerts = engine.alerts_fired();
+  return out;
+}
+
+/// Byte compare with a bounded failure report.  Never hand the two
+/// multi-megabyte documents to EXPECT_EQ: gtest's failure diff is
+/// quadratic in line count and a genuine mismatch would stall the
+/// suite for minutes before printing anything.
+void expect_bitwise_equal(const std::string& one, const std::string& four) {
+  if (one == four) return;
+  std::size_t i = 0;
+  while (i < one.size() && i < four.size() && one[i] == four[i]) ++i;
+  const std::size_t from = i > 120 ? i - 120 : 0;
+  ADD_FAILURE() << "time series diverge at byte " << i << " (sizes "
+                << one.size() << " vs " << four.size() << ")\n one: ..."
+                << one.substr(from, 240) << "\nfour: ..."
+                << four.substr(from, 240);
+}
+
+bool events_equal(const std::vector<HealthEvent>& a,
+                  const std::vector<HealthEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].rule != b[i].rule ||
+        a[i].at != b[i].at || a[i].interval != b[i].interval ||
+        a[i].value != b[i].value || a[i].threshold != b[i].threshold)
+      return false;
+  }
+  return true;
+}
+
+struct ThreadGuard {
+  std::size_t threads = parallel_threads();
+  ~ThreadGuard() { set_parallel_threads(threads); }
+};
+
+TEST(MonitorDeterminism, HealthySoakBitwiseAcrossThreadCounts) {
+  ThreadGuard guard;
+  telemetry::set_enabled(true);
+  const SoakResult t1 = run_soak(1, 256, 200.0);
+  const SoakResult t4 = run_soak(4, 256, 200.0);
+  expect_bitwise_equal(t1.timeseries, t4.timeseries);
+  EXPECT_TRUE(events_equal(t1.events, t4.events));
+  EXPECT_EQ(t1.alerts, 0u);
+  EXPECT_EQ(t4.alerts, 0u);
+}
+
+TEST(MonitorDeterminism, OverloadedSoakAlertsIdentically) {
+  ThreadGuard guard;
+  telemetry::set_enabled(true);
+  // Tiny queue + 10x rate: the alert sequence itself (kinds, rules,
+  // virtual instants, burn values) must be schedule-invariant too.
+  const SoakResult t1 = run_soak(1, 8, 20.0);
+  const SoakResult t4 = run_soak(4, 8, 20.0);
+  expect_bitwise_equal(t1.timeseries, t4.timeseries);
+  ASSERT_TRUE(events_equal(t1.events, t4.events));
+  EXPECT_GT(t1.alerts, 0u);
+}
+
+}  // namespace
+}  // namespace memcim::monitor

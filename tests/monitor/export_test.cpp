@@ -1,0 +1,179 @@
+// Export surfaces: the memcim-timeseries-v1 JSON document must
+// round-trip through the strict parser with every declared field, and
+// the OpenMetrics exposition must follow the text format (typed
+// families, cumulative buckets, exemplars, "# EOF").
+#include "monitor/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../serving/serving_test_util.h"
+#include "monitor/sampler.h"
+#include "monitor/slo.h"
+#include "telemetry/json_parser.h"
+
+namespace memcim::monitor {
+namespace {
+
+using serving::ServingConfig;
+using serving::TraceParams;
+using serving::WorkloadService;
+using telemetry::JsonValue;
+namespace testutil = serving::testutil;
+
+void run_sampled(serving::ServiceProbe* probe) {
+  TileFabric fabric(testutil::small_fabric());
+  const testutil::SmallWorld world;
+  WorkloadService svc(fabric, testutil::small_config(), world.kmer_db,
+                      world.cam_rows);
+  svc.set_probe(probe);
+  TraceParams params = testutil::small_trace_params();
+  params.seed = 0xE4;
+  params.requests = 1000;
+  params.mean_interarrival_ns = 200.0;
+  const serving::ServiceRunResult result =
+      svc.run(serving::generate_trace(params));
+  (void)result;
+}
+
+TEST(TimeseriesJson, StrictParserRoundTrip) {
+  telemetry::set_enabled(true);
+  SloEngine engine(default_serving_slos(256));
+  TimeSeriesSampler sampler({10'000, 4096}, &engine);
+  run_sampled(&sampler);
+
+  const std::string json = timeseries_json(sampler, &engine);
+  const telemetry::JsonParseResult parsed = telemetry::parse_json(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue& doc = parsed.value;
+
+  const JsonValue* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "memcim-timeseries-v1");
+  EXPECT_EQ(doc.find("period_ns")->as_double(), 10'000.0);
+  ASSERT_NE(doc.find("samples"), nullptr);
+  const telemetry::JsonArray& samples = doc.find("samples")->as_array();
+  ASSERT_EQ(samples.size(), sampler.samples().size());
+
+  // Every declared sample field present with the recorded value.
+  const Sample& s0 = sampler.samples().front();
+  const JsonValue& j0 = samples.front();
+  for (const char* key :
+       {"interval", "begin_ns", "end_ns", "arrivals", "admitted", "shed",
+        "completed", "batches", "partial_batches", "batch_lanes", "flits",
+        "energy_aj", "pulses", "qps", "shed_rate", "occupancy"})
+    ASSERT_NE(j0.find(key), nullptr) << key;
+  EXPECT_EQ(j0.find("arrivals")->as_double(),
+            static_cast<double>(s0.arrivals));
+  ASSERT_EQ(j0.find("queue_depth")->as_array().size(), kRequestClasses);
+  ASSERT_EQ(j0.find("classes")->as_array().size(), kRequestClasses);
+  const JsonValue& c0 = j0.find("classes")->as_array()[0];
+  for (const char* key :
+       {"class", "admitted", "shed", "completed", "p50_ns", "p95_ns",
+        "p99_ns"})
+    ASSERT_NE(c0.find(key), nullptr) << key;
+
+  // SLO block: objectives, alert count, event list.
+  const JsonValue* slo = doc.find("slo");
+  ASSERT_NE(slo, nullptr);
+  EXPECT_EQ(slo->find("objectives")->as_array().size(),
+            engine.config().objectives.size());
+  EXPECT_EQ(slo->find("alerts_fired")->as_double(),
+            static_cast<double>(engine.alerts_fired()));
+  ASSERT_NE(slo->find("events"), nullptr);
+}
+
+TEST(TimeseriesJson, OmitsSloBlockWithoutEngine) {
+  telemetry::set_enabled(true);
+  TimeSeriesSampler sampler({10'000, 4096});
+  run_sampled(&sampler);
+  const telemetry::JsonParseResult parsed =
+      telemetry::parse_json(timeseries_json(sampler, nullptr));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.find("slo"), nullptr);
+}
+
+TEST(OpenMetrics, FormatsFamiliesAndTerminator) {
+  telemetry::MetricsSnapshot snap;
+  snap.counters = {{"serving.arrivals", 42}};
+  snap.gauges = {{"queue.depth", 3.5}};
+  telemetry::HistogramSample h;
+  h.name = "serving.latency_ns.kmer";
+  h.upper_bounds = {64.0, 128.0};
+  h.bucket_counts = {2, 1, 1};
+  h.count = 4;
+  snap.histograms = {h};
+
+  const std::string text = openmetrics_text(snap);
+  EXPECT_NE(text.find("# TYPE memcim_serving_arrivals counter\n"
+                      "memcim_serving_arrivals_total 42\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE memcim_queue_depth gauge\nmemcim_queue_depth "
+                      "3.5\n"),
+            std::string::npos)
+      << text;
+  // Cumulative buckets with le labels, +Inf overflow, then _count.
+  EXPECT_NE(text.find("memcim_serving_latency_ns_kmer_bucket{le=\"64\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("memcim_serving_latency_ns_kmer_bucket{le=\"128\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("memcim_serving_latency_ns_kmer_bucket{le=\"+Inf\"} 4\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("memcim_serving_latency_ns_kmer_count 4\n"),
+            std::string::npos)
+      << text;
+  // The exposition MUST end with the OpenMetrics terminator.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetrics, ExemplarLandsInItsBucket) {
+  telemetry::MetricsSnapshot snap;
+  telemetry::HistogramSample h;
+  h.name = "serving.latency_ns.add";
+  h.upper_bounds = {64.0, 128.0};
+  h.bucket_counts = {1, 2, 0};
+  h.count = 3;
+  snap.histograms = {h};
+
+  Exemplar ex;
+  ex.metric = "serving.latency_ns.add";
+  ex.value = 100.0;  // bucket (64, 128]
+  ex.trace_id = 0xABCDEF;
+  ex.timestamp_ns = 777;
+  const std::string text = openmetrics_text(snap, {ex});
+  EXPECT_NE(
+      text.find("memcim_serving_latency_ns_add_bucket{le=\"128\"} 3 "
+                "# {trace_id=\"11259375\"} 100 777\n"),
+      std::string::npos)
+      << text;
+  // Not attached to the first bucket.
+  EXPECT_NE(text.find("memcim_serving_latency_ns_add_bucket{le=\"64\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(OpenMetrics, ZeroTraceIdExemplarIsSkipped) {
+  telemetry::MetricsSnapshot snap;
+  telemetry::HistogramSample h;
+  h.name = "m";
+  h.upper_bounds = {1.0};
+  h.bucket_counts = {1, 0};
+  h.count = 1;
+  snap.histograms = {h};
+  Exemplar ex;
+  ex.metric = "m";
+  ex.value = 0.5;
+  ex.trace_id = 0;
+  const std::string text = openmetrics_text(snap, {ex});
+  EXPECT_EQ(text.find("trace_id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memcim::monitor

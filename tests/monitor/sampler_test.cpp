@@ -1,0 +1,154 @@
+// TimeSeriesSampler against the real serving stack: interval
+// partitioning, exact per-interval sums, ring eviction accounting,
+// SLO wiring, the kill switch, and instant events on the trace
+// timeline.
+#include "monitor/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../serving/serving_test_util.h"
+#include "common/error.h"
+#include "monitor/slo.h"
+#include "telemetry/trace_export.h"
+
+namespace memcim::monitor {
+namespace {
+
+using serving::Request;
+using serving::ServiceRunResult;
+using serving::ServingConfig;
+using serving::TraceParams;
+using serving::WorkloadService;
+namespace testutil = serving::testutil;
+
+ServiceRunResult run_sampled(serving::ServiceProbe* probe,
+                             std::size_t requests = 2000,
+                             double mean_gap_ns = 200.0,
+                             std::size_t queue_capacity = 256) {
+  TileFabric fabric(testutil::small_fabric());
+  const testutil::SmallWorld world;
+  ServingConfig cfg = testutil::small_config();
+  cfg.queue_capacity = queue_capacity;
+  WorkloadService svc(fabric, cfg, world.kmer_db, world.cam_rows);
+  svc.set_probe(probe);
+  TraceParams params = testutil::small_trace_params();
+  params.seed = 0x5A11;
+  params.requests = requests;
+  params.mean_interarrival_ns = mean_gap_ns;
+  return svc.run(serving::generate_trace(params));
+}
+
+TEST(TimeSeriesSampler, IntervalsPartitionTheRunExactly) {
+  telemetry::set_enabled(true);
+  TimeSeriesSampler sampler({10'000, 4096});
+  const ServiceRunResult result = run_sampled(&sampler);
+
+  ASSERT_FALSE(sampler.samples().empty());
+  EXPECT_EQ(sampler.dropped(), 0u);
+  EXPECT_EQ(sampler.total_intervals(), sampler.samples().size());
+
+  // Contiguous [begin, end) intervals from virtual 0, period-spaced
+  // except the final partial one.
+  std::uint64_t expect_begin = 0;
+  std::uint64_t arrivals = 0, shed = 0, completed = 0, batches = 0;
+  for (const Sample& s : sampler.samples()) {
+    EXPECT_EQ(s.begin, expect_begin);
+    EXPECT_GT(s.end, s.begin);
+    EXPECT_LE(s.end - s.begin, 10'000u);
+    expect_begin = s.end;
+    arrivals += s.arrivals;
+    shed += s.shed;
+    completed += s.completed;
+    batches += s.batches;
+    std::uint64_t class_completed = 0;
+    for (const Sample::PerClass& pc : s.classes) class_completed += pc.completed;
+    EXPECT_EQ(class_completed, s.completed);
+  }
+  // The series sums reproduce the run totals exactly — no sample lost
+  // to boundary arithmetic.
+  EXPECT_EQ(arrivals, result.stats.arrivals());
+  EXPECT_EQ(shed, result.stats.shed());
+  EXPECT_EQ(completed, result.stats.completed());
+  EXPECT_EQ(batches, result.stats.batches);
+  EXPECT_GE(sampler.samples().back().end, result.stats.makespan);
+}
+
+TEST(TimeSeriesSampler, IntervalQuantilesAreIntervalLocal) {
+  telemetry::set_enabled(true);
+  TimeSeriesSampler sampler({10'000, 4096});
+  run_sampled(&sampler);
+  bool saw_quantile = false;
+  for (const Sample& s : sampler.samples()) {
+    for (const Sample::PerClass& pc : s.classes) {
+      if (pc.completed == 0) {
+        EXPECT_EQ(pc.p50_ns, 0.0);
+        continue;
+      }
+      saw_quantile = true;
+      EXPECT_GT(pc.p50_ns, 0.0);
+      EXPECT_LE(pc.p50_ns, pc.p99_ns);
+      EXPECT_LE(pc.p95_ns, pc.p99_ns);
+    }
+  }
+  EXPECT_TRUE(saw_quantile);
+}
+
+TEST(TimeSeriesSampler, RingEvictsOldestAndCountsDrops) {
+  telemetry::set_enabled(true);
+  TimeSeriesSampler sampler({5'000, 4});
+  run_sampled(&sampler);
+  ASSERT_GT(sampler.total_intervals(), 4u);
+  EXPECT_EQ(sampler.samples().size(), 4u);
+  EXPECT_EQ(sampler.dropped(), sampler.total_intervals() - 4u);
+  // Survivors are the newest intervals, indices intact.
+  EXPECT_EQ(sampler.samples().back().interval, sampler.total_intervals() - 1);
+}
+
+TEST(TimeSeriesSampler, DisabledTelemetryRecordsNothing) {
+  telemetry::set_enabled(false);
+  TimeSeriesSampler sampler({10'000, 4096});
+  run_sampled(&sampler);
+  telemetry::set_enabled(true);
+  EXPECT_TRUE(sampler.samples().empty());
+  EXPECT_EQ(sampler.total_intervals(), 0u);
+}
+
+TEST(TimeSeriesSampler, OverloadDrivesSloAlertsAndInstantEvents) {
+  telemetry::set_enabled(true);
+  telemetry::start_tracing();
+  SloEngine engine(default_serving_slos(8));
+  TimeSeriesSampler sampler({2'000, 4096}, &engine);
+  // 10x the arrival rate into a tiny queue: mass shedding.
+  run_sampled(&sampler, 4000, 20.0, 8);
+  telemetry::stop_tracing();
+
+  EXPECT_GT(engine.alerts_fired(), 0u);
+  bool burn = false;
+  for (const HealthEvent& e : engine.events())
+    burn = burn || e.kind == HealthEventKind::kBurnRateAlert;
+  EXPECT_TRUE(burn);
+
+  // Every health event landed on the trace timeline as an instant.
+  std::size_t instants = 0;
+  for (const telemetry::TraceEvent& e : telemetry::collected_trace())
+    if (e.phase == 'i') ++instants;
+  EXPECT_EQ(instants, engine.events().size());
+}
+
+TEST(TimeSeriesSampler, HealthyRunStaysGreen) {
+  telemetry::set_enabled(true);
+  SloEngine engine(default_serving_slos(256));
+  TimeSeriesSampler sampler({10'000, 4096}, &engine);
+  run_sampled(&sampler);
+  EXPECT_EQ(engine.alerts_fired(), 0u);
+}
+
+TEST(TimeSeriesSampler, RejectsDegenerateConfig) {
+  EXPECT_THROW(TimeSeriesSampler({0, 16}), Error);
+  EXPECT_THROW(TimeSeriesSampler({1000, 0}), Error);
+}
+
+}  // namespace
+}  // namespace memcim::monitor

@@ -1,0 +1,182 @@
+// SloEngine semantics: multi-window burn-rate alerting (fast AND slow
+// must both burn), edge-triggered fire/resolve pairs, and the three
+// watchdog rules, all over synthetic interval inputs.
+#include "monitor/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace memcim::monitor {
+namespace {
+
+SloConfig availability_only(double target = 0.99, double threshold = 10.0,
+                            std::size_t fast = 2, std::size_t slow = 4) {
+  SloConfig cfg;
+  SloObjective o;
+  o.name = "availability";
+  o.kind = SloKind::kAvailability;
+  o.target_ratio = target;
+  o.burn_threshold = threshold;
+  o.fast_window = fast;
+  o.slow_window = slow;
+  cfg.objectives.push_back(o);
+  return cfg;
+}
+
+SloEngine::IntervalInput interval(std::uint64_t index, std::uint64_t arrivals,
+                                  std::uint64_t shed) {
+  SloEngine::IntervalInput in;
+  in.begin = index * 1000;
+  in.end = (index + 1) * 1000;
+  in.interval = index;
+  in.arrivals = arrivals;
+  in.shed = shed;
+  in.completed = arrivals - shed;
+  return in;
+}
+
+TEST(SloEngine, HealthyTrafficNeverAlerts) {
+  SloEngine engine(availability_only());
+  for (std::uint64_t i = 0; i < 100; ++i)
+    engine.observe(interval(i, 1000, 0));
+  EXPECT_EQ(engine.alerts_fired(), 0u);
+  EXPECT_TRUE(engine.events().empty());
+  EXPECT_FALSE(engine.any_active());
+}
+
+TEST(SloEngine, SustainedBurnFiresOnceAndResolvesOnce) {
+  // target 0.99 → error budget 0.01; shedding half of all arrivals is
+  // burn 50, far past threshold 10.
+  SloEngine engine(availability_only());
+  std::uint64_t i = 0;
+  for (; i < 10; ++i) engine.observe(interval(i, 1000, 500));
+  ASSERT_EQ(engine.alerts_fired(), 1u);  // edge-triggered, not per interval
+  ASSERT_EQ(engine.events().size(), 1u);
+  EXPECT_EQ(engine.events()[0].kind, HealthEventKind::kBurnRateAlert);
+  EXPECT_EQ(engine.events()[0].rule, "availability");
+  EXPECT_TRUE(engine.any_active());
+
+  // Recovery: both windows must drain below threshold, then resolve.
+  for (std::uint64_t j = 0; j < 10; ++j) engine.observe(interval(i + j, 1000, 0));
+  ASSERT_EQ(engine.events().size(), 2u);
+  EXPECT_EQ(engine.events()[1].kind, HealthEventKind::kBurnRateResolved);
+  EXPECT_FALSE(engine.any_active());
+  EXPECT_EQ(engine.alerts_fired(), 1u);  // resolves don't count as alerts
+}
+
+TEST(SloEngine, SlowWindowSuppressesOneIntervalBlip) {
+  // A long healthy history, then a single bad interval: the fast
+  // window burns but the slow window absorbs it — no alert.
+  SloEngine engine(availability_only(0.99, 10.0, 1, 8));
+  for (std::uint64_t i = 0; i < 8; ++i) engine.observe(interval(i, 1000, 0));
+  engine.observe(interval(8, 1000, 500));
+  EXPECT_EQ(engine.alerts_fired(), 0u);
+}
+
+TEST(SloEngine, LatencyObjectiveUsesClassCounts) {
+  SloConfig cfg;
+  SloObjective o;
+  o.name = "latency.kmer";
+  o.kind = SloKind::kLatency;
+  o.cls = RequestClass::kKmerQuery;
+  o.target_ratio = 0.9;
+  o.burn_threshold = 2.0;
+  o.fast_window = 2;
+  o.slow_window = 2;
+  cfg.objectives.push_back(o);
+  SloEngine engine(cfg);
+  const std::size_t ci = static_cast<std::size_t>(RequestClass::kKmerQuery);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    SloEngine::IntervalInput in = interval(i, 100, 0);
+    in.class_completed[ci] = 100;
+    in.class_bad_latency[ci] = 50;  // bad fraction 0.5 / budget 0.1 = burn 5
+    engine.observe(in);
+  }
+  EXPECT_EQ(engine.alerts_fired(), 1u);
+  EXPECT_EQ(engine.events()[0].rule, "latency.kmer");
+}
+
+TEST(SloEngine, EmptyIntervalsBurnNothing) {
+  SloEngine engine(availability_only());
+  for (std::uint64_t i = 0; i < 20; ++i) engine.observe(interval(i, 0, 0));
+  EXPECT_EQ(engine.alerts_fired(), 0u);
+}
+
+TEST(SloEngine, StallWatchdogCountsConsecutiveIntervals) {
+  SloConfig cfg;
+  cfg.watchdog.stall_intervals = 3;
+  SloEngine engine(cfg);
+  SloEngine::IntervalInput stuck = interval(0, 0, 0);
+  stuck.queue_depth[0] = 4;  // queued work, zero completions
+  engine.observe(stuck);
+  engine.observe(stuck);
+  EXPECT_TRUE(engine.events().empty());  // run of 2 < 3
+  engine.observe(stuck);
+  ASSERT_EQ(engine.events().size(), 1u);
+  EXPECT_EQ(engine.events()[0].kind, HealthEventKind::kStall);
+
+  SloEngine::IntervalInput moving = interval(3, 10, 0);
+  moving.completed = 10;
+  engine.observe(moving);
+  ASSERT_EQ(engine.events().size(), 2u);
+  EXPECT_EQ(engine.events()[1].kind, HealthEventKind::kStallResolved);
+}
+
+TEST(SloEngine, QueueHighWaterIsLevelTriggered) {
+  SloConfig cfg;
+  cfg.watchdog.queue_high_water = 8;
+  SloEngine engine(cfg);
+  SloEngine::IntervalInput in = interval(0, 10, 0);
+  in.queue_depth[1] = 7;
+  engine.observe(in);
+  EXPECT_TRUE(engine.events().empty());
+  in.queue_depth[1] = 8;  // reaches the mark
+  engine.observe(in);
+  ASSERT_EQ(engine.events().size(), 1u);
+  EXPECT_EQ(engine.events()[0].kind, HealthEventKind::kQueueHighWater);
+  EXPECT_EQ(engine.events()[0].value, 8.0);
+  in.queue_depth[1] = 0;
+  engine.observe(in);
+  EXPECT_EQ(engine.events().back().kind,
+            HealthEventKind::kQueueHighWaterResolved);
+}
+
+TEST(SloEngine, ShedSpikeNeedsMinimumArrivals) {
+  SloConfig cfg;
+  cfg.watchdog.shed_spike_rate = 0.5;
+  cfg.watchdog.shed_spike_min_arrivals = 100;
+  SloEngine engine(cfg);
+  engine.observe(interval(0, 10, 9));  // 90% shed but only 10 arrivals
+  EXPECT_TRUE(engine.events().empty());
+  engine.observe(interval(1, 200, 150));  // 75% shed over 200 arrivals
+  ASSERT_EQ(engine.events().size(), 1u);
+  EXPECT_EQ(engine.events()[0].kind, HealthEventKind::kShedSpike);
+}
+
+TEST(SloEngine, RejectsDegenerateObjectives) {
+  SloConfig bad_target = availability_only();
+  bad_target.objectives[0].target_ratio = 1.0;
+  EXPECT_THROW(SloEngine{bad_target}, Error);
+
+  SloConfig bad_windows = availability_only();
+  bad_windows.objectives[0].fast_window = 10;
+  bad_windows.objectives[0].slow_window = 5;
+  EXPECT_THROW(SloEngine{bad_windows}, Error);
+
+  SloConfig bad_threshold = availability_only();
+  bad_threshold.objectives[0].burn_threshold = 0.0;
+  EXPECT_THROW(SloEngine{bad_threshold}, Error);
+}
+
+TEST(SloEngine, DefaultServingSlosShape) {
+  const SloConfig cfg = default_serving_slos(64);
+  // Availability plus one latency objective per request class.
+  ASSERT_EQ(cfg.objectives.size(), 1u + kRequestClasses);
+  EXPECT_EQ(cfg.objectives[0].kind, SloKind::kAvailability);
+  EXPECT_EQ(cfg.watchdog.queue_high_water, 64u);
+  EXPECT_GT(cfg.watchdog.stall_intervals, 0u);
+}
+
+}  // namespace
+}  // namespace memcim::monitor

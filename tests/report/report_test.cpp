@@ -333,5 +333,144 @@ TEST(AttributionTable, RendersRowsAndTotals) {
   EXPECT_NE(table.find(" - "), std::string::npos) << table;
 }
 
+// -- monitoring plane: series columns, diff --series, monitor command --------
+
+const char kTimeseries[] = R"({
+  "schema": "memcim-timeseries-v1",
+  "period_ns": 10000, "capacity": 4096,
+  "total_intervals": 2, "dropped": 0,
+  "samples": [
+    {"interval": 0, "begin_ns": 0, "end_ns": 10000, "arrivals": 90,
+     "admitted": 90, "shed": 0, "completed": 88, "qps": 8800000,
+     "shed_rate": 0.0, "occupancy": 40.0, "queue_depth": [1, 0, 1],
+     "classes": [{"class": "kmer", "completed": 30, "p99_ns": 16384}]},
+    {"interval": 1, "begin_ns": 10000, "end_ns": 20000, "arrivals": 110,
+     "admitted": 100, "shed": 10, "completed": 95, "qps": 9500000,
+     "shed_rate": 0.0909, "occupancy": 41.5, "queue_depth": [2, 7, 0],
+     "classes": [{"class": "kmer", "completed": 35, "p99_ns": 21632}]}
+  ],
+  "slo": {
+    "objectives": [
+      {"name": "availability", "kind": "availability", "target_ratio": 0.999,
+       "burn_threshold": 10.0, "fast_window": 5, "slow_window": 60}
+    ],
+    "alerts_fired": 0, "active": false, "events": []
+  }
+})";
+
+TEST(SeriesColumnFor, MapsServingMetricsToSampleColumns) {
+  EXPECT_EQ(series_column_for("totals.sustained_qps"), "qps");
+  EXPECT_EQ(series_column_for("totals.shed_rate"), "shed_rate");
+  EXPECT_EQ(series_column_for("totals.mean_batch_occupancy"), "occupancy");
+  EXPECT_EQ(series_column_for("classes[2].p99_ns"), "classes[2].p99_ns");
+  // classes[*].arrivals has no sample column (samples track admitted).
+  EXPECT_EQ(series_column_for("classes[0].arrivals"), "");
+  EXPECT_EQ(series_column_for("totals.makespan_ns"), "");
+  EXPECT_EQ(series_column_for("acceptance.pass"), "");
+}
+
+TEST(DiffCommand, SeriesTailPrintsOnBreach) {
+  const char kBaseline[] = R"({
+    "schema": "memcim-bench-v1", "bench": "serving",
+    "totals": {"sustained_qps": 9.8e6}
+  })";
+  const char kRegressed[] = R"({
+    "schema": "memcim-bench-v1", "bench": "serving",
+    "totals": {"sustained_qps": 8.0e6}
+  })";
+  const char kGates[] = R"({
+    "schema": "memcim-thresholds-v1",
+    "benches": {"serving": {"metrics": [
+      {"path": "totals.sustained_qps", "rel_tol": 0.05, "direction": "down"}
+    ]}}
+  })";
+  const std::string base = temp_file("series_base.json", kBaseline);
+  const std::string cur = temp_file("series_cur.json", kRegressed);
+  const std::string gates = temp_file("series_gates.json", kGates);
+  const std::string series = temp_file("series_ts.json", kTimeseries);
+
+  std::string out;
+  const int code =
+      diff_command({base, cur, "--thresholds", gates, "--series", series}, out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("recent series for totals.sustained_qps"),
+            std::string::npos)
+      << out;
+  // Both samples' qps values appear in the tail table.
+  EXPECT_NE(out.find("8800000"), std::string::npos) << out;
+  EXPECT_NE(out.find("9500000"), std::string::npos) << out;
+
+  // No breach → no series output, exit 0.
+  EXPECT_EQ(
+      diff_command({base, base, "--thresholds", gates, "--series", series},
+                   out),
+      0);
+  EXPECT_EQ(out.find("recent series"), std::string::npos) << out;
+
+  // A bad series file degrades to a warning; the exit code still
+  // reflects the diff.
+  const std::string junk = temp_file("series_junk.json", "{]");
+  EXPECT_EQ(
+      diff_command({base, cur, "--thresholds", gates, "--series", junk}, out),
+      1);
+  EXPECT_NE(out.find("cannot load --series"), std::string::npos) << out;
+
+  // --series without a file name is a usage error.
+  EXPECT_EQ(diff_command({base, cur, "--series"}, out), 2);
+}
+
+TEST(MonitorCommand, RendersSamplesAndPassesWithoutAlerts) {
+  const std::string series = temp_file("monitor_ts.json", kTimeseries);
+  std::string out;
+  const int code = monitor_command({series}, out);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("2 interval(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("availability"), std::string::npos) << out;
+  EXPECT_NE(out.find("PASS"), std::string::npos) << out;
+  // Deepest per-sample queue depth is surfaced (interval 1's depth 7).
+  EXPECT_NE(out.find("7"), std::string::npos) << out;
+}
+
+TEST(MonitorCommand, FiredAlertsExitOne) {
+  std::string doc(kTimeseries);
+  const std::string needle = "\"alerts_fired\": 0";
+  doc.replace(doc.find(needle), needle.size(), "\"alerts_fired\": 2");
+  const std::string events_needle = "\"events\": []";
+  doc.replace(doc.find(events_needle), events_needle.size(),
+              R"("events": [
+        {"kind": "burn_rate_alert", "rule": "availability", "at_ns": 20000,
+         "interval": 1, "value": 90.9, "threshold": 10.0}
+      ])");
+  const std::string series = temp_file("monitor_alerting.json", doc);
+  std::string out;
+  const int code = monitor_command({series}, out);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("FAIL"), std::string::npos) << out;
+  EXPECT_NE(out.find("burn_rate_alert"), std::string::npos) << out;
+}
+
+TEST(MonitorCommand, LastFlagLimitsTheTable) {
+  const std::string series = temp_file("monitor_last.json", kTimeseries);
+  std::string out;
+  ASSERT_EQ(monitor_command({series, "--last", "1"}, out), 0) << out;
+  EXPECT_NE(out.find("last 1 sample(s)"), std::string::npos) << out;
+  // Only interval 1 survives the cut.
+  EXPECT_EQ(out.find("8800000"), std::string::npos) << out;
+  EXPECT_NE(out.find("9500000"), std::string::npos) << out;
+}
+
+TEST(MonitorCommand, SchemaAndUsageErrorsExitTwo) {
+  std::string out;
+  EXPECT_EQ(monitor_command({}, out), 2);
+  EXPECT_EQ(monitor_command({"a.json", "b.json"}, out), 2);
+  const std::string wrong = temp_file("monitor_wrong_schema.json",
+                                      R"({"schema": "memcim-bench-v1"})");
+  EXPECT_EQ(monitor_command({wrong}, out), 2);
+  EXPECT_NE(out.find("memcim-timeseries-v1"), std::string::npos) << out;
+  const std::string series = temp_file("monitor_usage.json", kTimeseries);
+  EXPECT_EQ(monitor_command({series, "--last"}, out), 2);
+  EXPECT_EQ(monitor_command({series, "--last", "0"}, out), 2);
+}
+
 }  // namespace
 }  // namespace memcim::report

@@ -2,10 +2,13 @@
 //
 //   memcim-report diff <baseline.json> <current.json>
 //                      [--thresholds <file>] [--quiet]
+//                      [--series <timeseries.json>]
+//   memcim-report monitor <timeseries.json> [--last <n>]
 //   memcim-report ledger <bench.json>... [--out <ledger.jsonl>]
 //   memcim-report attribution <attr.json>
 //
-// Exit codes: 0 ok, 1 regression detected, 2 usage or parse error.
+// Exit codes: 0 ok, 1 regression/alert detected, 2 usage or parse
+// error.
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,8 +18,10 @@
 namespace {
 
 const char kUsage[] =
-    "usage: memcim-report <diff|ledger|attribution> [args...]\n"
+    "usage: memcim-report <diff|monitor|ledger|attribution> [args...]\n"
     "  diff <baseline.json> <current.json> [--thresholds <file>] [--quiet]\n"
+    "       [--series <timeseries.json>]\n"
+    "  monitor <timeseries.json> [--last <n>]\n"
     "  ledger <bench.json>... [--out <ledger.jsonl>]\n"
     "  attribution <attr.json>\n";
 
@@ -33,6 +38,8 @@ int main(int argc, char** argv) {
   int code = 2;
   if (mode == "diff") {
     code = memcim::report::diff_command(args, out);
+  } else if (mode == "monitor") {
+    code = memcim::report::monitor_command(args, out);
   } else if (mode == "ledger") {
     code = memcim::report::ledger_command(args, out);
   } else if (mode == "attribution") {
