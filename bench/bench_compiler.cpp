@@ -1,0 +1,351 @@
+// Compiler-pipeline bench: quantifies what the ISA pass pipeline and
+// the keyed program cache buy, and guards both in CI.
+//
+// Three measurements, written to BENCH_compiler.json:
+//
+//  1. Pass pipeline — PassStats for the three cached workload kernels
+//     (64-bit word equality, 32-bit masked equality, 32-bit ripple
+//     adder): pulses and registers before/after optimization.
+//     Acceptance: >= 5% of the recorded pulses removed on every kernel.
+//  2. Compiled replay — the optimized 64-bit word-equality program
+//     replayed across 10^6 windows on the packed engine vs the scalar
+//     run_program_simd walk of the recorded source (measured on a
+//     subsample and extrapolated), single thread.  The non-adder
+//     counterpart of bench_logic_throughput's program-engine check.
+//     Acceptance: >= 10x with bitwise-identical outputs.
+//  3. Program cache — repeated cached_* lookups over the three kernels:
+//     every shape compiles once and replays from the cache thereafter.
+//     Acceptance: exactly one miss per kernel, everything else hits.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "isa/cache.h"
+#include "isa/compiler.h"
+#include "isa/kernels.h"
+#include "logic/comparator.h"
+#include "logic/ideal_fabric.h"
+#include "logic/packed.h"
+#include "logic/program.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+using namespace memcim;
+
+[[nodiscard]] std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[nodiscard]] std::vector<std::vector<bool>> random_windows(
+    std::size_t inputs, std::size_t count, Rng& rng) {
+  std::vector<std::vector<bool>> windows(count);
+  for (auto& w : windows) {
+    w.resize(inputs);
+    for (std::size_t i = 0; i < inputs; ++i) w[i] = rng.bernoulli(0.5);
+  }
+  return windows;
+}
+
+constexpr std::size_t kEqualityBits = 64;
+constexpr std::size_t kMaskedBits = 32;
+constexpr std::size_t kAdderBits = 32;
+constexpr std::size_t kWindows = 1'000'000;
+constexpr std::size_t kScalarSample = 32'768;
+constexpr double kSpeedupThreshold = 10.0;
+/// The acceptance bar from the pipeline tests: >= 5% pulses removed.
+constexpr double kReductionThreshold = 0.05;
+constexpr std::size_t kCacheLookupsPerKernel = 256;
+
+// --- 1. pass pipeline ------------------------------------------------------
+
+struct KernelReport {
+  std::string name;
+  std::size_t bits = 0;
+  isa::PassStats stats;
+  double reduction = 0.0;
+  bool pass = false;
+};
+
+KernelReport report_kernel(const std::string& name, std::size_t bits,
+                           const isa::PassStats& stats) {
+  KernelReport rep;
+  rep.name = name;
+  rep.bits = bits;
+  rep.stats = stats;
+  rep.reduction = static_cast<double>(stats.pulses_removed()) /
+                  static_cast<double>(stats.pulses_before);
+  rep.pass = rep.reduction >= kReductionThreshold;
+  return rep;
+}
+
+std::vector<KernelReport> measure_pipeline() {
+  std::vector<KernelReport> reps;
+  reps.push_back(report_kernel("word_equality", kEqualityBits,
+                               isa::cached_word_equality(kEqualityBits)->stats));
+  reps.push_back(
+      report_kernel("masked_equality", kMaskedBits,
+                    isa::cached_masked_equality(kMaskedBits)->stats));
+  reps.push_back(report_kernel("ripple_adder", kAdderBits,
+                               isa::cached_ripple_adder(kAdderBits)->stats));
+  return reps;
+}
+
+// --- 2. compiled replay vs scalar walk -------------------------------------
+
+struct ReplayReport {
+  std::uint64_t instructions_source = 0;
+  std::uint64_t instructions_optimized = 0;
+  double scalar_sample_ns = 0.0;
+  double scalar_extrapolated_ns = 0.0;
+  double packed_ns = 0.0;
+  double speedup = 0.0;
+  bool outputs_match = false;
+  bool pass = false;
+};
+
+ReplayReport measure_replay() {
+  ReplayReport rep;
+  const std::shared_ptr<const isa::CompiledProgram> kernel =
+      isa::cached_word_equality(kEqualityBits);
+  rep.instructions_source = kernel->source.instructions.size();
+  rep.instructions_optimized = kernel->optimized.instructions.size();
+
+  Rng rng(0xC0DE);
+  const auto windows = random_windows(kernel->source.inputs, kWindows, rng);
+  const std::vector<std::vector<bool>> sample(
+      windows.begin(), windows.begin() + kScalarSample);
+
+  // Single thread: the acceptance criterion isolates the engine, not
+  // the pool.
+  set_parallel_threads(1);
+
+  IdealFabric fabric;
+  const std::uint64_t s0 = steady_ns();
+  const SimdRunResult scalar = run_program_simd(kernel->source, fabric, sample);
+  const std::uint64_t s1 = steady_ns();
+  rep.scalar_sample_ns = static_cast<double>(s1 - s0);
+  rep.scalar_extrapolated_ns = rep.scalar_sample_ns *
+                               static_cast<double>(kWindows) /
+                               static_cast<double>(kScalarSample);
+
+  const std::uint64_t p0 = steady_ns();
+  const PackedRunResult packed = run_program_packed(
+      kernel->packed_optimized, windows, kernel->run_optimized);
+  const std::uint64_t p1 = steady_ns();
+  rep.packed_ns = static_cast<double>(p1 - p0);
+
+  rep.outputs_match = true;
+  for (std::size_t w = 0; w < kScalarSample; ++w)
+    if (packed.outputs[w] != scalar.outputs[w]) rep.outputs_match = false;
+
+  rep.speedup = rep.scalar_extrapolated_ns / rep.packed_ns;
+  rep.pass = rep.outputs_match && rep.speedup >= kSpeedupThreshold;
+  set_parallel_threads(0);
+  return rep;
+}
+
+// --- 3. program cache ------------------------------------------------------
+
+struct CacheReport {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+  double hit_rate = 0.0;
+  bool pass = false;
+};
+
+CacheReport measure_cache() {
+  isa::ProgramCache& cache = isa::ProgramCache::global();
+  cache.clear();
+  for (std::size_t i = 0; i < kCacheLookupsPerKernel; ++i) {
+    (void)isa::cached_word_equality(kEqualityBits);
+    (void)isa::cached_masked_equality(kMaskedBits);
+    (void)isa::cached_ripple_adder(kAdderBits);
+  }
+  CacheReport rep;
+  rep.lookups = cache.hits() + cache.misses();
+  rep.hits = cache.hits();
+  rep.misses = cache.misses();
+  rep.entries = cache.size();
+  rep.hit_rate = static_cast<double>(rep.hits) /
+                 static_cast<double>(rep.lookups);
+  // Compile-once: one miss per kernel shape, everything else must hit.
+  rep.pass = rep.misses == 3 && rep.entries == 3 &&
+             rep.lookups == 3 * kCacheLookupsPerKernel;
+  return rep;
+}
+
+// --- report ----------------------------------------------------------------
+
+void write_report(const std::vector<KernelReport>& kernels,
+                  const ReplayReport& replay, const CacheReport& cache) {
+  telemetry::JsonWriter w;
+  bench::begin_bench_json(w, "compiler");
+  w.key("kernels").begin_array();
+  for (const KernelReport& k : kernels) {
+    w.begin_object();
+    w.key("name").value(k.name);
+    w.key("bits").value(static_cast<std::uint64_t>(k.bits));
+    w.key("pulses_before").value(static_cast<std::uint64_t>(k.stats.pulses_before));
+    w.key("pulses_after").value(static_cast<std::uint64_t>(k.stats.pulses_after));
+    w.key("pulses_removed")
+        .value(static_cast<std::uint64_t>(k.stats.pulses_removed()));
+    w.key("reduction").value(k.reduction);
+    w.key("registers_before")
+        .value(static_cast<std::uint64_t>(k.stats.registers_before));
+    w.key("registers_after")
+        .value(static_cast<std::uint64_t>(k.stats.registers_after));
+    w.key("known_state_removed")
+        .value(static_cast<std::uint64_t>(k.stats.known_state_removed));
+    w.key("strength_reduced")
+        .value(static_cast<std::uint64_t>(k.stats.strength_reduced));
+    w.key("implications_fused")
+        .value(static_cast<std::uint64_t>(k.stats.implications_fused));
+    w.key("dead_removed").value(static_cast<std::uint64_t>(k.stats.dead_removed));
+    w.key("clears_inserted")
+        .value(static_cast<std::uint64_t>(k.stats.clears_inserted));
+    w.key("rounds").value(static_cast<std::uint64_t>(k.stats.rounds));
+    w.key("threshold").value(kReductionThreshold);
+    w.key("pass").value(k.pass);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("replay").begin_object();
+  w.key("workload").value("word_equality_64bit");
+  w.key("windows").value(static_cast<std::uint64_t>(kWindows));
+  w.key("instructions_source").value(replay.instructions_source);
+  w.key("instructions_optimized").value(replay.instructions_optimized);
+  w.key("scalar_windows_measured")
+      .value(static_cast<std::uint64_t>(kScalarSample));
+  w.key("scalar_sample_ns").value(replay.scalar_sample_ns);
+  w.key("scalar_extrapolated_ns").value(replay.scalar_extrapolated_ns);
+  w.key("packed_ns").value(replay.packed_ns);
+  w.key("speedup").value(replay.speedup);
+  w.key("outputs_match").value(replay.outputs_match);
+  w.key("threshold").value(kSpeedupThreshold);
+  w.key("pass").value(replay.pass);
+  w.end_object();
+  w.key("cache").begin_object();
+  w.key("lookups").value(cache.lookups);
+  w.key("hits").value(cache.hits);
+  w.key("misses").value(cache.misses);
+  w.key("entries").value(cache.entries);
+  w.key("hit_rate").value(cache.hit_rate);
+  w.key("pass").value(cache.pass);
+  w.end_object();
+  // Registry snapshot of the runs above: the compiler.* counters the
+  // serving stack exports (docs/TELEMETRY.md) land in the perf record.
+  const telemetry::MetricsSnapshot snap =
+      telemetry::Registry::global().snapshot();
+  w.key("telemetry").begin_object();
+  for (const char* name :
+       {"compiler.compiles", "compiler.pulses_removed",
+        "compiler.registers_saved", "compiler.clears_inserted",
+        "compiler.cache.hits", "compiler.cache.misses"})
+    w.key(name).value(snap.counter(name));
+  w.end_object();
+  bench::write_bench_json(w, "compiler");
+}
+
+// --- google-benchmark micro-benches ----------------------------------------
+
+void BM_CachedLookup(benchmark::State& state) {
+  (void)isa::cached_word_equality(kEqualityBits);  // warm the cache
+  for (auto _ : state) {
+    auto program = isa::cached_word_equality(kEqualityBits);
+    benchmark::DoNotOptimize(program.get());
+  }
+}
+BENCHMARK(BM_CachedLookup);
+
+void BM_OptimizeWordEquality64(benchmark::State& state) {
+  const CimProgram program = record_program(
+      2 * kEqualityBits, [&](Fabric& f, const std::vector<Reg>& in) {
+        const std::span<const Reg> a(in.data(), kEqualityBits);
+        const std::span<const Reg> b(in.data() + kEqualityBits, kEqualityBits);
+        return word_equality(f, a, b);
+      });
+  for (auto _ : state) {
+    const CimProgram optimized = isa::optimize_program(program, nullptr);
+    benchmark::DoNotOptimize(optimized.instructions.data());
+  }
+}
+BENCHMARK(BM_OptimizeWordEquality64);
+
+void BM_CompiledReplayWordEq64(benchmark::State& state) {
+  const auto kernel = isa::cached_word_equality(kEqualityBits);
+  Rng rng(0x5EED);
+  const auto windows = random_windows(kernel->source.inputs, 64, rng);
+  for (auto _ : state) {
+    const PackedRunResult r = run_program_packed(
+        kernel->packed_optimized, windows, kernel->run_optimized);
+    benchmark::DoNotOptimize(r.outputs.size());
+  }
+}
+BENCHMARK(BM_CompiledReplayWordEq64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Compiler pipeline bench ===\n\n";
+
+  const std::vector<KernelReport> kernels = measure_pipeline();
+  for (const KernelReport& k : kernels)
+    std::cout << k.name << " (" << k.bits << " bits): " << k.stats.pulses_before
+              << " -> " << k.stats.pulses_after << " pulses ("
+              << k.reduction * 100.0 << "% removed), "
+              << k.stats.registers_before << " -> " << k.stats.registers_after
+              << " rows\n";
+  std::cout << "\n";
+
+  const ReplayReport replay = measure_replay();
+  std::cout << "compiled replay (64-bit word equality, " << kWindows
+            << " windows, 1 thread):\n"
+            << "  scalar  " << replay.scalar_extrapolated_ns / 1e6
+            << " ms (extrapolated from " << kScalarSample << " windows)\n"
+            << "  packed  " << replay.packed_ns / 1e6 << " ms\n"
+            << "  speedup " << replay.speedup << "x (threshold "
+            << kSpeedupThreshold << "x, outputs "
+            << (replay.outputs_match ? "match" : "MISMATCH") << ")\n\n";
+
+  const CacheReport cache = measure_cache();
+  std::cout << "program cache: " << cache.lookups << " lookups, "
+            << cache.misses << " compiles, hit rate " << cache.hit_rate * 100.0
+            << "%\n\n";
+
+  write_report(kernels, replay, cache);
+
+  bool ok = replay.pass && cache.pass;
+  for (const KernelReport& k : kernels) ok = ok && k.pass;
+  if (!ok) {
+    std::cerr << "FAIL: compiler acceptance (>= "
+              << kReductionThreshold * 100.0
+              << "% pulses removed per kernel, replay speedup >= "
+              << kSpeedupThreshold << "x, compile-once cache)\n";
+    return 1;
+  }
+  std::cout << "Acceptance: every kernel sheds >= "
+            << kReductionThreshold * 100.0 << "% pulses, replay "
+            << replay.speedup << "x >= " << kSpeedupThreshold
+            << "x with bitwise-identical results, cache compiles once.\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

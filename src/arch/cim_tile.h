@@ -26,11 +26,27 @@
 
 namespace memcim {
 
+/// How parallel_compare executes its per-row word-equality programs.
+enum class CompareEngine : std::uint8_t {
+  /// Compile-once/replay-many: the cached word-equality program replays
+  /// on the packed engine.  Book-exact with kScalar — bitwise-identical
+  /// matches, latency, energy and fabric.* tallies — but one packed
+  /// pass instead of rows × program virtual-dispatch walks.
+  kCompiled,
+  /// Replay the pass-pipeline optimized program (fewer pulses, smaller
+  /// window).  Books reflect the optimized program's own exact costs,
+  /// so they undercut the kScalar books: opt-in.
+  kCompiledOptimized,
+  /// The legacy per-row fabric walk (reference for differential tests).
+  kScalar,
+};
+
 struct CimTileConfig {
   std::size_t rows = 64;       ///< stored words
   std::size_t row_bits = 64;   ///< bits per row
   CrsCellParams cell{};        ///< storage/logic cell parameters
   LogicCostModel cost{};       ///< step/energy quanta (Table 1)
+  CompareEngine compare_engine = CompareEngine::kCompiled;
 };
 
 struct CimTileStats {

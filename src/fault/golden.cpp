@@ -35,21 +35,11 @@ void DiffTally::merge(const DiffTally& other) {
 std::vector<bool> run_program_prefix(const CimProgram& program, Fabric& fabric,
                                      const std::vector<bool>& inputs,
                                      std::size_t length) {
-  MEMCIM_CHECK_MSG(length <= program.length(), "prefix exceeds program");
-  MEMCIM_CHECK_MSG(inputs.size() == program.inputs, "input arity mismatch");
-  MEMCIM_CHECK_MSG(program.registers > 0, "program has no registers");
-  const Reg base = fabric.alloc();
-  for (std::size_t i = 1; i < program.registers; ++i) (void)fabric.alloc();
-  for (std::size_t i = 0; i < inputs.size(); ++i)
-    fabric.set(base + i, inputs[i]);
-  for (std::size_t i = 0; i < length; ++i) {
-    const CimInstruction& inst = program.instructions[i];
-    switch (inst.op) {
-      case CimOp::kSetFalse: fabric.set(base + inst.a, false); break;
-      case CimOp::kSetTrue: fabric.set(base + inst.a, true); break;
-      case CimOp::kImply: fabric.imply(base + inst.a, base + inst.b); break;
-    }
-  }
+  // One replay core for goldens, the run_program* entry points, and the
+  // compiler's reference interpreter: all three go through
+  // replay_program_window, so their semantics cannot drift.
+  const Reg base = allocate_program_window(fabric, program.registers);
+  (void)replay_program_window(program, fabric, base, inputs, length);
   std::vector<bool> state(program.registers);
   for (std::size_t i = 0; i < program.registers; ++i)
     state[i] = fabric.read(base + i);

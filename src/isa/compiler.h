@@ -1,0 +1,48 @@
+// The compile-once/replay-many driver: pass pipeline + packed lowering.
+//
+// `compile` takes recorded microcode and produces a CompiledProgram
+// carrying BOTH executable forms:
+//
+//   * `source` / `packed_source` — the recorded program unchanged, for
+//     book-exact replay (bitwise-identical outputs AND cost books vs
+//     the legacy scalar walk, the packed_adder discipline from PR 5),
+//   * `optimized` / `packed_optimized` — the pass-pipeline output, for
+//     minimum-pulse replay with its own exactly-reconciled books.
+//
+// Both forms come with ready PackedRunOptions (cost quanta + the
+// window-packing block grain), so call sites replay with one call.
+#pragma once
+
+#include "isa/passes.h"
+#include "logic/packed.h"
+#include "logic/program.h"
+
+namespace memcim::isa {
+
+/// Cost quanta of the fabric the program will replay against, plus the
+/// pipeline switch.  These feed the cache key: programs compiled for
+/// different fabrics (e.g. CRS 2-step IMP) are distinct artifacts.
+struct CompileOptions {
+  LogicCostModel cost{};
+  std::uint64_t set_step_cost = 1;
+  std::uint64_t imply_step_cost = 1;
+  bool optimize = true;  ///< run the pass pipeline (false: source only)
+};
+
+struct CompiledProgram {
+  CimProgram source;
+  CimProgram optimized;          ///< == source when options.optimize off
+  PackedProgram packed_source;
+  PackedProgram packed_optimized;
+  PassStats stats;
+  PackedRunOptions run_source;     ///< quanta + grain for packed_source
+  PackedRunOptions run_optimized;  ///< quanta + grain for packed_optimized
+};
+
+/// Validate, optimize (when asked), lower both forms for the packed
+/// engine, and pick the window-packing grain.  Books the compiler.*
+/// telemetry counters (see docs/TELEMETRY.md).
+[[nodiscard]] CompiledProgram compile(const CimProgram& source,
+                                      const CompileOptions& options = {});
+
+}  // namespace memcim::isa

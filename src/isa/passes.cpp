@@ -1,0 +1,318 @@
+#include "isa/passes.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "isa/isa.h"
+
+namespace memcim::isa {
+
+namespace {
+
+constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+
+/// Constant-propagation lattice for one register.
+enum class Lattice : std::uint8_t { kZero, kOne, kTop };
+
+/// Fact key for an established implication (p, q): q >= !p holds.
+std::uint64_t fact_key(Reg p, Reg q) {
+  return (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint64_t>(q);
+}
+
+/// Drop every fact mentioning register r (a SET may lower p or q, which
+/// is the only way an established implication can break — IMP writes
+/// are monotone and preserve all facts).
+void invalidate_facts(std::unordered_set<std::uint64_t>& facts, Reg r) {
+  for (auto it = facts.begin(); it != facts.end();) {
+    const Reg p = static_cast<Reg>(*it >> 32);
+    const Reg q = static_cast<Reg>(*it & 0xFFFF'FFFFu);
+    if (p == r || q == r)
+      it = facts.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace
+
+CimProgram known_state_pass(const CimProgram& program, PassStats* stats) {
+  validate_program(program);
+  PassStats local;
+  PassStats& s = stats != nullptr ? *stats : local;
+
+  std::vector<Lattice> state(program.registers, Lattice::kZero);
+  for (std::size_t i = 0; i < program.inputs; ++i) state[i] = Lattice::kTop;
+  std::unordered_set<std::uint64_t> facts;
+
+  CimProgram out = program;
+  out.instructions.clear();
+  out.instructions.reserve(program.instructions.size());
+
+  for (const CimInstruction& inst : program.instructions) {
+    switch (inst.op) {
+      case CimOp::kSetFalse: {
+        if (state[inst.a] == Lattice::kZero) {
+          ++s.known_state_removed;
+          continue;
+        }
+        state[inst.a] = Lattice::kZero;
+        invalidate_facts(facts, inst.a);
+        out.instructions.push_back(inst);
+        break;
+      }
+      case CimOp::kSetTrue: {
+        if (state[inst.a] == Lattice::kOne) {
+          ++s.known_state_removed;
+          continue;
+        }
+        state[inst.a] = Lattice::kOne;
+        invalidate_facts(facts, inst.a);
+        out.instructions.push_back(inst);
+        break;
+      }
+      case CimOp::kImply: {
+        const Reg a = inst.a;
+        const Reg b = inst.b;
+        // q <- !p | q: a known-1 target or known-1 source is a no-op.
+        if (state[b] == Lattice::kOne || (a != b && state[a] == Lattice::kOne)) {
+          ++s.known_state_removed;
+          continue;
+        }
+        // p IMP p and 0 IMP q both drive q to 1: strength-reduce to a
+        // single-step SET1 pulse.
+        if (a == b || state[a] == Lattice::kZero) {
+          ++s.strength_reduced;
+          state[b] = Lattice::kOne;
+          invalidate_facts(facts, b);
+          out.instructions.push_back({CimOp::kSetTrue, b, 0});
+          break;
+        }
+        // Unknown source: fuse if this implication is already
+        // established (monotone growth keeps it established until a SET
+        // touches p or q).
+        if (facts.count(fact_key(a, b)) != 0) {
+          ++s.implications_fused;
+          continue;
+        }
+        state[b] = Lattice::kTop;
+        facts.insert(fact_key(a, b));
+        out.instructions.push_back(inst);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+CimProgram dead_pulse_elimination(const CimProgram& program, PassStats* stats) {
+  validate_program(program);
+  PassStats local;
+  PassStats& s = stats != nullptr ? *stats : local;
+
+  std::vector<char> live(program.registers, 0);
+  for (const Reg r : result_registers(program)) live[r] = 1;
+
+  std::vector<CimInstruction> kept;
+  kept.reserve(program.instructions.size());
+  for (std::size_t i = program.instructions.size(); i-- > 0;) {
+    const CimInstruction& inst = program.instructions[i];
+    if (inst.op == CimOp::kImply) {
+      if (live[inst.b] == 0) {
+        ++s.dead_removed;
+        continue;
+      }
+      // Read-modify-write: the target's old value is consumed, so b
+      // stays live; the source becomes live.
+      live[inst.a] = 1;
+      kept.push_back(inst);
+    } else {
+      if (live[inst.a] == 0) {
+        ++s.dead_removed;
+        continue;
+      }
+      // A SET fully defines its register: earlier writes are dead
+      // unless something in between reads them.
+      live[inst.a] = 0;
+      kept.push_back(inst);
+    }
+  }
+  std::reverse(kept.begin(), kept.end());
+
+  CimProgram out = program;
+  out.instructions = std::move(kept);
+  return out;
+}
+
+CimProgram compact_registers(const CimProgram& program, PassStats* stats,
+                             std::size_t max_rows) {
+  validate_program(program);
+  MEMCIM_CHECK_MSG(max_rows >= program.inputs,
+                   "row budget " << max_rows << " below the "
+                                 << program.inputs << " input rows");
+  PassStats local;
+  PassStats& s = stats != nullptr ? *stats : local;
+
+  const std::size_t length = program.instructions.size();
+  // Timeline: inputs load at t = 0, instruction i runs at t = i + 1,
+  // results are read at t = length + 1.
+  const std::size_t t_end = length + 1;
+
+  struct Access {
+    std::size_t first = kNoPos;
+    std::size_t last = 0;
+    bool defined_first = false;  ///< first touch is a SET (full define)
+  };
+  std::vector<Access> access(program.registers);
+  const auto touch = [&](Reg r, std::size_t t, bool define) {
+    Access& a = access[r];
+    if (a.first == kNoPos) {
+      a.first = t;
+      a.defined_first = define;
+    }
+    a.last = t;
+  };
+  for (std::size_t i = 0; i < program.inputs; ++i)
+    touch(static_cast<Reg>(i), 0, true);
+  for (std::size_t i = 0; i < length; ++i) {
+    const CimInstruction& inst = program.instructions[i];
+    if (inst.op == CimOp::kImply) {
+      touch(inst.a, i + 1, false);
+      touch(inst.b, i + 1, false);  // old value of b is consumed
+    } else {
+      touch(inst.a, i + 1, true);
+    }
+  }
+  const std::vector<Reg> results = result_registers(program);
+  for (const Reg r : results) touch(r, t_end, false);
+
+  // Linear scan: registers grouped by first-access time; a row frees
+  // once its occupant's last access is strictly before the current
+  // time (same-instruction operands never share a row).
+  std::vector<std::vector<Reg>> starts(t_end + 1);
+  for (std::size_t r = 0; r < program.registers; ++r)
+    if (access[r].first != kNoPos && r >= program.inputs)
+      starts[access[r].first].push_back(static_cast<Reg>(r));
+
+  using Expiry = std::pair<std::size_t, Reg>;  // (last access, row)
+  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<>> heap;
+  std::vector<Reg> free_rows;
+  std::vector<Reg> mapping(program.registers, static_cast<Reg>(kNoPos));
+  std::size_t n_rows = program.inputs;
+  // Input registers are the replay ABI: they keep rows [0, inputs) and
+  // enter the recycling pool after their last use like any other row.
+  for (std::size_t i = 0; i < program.inputs; ++i) {
+    mapping[i] = static_cast<Reg>(i);
+    heap.push({access[i].last, static_cast<Reg>(i)});
+  }
+
+  // Rows handed back by an expired occupant hold stale state; a fresh
+  // (never-occupied) row holds logic 0.  Pulses beat rows: a register
+  // whose first access *reads* that zero stays on a fresh row as long
+  // as the budget allows (a recycled row would need a SET0 pulse to
+  // restore it), while a fully-defined register recycles greedily.
+  std::vector<std::vector<Reg>> clears_at(t_end + 1);
+  for (std::size_t t = 0; t <= t_end; ++t) {
+    while (!heap.empty() && heap.top().first < t) {
+      free_rows.push_back(heap.top().second);
+      heap.pop();
+    }
+    for (const Reg r : starts[t]) {
+      const bool zero_reliant = !access[r].defined_first;
+      const bool can_grow = n_rows < max_rows;
+      Reg row;
+      if (zero_reliant && can_grow) {
+        row = static_cast<Reg>(n_rows++);
+      } else if (!free_rows.empty()) {
+        row = free_rows.back();
+        free_rows.pop_back();
+        if (zero_reliant) {
+          clears_at[t].push_back(row);
+          ++s.clears_inserted;
+        }
+      } else {
+        MEMCIM_CHECK_MSG(can_grow,
+                         "live registers exceed the row budget " << max_rows);
+        row = static_cast<Reg>(n_rows++);
+      }
+      mapping[r] = row;
+      heap.push({access[r].last, row});
+    }
+  }
+
+  CimProgram out;
+  out.registers = std::max<std::size_t>(n_rows, 1);
+  out.inputs = program.inputs;
+  out.instructions.reserve(length + s.clears_inserted);
+  for (std::size_t i = 0; i < length; ++i) {
+    for (const Reg row : clears_at[i + 1])
+      out.instructions.push_back({CimOp::kSetFalse, row, 0});
+    CimInstruction inst = program.instructions[i];
+    inst.a = mapping[inst.a];
+    if (inst.op == CimOp::kImply)
+      inst.b = mapping[inst.b];
+    else
+      inst.b = 0;
+    out.instructions.push_back(inst);
+  }
+  for (const Reg row : clears_at[t_end])
+    out.instructions.push_back({CimOp::kSetFalse, row, 0});
+
+  out.output = mapping[program.output];
+  out.outputs.reserve(program.outputs.size());
+  for (const Reg r : program.outputs) out.outputs.push_back(mapping[r]);
+  s.registers_before = program.registers;
+  s.registers_after = out.registers;
+  validate_program(out);
+  return out;
+}
+
+std::size_t packing_block_grain(const PackedProgram& compiled) {
+  // One u64 op per input load, per instruction and per result read in
+  // every 64-lane block; batch blocks until a task carries about 2k
+  // word ops so the pool hand-off stays in the noise for short kernels.
+  const std::size_t ops_per_block = compiled.inputs + compiled.length() +
+                                    std::max<std::size_t>(
+                                        compiled.outputs.size(), 1);
+  constexpr std::size_t kTargetOpsPerTask = 2048;
+  constexpr std::size_t kMaxGrain = 16;
+  return std::clamp<std::size_t>(kTargetOpsPerTask / std::max<std::size_t>(
+                                     ops_per_block, 1),
+                                 1, kMaxGrain);
+}
+
+CimProgram optimize_program(const CimProgram& program, PassStats* stats) {
+  PassStats local;
+  PassStats& s = stats != nullptr ? *stats : local;
+  s.pulses_before = program.instructions.size();
+  s.registers_before = program.registers;
+
+  CimProgram current = program;
+  constexpr std::size_t kMaxRounds = 8;
+  for (std::size_t round = 0; round < kMaxRounds; ++round) {
+    PassStats delta;
+    CimProgram folded = known_state_pass(current, &delta);
+    CimProgram swept = dead_pulse_elimination(folded, &delta);
+    s.known_state_removed += delta.known_state_removed;
+    s.implications_fused += delta.implications_fused;
+    s.strength_reduced += delta.strength_reduced;
+    s.dead_removed += delta.dead_removed;
+    ++s.rounds;
+    const bool changed = delta.known_state_removed != 0 ||
+                         delta.implications_fused != 0 ||
+                         delta.strength_reduced != 0 ||
+                         delta.dead_removed != 0;
+    current = std::move(swept);
+    if (!changed) break;
+  }
+  current = compact_registers(current, &s);
+  s.pulses_after = current.instructions.size();
+  s.registers_after = current.registers;
+  return current;
+}
+
+}  // namespace memcim::isa

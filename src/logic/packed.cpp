@@ -1,5 +1,6 @@
 #include "logic/packed.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/error.h"
@@ -34,7 +35,7 @@ PackedMetrics& packed_metrics() {
 
 /// What one 64-lane block produces; reduced serially in block order.
 struct BlockResult {
-  std::uint64_t outputs = 0;
+  std::vector<std::uint64_t> outputs;      ///< one lane word per result reg
   std::vector<std::uint64_t> transitions;  ///< per lane in the block
 };
 
@@ -52,6 +53,10 @@ PackedProgram compile_program(const CimProgram& program) {
   compiled.registers = program.registers;
   compiled.inputs = program.inputs;
   compiled.output = program.output;
+  compiled.outputs = result_registers(program);
+  for (const Reg r : compiled.outputs)
+    MEMCIM_CHECK_MSG(r < program.registers,
+                     "program output register " << r << " out of range");
   compiled.instructions.reserve(program.instructions.size());
   for (const CimInstruction& inst : program.instructions) {
     MEMCIM_CHECK_MSG(inst.a < program.registers,
@@ -148,9 +153,13 @@ PackedRunResult run_program_packed(
                                         << inputs.size());
 
   const std::size_t blocks = packed_lane_blocks(windows);
+  const std::size_t n_out = compiled.outputs.empty()
+                                ? std::size_t{1}
+                                : compiled.outputs.size();
   std::vector<BlockResult> per_block(blocks);
 
-  parallel_for_chunks(0, blocks, 1, [&](std::size_t b0, std::size_t b1) {
+  const std::size_t grain = std::max<std::size_t>(1, options.block_grain);
+  parallel_for_chunks(0, blocks, grain, [&](std::size_t b0, std::size_t b1) {
     for (std::size_t b = b0; b < b1; ++b) {
       const std::size_t base = b * kPackedLanes;
       const std::size_t lanes = std::min(kPackedLanes, windows - base);
@@ -176,7 +185,13 @@ PackedRunResult run_program_packed(
             break;
         }
       }
-      per_block[b].outputs = fabric.read(compiled.output);
+      per_block[b].outputs.reserve(n_out);
+      if (compiled.outputs.empty()) {
+        per_block[b].outputs.push_back(fabric.read(compiled.output));
+      } else {
+        for (const Reg r : compiled.outputs)
+          per_block[b].outputs.push_back(fabric.read(r));
+      }
       per_block[b].transitions = fabric.transitions_per_lane();
     }
   });
@@ -185,13 +200,19 @@ PackedRunResult run_program_packed(
   // deterministically regardless of which worker ran which block.
   PackedRunResult result;
   result.outputs.reserve(windows);
+  result.wide.reserve(windows);
   result.transitions.reserve(windows);
   std::uint64_t transitions_total = 0;
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t base = b * kPackedLanes;
     const std::size_t lanes = std::min(kPackedLanes, windows - base);
     for (std::size_t w = 0; w < lanes; ++w) {
-      result.outputs.push_back(((per_block[b].outputs >> w) & 1u) != 0);
+      result.outputs.push_back(((per_block[b].outputs[0] >> w) & 1u) != 0);
+      std::vector<bool> bits;
+      bits.reserve(n_out);
+      for (std::size_t o = 0; o < n_out; ++o)
+        bits.push_back(((per_block[b].outputs[o] >> w) & 1u) != 0);
+      result.wide.push_back(std::move(bits));
       result.transitions.push_back(per_block[b].transitions[w]);
       transitions_total += per_block[b].transitions[w];
     }
@@ -217,7 +238,7 @@ PackedRunResult run_program_packed(
     detail::FabricMetrics& fm = detail::fabric_metrics();
     fm.sets.add(w64 * sets_pw);
     fm.implies.add(w64 * compiled.implies_per_window);
-    fm.reads.add(w64);
+    fm.reads.add(w64 * static_cast<std::uint64_t>(n_out));
     fm.steps.add(w64 * steps_pw);
     fm.writes.add(result.writes);
     telemetry::Registry::global().counter("program.runs").add(w64);
@@ -236,7 +257,7 @@ PackedRunResult run_program_packed(
     // in every block.
     pm.word_ops.add(static_cast<std::uint64_t>(blocks) *
                     (static_cast<std::uint64_t>(compiled.inputs) +
-                     compiled.length() + 1));
+                     compiled.length() + n_out));
     pm.transitions.add(transitions_total);
   }
   return result;

@@ -58,6 +58,7 @@ struct PackedProgram {
   std::size_t registers = 0;
   std::size_t inputs = 0;
   Reg output = 0;
+  std::vector<Reg> outputs;              ///< resolved result registers (≥1)
   std::uint64_t sets_per_window = 0;     ///< kSet* instructions (excl. input loads)
   std::uint64_t implies_per_window = 0;  ///< kImply instructions
 
@@ -75,6 +76,11 @@ struct PackedRunOptions {
   LogicCostModel cost{};
   std::uint64_t set_step_cost = 1;
   std::uint64_t imply_step_cost = 1;
+  /// Lane blocks per thread-pool task.  Short programs amortize task
+  /// dispatch over several blocks; long programs keep grain 1 for load
+  /// balance.  The compiler's window-packing pass picks this — see
+  /// packing_block_grain() in isa/passes.h.  0 is treated as 1.
+  std::size_t block_grain = 1;
 };
 
 /// W <= 64 register windows packed one bit-lane per window.
@@ -126,7 +132,8 @@ class PackedFabric {
 /// plus the recovered per-window transition counts and the per-window
 /// step count (handy for latency cross-checks).
 struct PackedRunResult {
-  std::vector<bool> outputs;                 ///< one per window
+  std::vector<bool> outputs;                 ///< one per window (first result)
+  std::vector<std::vector<bool>> wide;       ///< [window][result register]
   std::vector<std::uint64_t> transitions;    ///< register flips per window
   Time latency{0.0};                         ///< one program pass
   Energy energy{0.0};                        ///< summed over all windows

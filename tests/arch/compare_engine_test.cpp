@@ -1,0 +1,83 @@
+// Tile compare engines: the compiled (cached-program) default must be
+// a drop-in for the legacy scalar walk — bitwise-identical match
+// vectors AND an exactly reconciled cost book; the optimized engine
+// keeps the matches and carries its own books.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/cim_tile.h"
+#include "common/rng.h"
+#include "device/presets.h"
+
+namespace memcim {
+namespace {
+
+std::vector<bool> random_word(std::size_t bits, Rng& rng) {
+  std::vector<bool> w(bits);
+  for (std::size_t i = 0; i < bits; ++i) w[i] = rng.uniform() < 0.5;
+  return w;
+}
+
+CimTileConfig tile_config(CompareEngine engine) {
+  CimTileConfig cfg;
+  cfg.rows = 8;
+  cfg.row_bits = 12;
+  cfg.cell = presets::crs_cell();
+  cfg.compare_engine = engine;
+  return cfg;
+}
+
+TEST(CompareEngine, CompiledReproducesTheScalarWalkExactly) {
+  CimTile scalar(tile_config(CompareEngine::kScalar));
+  CimTile compiled(tile_config(CompareEngine::kCompiled));
+
+  Rng rng(0x71EEull);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const std::vector<bool> row = random_word(12, rng);
+    scalar.store_row(r, row);
+    compiled.store_row(r, row);
+  }
+
+  for (int q = 0; q < 32; ++q) {
+    // Mix random keys with exact row hits so matches actually fire.
+    const std::vector<bool> key =
+        (q % 4 == 0) ? scalar.load_row(static_cast<std::size_t>(q) % 8)
+                     : random_word(12, rng);
+    EXPECT_EQ(compiled.parallel_compare(key), scalar.parallel_compare(key))
+        << "query " << q;
+    // Book-exact: same accumulated latency and energy after every query.
+    EXPECT_EQ(compiled.stats().latency.value(), scalar.stats().latency.value())
+        << "query " << q;
+    EXPECT_EQ(compiled.stats().energy.value(), scalar.stats().energy.value())
+        << "query " << q;
+    EXPECT_EQ(compiled.stats().operations, scalar.stats().operations);
+  }
+}
+
+TEST(CompareEngine, OptimizedEngineKeepsTheMatchesAndShedsPulses) {
+  CimTile scalar(tile_config(CompareEngine::kScalar));
+  CimTile optimized(tile_config(CompareEngine::kCompiledOptimized));
+
+  Rng rng(0x0BD7ull);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const std::vector<bool> row = random_word(12, rng);
+    scalar.store_row(r, row);
+    optimized.store_row(r, row);
+  }
+
+  for (int q = 0; q < 16; ++q) {
+    const std::vector<bool> key =
+        (q % 4 == 0) ? scalar.load_row(static_cast<std::size_t>(q) % 8)
+                     : random_word(12, rng);
+    EXPECT_EQ(optimized.parallel_compare(key), scalar.parallel_compare(key))
+        << "query " << q;
+  }
+  // Fewer pulses -> the optimized engine's accumulated energy book is
+  // strictly below the scalar walk's (its latency no worse).
+  EXPECT_LT(optimized.stats().energy.value(), scalar.stats().energy.value());
+  EXPECT_LE(optimized.stats().latency.value(), scalar.stats().latency.value());
+}
+
+}  // namespace
+}  // namespace memcim

@@ -1,0 +1,69 @@
+// Shared helpers for the ISA suite: a seeded random-program generator
+// (ISA-valid by construction) and structural program equality.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "logic/program.h"
+
+namespace memcim::isa::testutil {
+
+/// A random but always-valid program: `inputs` operands, `scratch`
+/// extra registers, `length` instructions; with `multi_output` the
+/// program sometimes declares a multi-register result list.
+inline CimProgram random_program(std::size_t inputs, std::size_t scratch,
+                                 std::size_t length, Rng& rng,
+                                 bool multi_output = false) {
+  CimProgram p;
+  p.inputs = inputs;
+  p.registers = inputs + scratch;
+  const auto pick_reg = [&] {
+    return static_cast<Reg>(
+        rng.uniform_int(0, static_cast<std::int64_t>(p.registers - 1)));
+  };
+  for (std::size_t i = 0; i < length; ++i) {
+    CimInstruction inst;
+    // A 1-register window cannot host a two-operand IMP.
+    const double roll = p.registers < 2 ? rng.uniform(0.0, 0.4) : rng.uniform();
+    if (roll < 0.2) {
+      inst.op = CimOp::kSetFalse;
+      inst.a = pick_reg();
+    } else if (roll < 0.4) {
+      inst.op = CimOp::kSetTrue;
+      inst.a = pick_reg();
+    } else {
+      inst.op = CimOp::kImply;
+      inst.a = pick_reg();
+      do {
+        inst.b = pick_reg();
+      } while (inst.b == inst.a);
+    }
+    p.instructions.push_back(inst);
+  }
+  p.output = pick_reg();
+  if (multi_output && rng.uniform() < 0.5) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    for (std::size_t i = 0; i < n; ++i) p.outputs.push_back(pick_reg());
+    p.output = p.outputs.front();
+  }
+  return p;
+}
+
+inline void expect_programs_equal(const CimProgram& a, const CimProgram& b) {
+  EXPECT_EQ(a.registers, b.registers);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.outputs, b.outputs);
+  ASSERT_EQ(a.instructions.size(), b.instructions.size());
+  for (std::size_t i = 0; i < a.instructions.size(); ++i) {
+    EXPECT_EQ(a.instructions[i].op, b.instructions[i].op) << "instruction " << i;
+    EXPECT_EQ(a.instructions[i].a, b.instructions[i].a) << "instruction " << i;
+    EXPECT_EQ(a.instructions[i].b, b.instructions[i].b) << "instruction " << i;
+  }
+}
+
+}  // namespace memcim::isa::testutil

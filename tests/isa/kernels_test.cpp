@@ -1,0 +1,176 @@
+// Cached workload kernels: the compiled CAM bank matches the CRS
+// device CAM row for row (binary, ternary and erased rows), the
+// compiled adder matches native addition, and the packed replay books
+// reconcile exactly with a scalar run_program_simd of the same
+// program.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/presets.h"
+#include "isa/kernels.h"
+#include "logic/ideal_fabric.h"
+#include "logic/packed.h"
+
+namespace memcim::isa {
+namespace {
+
+std::vector<bool> random_word(std::size_t bits, Rng& rng) {
+  std::vector<bool> w(bits);
+  for (std::size_t i = 0; i < bits; ++i) w[i] = rng.uniform() < 0.5;
+  return w;
+}
+
+TEST(CompiledCamBank, MatchesCrsCamOnBinaryTernaryAndErasedRows) {
+  constexpr std::size_t kRows = 16;
+  constexpr std::size_t kBits = 8;
+  CamConfig device_config;
+  device_config.rows = kRows;
+  device_config.word_bits = kBits;
+  device_config.cell = presets::crs_cell();
+  CrsCam device(device_config);
+  CompiledCamBank compiled(kRows, kBits);
+
+  Rng rng(0xCA3Bull);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    if (r % 4 == 3) continue;  // leave every 4th row invalid
+    if (r % 4 == 2) {
+      std::vector<CamBit> word(kBits);
+      for (std::size_t i = 0; i < kBits; ++i) {
+        const double roll = rng.uniform();
+        word[i] = roll < 0.3   ? CamBit::kDontCare
+                  : roll < 0.65 ? CamBit::kOne
+                                : CamBit::kZero;
+      }
+      device.write_row_ternary(r, word);
+      compiled.write_row_ternary(r, word);
+    } else {
+      const std::vector<bool> word = random_word(kBits, rng);
+      device.write_row(r, word);
+      compiled.write_row(r, word);
+    }
+  }
+  // Rewrite-then-erase must leave the row matching nothing.
+  device.write_row(7, random_word(kBits, rng));
+  compiled.write_row(7, random_word(kBits, rng));
+  device.erase_row(7);
+  compiled.erase_row(7);
+
+  for (int q = 0; q < 64; ++q) {
+    const std::vector<bool> key = random_word(kBits, rng);
+    const CamSearchResult d = device.search(key);
+    const CamBankSearchResult c = compiled.search(key);
+    EXPECT_EQ(c.matching_rows, d.matching_rows) << "query " << q;
+    EXPECT_GT(c.books.pulses_per_window, 0u);
+  }
+  // Replaying the unoptimized source form finds the same rows too.
+  CompiledCamBank source_form(kRows, kBits, CompileOptions{},
+                              /*optimize_replay=*/false);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    if (r == 7 || r % 4 == 3) continue;
+    std::vector<CamBit> row(kBits);
+    for (std::size_t i = 0; i < kBits; ++i) row[i] = device.read_row(r)[i];
+    source_form.write_row_ternary(r, row);
+  }
+  for (int q = 0; q < 16; ++q) {
+    const std::vector<bool> key = random_word(kBits, rng);
+    EXPECT_EQ(source_form.search(key).matching_rows,
+              device.search(key).matching_rows)
+        << "source-form query " << q;
+  }
+}
+
+TEST(CompiledAdd, MatchesNativeAdditionOnBothForms) {
+  constexpr std::size_t kWidth = 12;
+  constexpr std::size_t kOps = 100;
+  Rng rng(0xADD5ull);
+  std::vector<std::uint64_t> a(kOps), b(kOps);
+  const std::uint64_t mask = (std::uint64_t{1} << kWidth) - 1;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    a[i] = static_cast<std::uint64_t>(
+               rng.uniform_int(0, static_cast<std::int64_t>(mask)));
+    b[i] = static_cast<std::uint64_t>(
+               rng.uniform_int(0, static_cast<std::int64_t>(mask)));
+  }
+  for (const bool optimized : {true, false}) {
+    const CompiledAddResult r =
+        run_compiled_add(kWidth, a, b, CompileOptions{}, optimized);
+    ASSERT_EQ(r.sums.size(), kOps);
+    for (std::size_t i = 0; i < kOps; ++i)
+      EXPECT_EQ(r.sums[i], a[i] + b[i])
+          << (optimized ? "optimized" : "source") << " op " << i;
+    EXPECT_GT(r.books.writes, 0u);
+    EXPECT_GT(r.books.latency.value(), 0.0);
+  }
+}
+
+TEST(CachedKernels, SecondLookupReturnsTheSameArtifact) {
+  const auto first = cached_word_equality(9);
+  const auto second = cached_word_equality(9);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_NE(first.get(), cached_word_equality(10).get());
+}
+
+TEST(CachedKernels, OptimizedFormsShedPulsesOnEveryKernel) {
+  EXPECT_GE(cached_word_equality(32)->stats.pulses_removed() * 20,
+            cached_word_equality(32)->stats.pulses_before);
+  EXPECT_GE(cached_masked_equality(32)->stats.pulses_removed() * 20,
+            cached_masked_equality(32)->stats.pulses_before);
+  EXPECT_GE(cached_ripple_adder(32)->stats.pulses_removed() * 20,
+            cached_ripple_adder(32)->stats.pulses_before);
+}
+
+/// The packed-engine guarantee the tile/serving wiring relies on:
+/// packed replay of a compiled form reconciles EXACTLY (outputs,
+/// latency, energy, writes) with a scalar SIMD replay of that same
+/// form on an equally-costed fabric.
+TEST(CachedKernels, PackedBooksReconcileWithScalarSimdReplay) {
+  const auto program = cached_word_equality(8);
+  Rng rng(0xB00Cull);
+  std::vector<std::vector<bool>> windows(24);
+  for (auto& w : windows) w = random_word(16, rng);
+
+  for (const bool optimized : {false, true}) {
+    const PackedProgram& packed =
+        optimized ? program->packed_optimized : program->packed_source;
+    const PackedRunOptions& run_options =
+        optimized ? program->run_optimized : program->run_source;
+    const CimProgram& form = optimized ? program->optimized : program->source;
+
+    const PackedRunResult fast = run_program_packed(packed, windows,
+                                                    run_options);
+    IdealFabric scalar;  // default cost model == default CompileOptions
+    const SimdRunResult slow = run_program_simd(form, scalar, windows);
+
+    EXPECT_EQ(fast.outputs, slow.outputs);
+    EXPECT_EQ(fast.writes, slow.writes);
+    EXPECT_EQ(fast.latency.value(), slow.latency.value());
+    EXPECT_EQ(fast.energy.value(), slow.energy.value());
+  }
+}
+
+/// Multi-output flavour: the adder's packed wide outputs and books
+/// reconcile with run_program_simd_wide.
+TEST(CachedKernels, WideBooksReconcileForTheAdder) {
+  const auto program = cached_ripple_adder(6);
+  Rng rng(0x5DDEull);
+  std::vector<std::vector<bool>> windows(17);
+  for (auto& w : windows) w = random_word(12, rng);
+
+  PackedRunOptions run_options = program->run_optimized;
+  const PackedRunResult fast =
+      run_program_packed(program->packed_optimized, windows, run_options);
+  IdealFabric scalar;
+  const SimdWideResult slow =
+      run_program_simd_wide(program->optimized, scalar, windows);
+
+  EXPECT_EQ(fast.wide, slow.outputs);
+  EXPECT_EQ(fast.writes, slow.writes);
+  EXPECT_EQ(fast.latency.value(), slow.latency.value());
+  EXPECT_EQ(fast.energy.value(), slow.energy.value());
+}
+
+}  // namespace
+}  // namespace memcim::isa

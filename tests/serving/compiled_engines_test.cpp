@@ -1,0 +1,93 @@
+// Compiled serving engines: switching the CAM path to the cached
+// masked-equality program and the adder path to the cached IMP ripple
+// adder must leave every response payload bitwise identical to the
+// device engines — only the cost books (IMP model vs device model) may
+// differ.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serving/dispatcher.h"
+#include "serving_test_util.h"
+
+namespace memcim::serving {
+namespace {
+
+using testutil::SmallWorld;
+using testutil::make_request;
+
+Batch make_batch(RequestClass cls, std::size_t lanes) {
+  Batch b;
+  b.cls = cls;
+  b.seq = 1;
+  for (std::size_t i = 0; i < lanes; ++i)
+    b.requests.push_back(make_request(cls, 100 + i, 0));
+  return b;
+}
+
+ServingWorkloadConfig compiled_workload() {
+  ServingWorkloadConfig w = testutil::small_workload();
+  w.cam_engine = CamEngine::kCompiled;
+  w.add_engine = AddEngine::kCompiledImply;
+  return w;
+}
+
+class CompiledEngines : public ::testing::Test {
+ protected:
+  CompiledEngines()
+      : device_fabric_(testutil::small_fabric()),
+        compiled_fabric_(testutil::small_fabric()),
+        device_(device_fabric_, testutil::small_workload(), world_.kmer_db,
+                world_.cam_rows),
+        compiled_(compiled_fabric_, compiled_workload(), world_.kmer_db,
+                  world_.cam_rows) {}
+
+  SmallWorld world_;
+  TileFabric device_fabric_;
+  TileFabric compiled_fabric_;
+  BatchDispatcher device_;
+  BatchDispatcher compiled_;
+};
+
+TEST_F(CompiledEngines, CamSearchPayloadsAreIdentical) {
+  for (std::size_t lanes : {1u, 3u, 8u}) {
+    const Batch batch = make_batch(RequestClass::kCamSearch, lanes);
+    const BatchExecution a = device_.execute(batch);
+    const BatchExecution b = compiled_.execute(batch);
+    ASSERT_EQ(a.responses.size(), b.responses.size());
+    for (std::size_t i = 0; i < a.responses.size(); ++i)
+      EXPECT_EQ(a.responses[i].matches, b.responses[i].matches)
+          << "lanes " << lanes << " response " << i;
+  }
+}
+
+TEST_F(CompiledEngines, AdditionPayloadsAreIdentical) {
+  for (std::size_t lanes : {1u, 5u, 16u}) {
+    const Batch batch = make_batch(RequestClass::kAddition, lanes);
+    const BatchExecution a = device_.execute(batch);
+    const BatchExecution b = compiled_.execute(batch);
+    ASSERT_EQ(a.responses.size(), b.responses.size());
+    for (std::size_t i = 0; i < a.responses.size(); ++i) {
+      EXPECT_EQ(a.responses[i].sum, b.responses[i].sum)
+          << "lanes " << lanes << " response " << i;
+      const Request& r = batch.requests[i];
+      // Both engines report sums mod 2^add_width (the TC-farm contract).
+      EXPECT_EQ(b.responses[i].sum, (r.add_a + r.add_b) & 0xFFFFu);
+    }
+  }
+}
+
+TEST_F(CompiledEngines, KmerPathIsSharedAndIdentical) {
+  // The k-mer path always runs the compiled tile engine; both configs
+  // must agree bit for bit (and with the same books).
+  const Batch batch = make_batch(RequestClass::kKmerQuery, 4);
+  const BatchExecution a = device_.execute(batch);
+  const BatchExecution b = compiled_.execute(batch);
+  for (std::size_t i = 0; i < a.responses.size(); ++i)
+    EXPECT_EQ(a.responses[i].matches, b.responses[i].matches);
+  EXPECT_EQ(a.compute_energy.value(), b.compute_energy.value());
+  EXPECT_EQ(a.service_cycles, b.service_cycles);
+}
+
+}  // namespace
+}  // namespace memcim::serving

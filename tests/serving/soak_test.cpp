@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/parallel.h"
+#include "isa/cache.h"
 #include "serving/service.h"
 #include "serving/trace_gen.h"
 #include "serving_test_util.h"
@@ -83,14 +84,18 @@ TEST(ServingSoak, HundredThousandRequestsBitwiseInvariantAcrossThreads) {
   telemetry::set_enabled(true);
   const std::size_t prev_threads = parallel_threads();
 
+  // The process-global program cache is warm after any earlier test, so
+  // both runs must start cold for the compiler.* counters to match.
   set_parallel_threads(1);
   telemetry::Registry::global().reset();
+  isa::ProgramCache::global().clear();
   const ServiceRunResult one = run_soak(trace);
   const telemetry::MetricsSnapshot snap_one =
       telemetry::Registry::global().snapshot();
 
   set_parallel_threads(4);
   telemetry::Registry::global().reset();
+  isa::ProgramCache::global().clear();
   const ServiceRunResult four = run_soak(trace);
   const telemetry::MetricsSnapshot snap_four =
       telemetry::Registry::global().snapshot();
